@@ -1,0 +1,112 @@
+"""Ablation: learned-weight rule cleaning vs Sherlock-score cleaning.
+
+Section 6.2.3 notes the pitfall of score-based cleaning: "the learned
+scores do not always reflect the real quality of the rules".  This
+extension experiment trains tied MLN weights by pseudo-likelihood on a
+labelled snapshot (the oracle judge standing in for annotators), drops
+rules whose learned weight collapses, and compares the resulting rule
+set's precision against top-θ score cleaning.
+"""
+
+import pytest
+
+from repro import ProbKB
+from repro.bench import format_table, scaled, write_result
+from repro.core import KnowledgeBase
+from repro.datasets import ReVerbSherlockConfig, generate
+from repro.datasets.world import WorldConfig
+from repro.learn import build_tied_graph, learn_weights, observed_from_judge
+from repro.quality import QualityConfig, run_quality_experiment, cleaned_kb
+
+WEIGHT_THRESHOLD = 0.3
+
+
+def test_ablation_learned_weights(benchmark):
+    generated = generate(
+        ReVerbSherlockConfig(world=WorldConfig(n_people=scaled(150), seed=8), seed=8)
+    )
+
+    def workload():
+        # train on a constrained snapshot labelled by the oracle
+        trainer = ProbKB(generated.kb, backend="single", apply_constraints=True)
+        trainer.ground(max_iterations=5)
+        tied = build_tied_graph(trainer)
+        observed = observed_from_judge(trainer, generated.judge)
+        learned = learn_weights(
+            tied, observed, iterations=35, learning_rate=0.08, l2=0.005
+        )
+        fired = {p for p in tied.parameter_of if p >= 0}
+        kept_rules = [
+            rule
+            for index, rule in enumerate(tied.rules)
+            if index not in fired or learned.weights[index] >= WEIGHT_THRESHOLD
+        ]
+        learned_kb = KnowledgeBase(
+            classes=generated.kb.classes,
+            relations=generated.kb.relations.values(),
+            facts=generated.kb.facts,
+            rules=kept_rules,
+            constraints=generated.kb.constraints,
+            validate=False,
+        )
+
+        def evaluate(kb, label):
+            # same generated world/judge, different rule set under test
+            trial = type(generated)(**{**generated.__dict__, "kb": kb})
+            return run_quality_experiment(
+                trial,
+                QualityConfig(use_constraints=True, theta=1.0, label=label),
+                max_iterations=8,
+            )
+
+        learned_outcome = evaluate(learned_kb, "learned-weight cleaning")
+        score_outcome = evaluate(
+            cleaned_kb(generated.kb, 0.5), "score top 50% cleaning"
+        )
+        baseline = evaluate(generated.kb, "no rule cleaning")
+        rule_counts = {
+            "learned": len(kept_rules),
+            "score": len(cleaned_kb(generated.kb, 0.5).rules),
+            "none": len(generated.kb.rules),
+        }
+        return learned_outcome, score_outcome, baseline, rule_counts
+
+    learned_outcome, score_outcome, baseline, rule_counts = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            "learned-weight cleaning",
+            rule_counts["learned"],
+            learned_outcome.total_new_facts,
+            f"{learned_outcome.overall_precision:.2f}",
+        ),
+        (
+            "score top 50%",
+            rule_counts["score"],
+            score_outcome.total_new_facts,
+            f"{score_outcome.overall_precision:.2f}",
+        ),
+        (
+            "no cleaning",
+            rule_counts["none"],
+            baseline.total_new_facts,
+            f"{baseline.overall_precision:.2f}",
+        ),
+    ]
+    report = format_table(
+        ["strategy", "rules kept", "# inferred", "precision"],
+        rows,
+        title=(
+            "Ablation (extension): rule cleaning via learned MLN weights "
+            f"(drop weight < {WEIGHT_THRESHOLD}) vs Sherlock-score top-θ"
+        ),
+    )
+    write_result("ablation_learned_weights", report)
+
+    # learned cleaning keeps more of the correct rules: it recovers more
+    # correct facts than score cleaning at comparable precision, and it
+    # clearly beats the uncleaned baseline's precision
+    assert learned_outcome.estimated_correct > score_outcome.estimated_correct
+    assert learned_outcome.overall_precision > baseline.overall_precision

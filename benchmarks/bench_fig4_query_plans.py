@@ -1,0 +1,107 @@
+"""Figure 4: MPP query plans with and without redistributed
+materialized views.
+
+Joins M3 against a synthetic TΠ on an 8-segment cluster and prints the
+EXPLAIN ANALYZE trees for the optimized (redistributed matviews) and
+naive configurations.  The paper's observation: the tuned plan only
+redistributes the small M3 table and the intermediate join result,
+while the naive plan must move the large facts table (broadcast or
+redistribute both sides).
+"""
+
+import random
+
+import pytest
+
+from repro import Fact, KnowledgeBase, ProbKB, Relation
+from repro.bench import format_table, scaled, write_result
+from repro.core import Atom, HornClause, MPPBackend, ground_atoms_plan
+
+
+def synthetic_kb(n_facts, n_rules=40, seed=0):
+    """Facts for pattern-3 rules (the paper joins M3 with synthetic TΠ).
+
+    Spread across many relations — ReVerb has 83K of them — so the
+    (R, C1, C2) distribution keys spread rows across all segments.
+    """
+    rng = random.Random(seed)
+    n_entities = max(50, n_facts // 3)
+    entities = [f"e{i}" for i in range(n_entities)]
+    body_relations = [f"rel_{i}" for i in range(2 * n_rules)]
+    facts = []
+    seen = set()
+    while len(facts) < n_facts:
+        relation = rng.choice(body_relations)
+        key = (relation, rng.choice(entities), rng.choice(entities))
+        if key in seen:
+            continue
+        seen.add(key)
+        facts.append(Fact(key[0], key[1], "T", key[2], "T", 0.9))
+    rules = [
+        HornClause.make(
+            Atom(f"head_rel_{i}", ("x", "y")),
+            [
+                Atom(body_relations[2 * i], ("z", "x")),
+                Atom(body_relations[2 * i + 1], ("z", "y")),
+            ],
+            weight=0.5,
+            var_classes={"x": "T", "y": "T", "z": "T"},
+        )
+        for i in range(n_rules)
+    ]
+    relations = body_relations + [f"head_rel_{i}" for i in range(n_rules)]
+    return KnowledgeBase(
+        classes={"T": set(entities)},
+        relations=[Relation(r, "T", "T") for r in relations],
+        facts=facts,
+        rules=rules,
+        validate=False,
+    )
+
+
+def run_query13(kb, use_matviews):
+    system = ProbKB(
+        kb,
+        backend=MPPBackend(nseg=8, use_matviews=use_matviews),
+        apply_constraints=False,
+    )
+    backend = system.backend
+    before = backend.elapsed_seconds
+    backend.query(ground_atoms_plan(3, backend, mln_alias="M3"))
+    seconds = backend.elapsed_seconds - before
+    return system, backend.explain_last(), seconds
+
+
+def test_fig4_query_plans(benchmark):
+    kb = synthetic_kb(scaled(40_000))
+
+    def workload():
+        _, optimized_plan, optimized_s = run_query13(kb, use_matviews=True)
+        _, naive_plan, naive_s = run_query13(kb, use_matviews=False)
+        return optimized_plan, optimized_s, naive_plan, naive_s
+
+    optimized_plan, optimized_s, naive_plan, naive_s = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+
+    report = "\n".join(
+        [
+            "Figure 4: Query 1-3 plans on the 8-segment MPP simulator",
+            "",
+            f"WITH redistributed matviews (ProbKB-p): {optimized_s * 1e3:.1f} ms modelled",
+            optimized_plan,
+            "",
+            f"WITHOUT matviews (naive): {naive_s * 1e3:.1f} ms modelled",
+            naive_plan,
+            "",
+            f"speedup from join collocation: {naive_s / optimized_s:.2f}x "
+            "(paper reports 8.06s broadcast motion collapsing to 0.85s redistribute)",
+        ]
+    )
+    write_result("fig4_query_plans", report)
+
+    # tuned plan: facts-table scans are collocated; only small/intermediate
+    # data moves. The naive plan must move the big table or broadcast.
+    assert optimized_s < naive_s
+    assert "T0" in optimized_plan and "Tx" in optimized_plan
+    assert "Motion" in naive_plan

@@ -1,0 +1,54 @@
+"""Learning MLN rule weights from labelled facts.
+
+ProbKB consumes weights produced by the rule learner (Sherlock); this
+example closes the loop: ground the KB, label the facts with the
+oracle judge (standing in for human annotation), and run tied-weight
+pseudo-likelihood learning.  Correct rules earn high weights, wrong
+rules collapse toward zero — a learned alternative to the paper's
+score-threshold rule cleaning.
+
+Run:  python examples/weight_learning.py
+"""
+
+from repro import ProbKB
+from repro.datasets import ReVerbSherlockConfig, generate
+from repro.datasets.world import WorldConfig
+from repro.learn import build_tied_graph, learn_weights, observed_from_judge
+
+
+def main() -> None:
+    generated = generate(
+        ReVerbSherlockConfig(world=WorldConfig(n_people=120, seed=6), seed=6)
+    )
+    system = ProbKB(generated.kb, backend="single", apply_constraints=True)
+    system.ground(max_iterations=6)
+    print(f"grounded KB: {system.fact_count()} facts, "
+          f"{system.factor_count()} factors")
+
+    tied = build_tied_graph(system)
+    observed = observed_from_judge(system, generated.judge)
+    print(f"training on {len(observed)} labelled facts "
+          f"({sum(observed.values())} acceptable)")
+
+    result = learn_weights(tied, observed, iterations=40, learning_rate=0.08)
+    print(f"pseudo-log-likelihood: {result.pll_trace[0]:.1f} -> "
+          f"{result.pll_trace[-1]:.1f} over {result.iterations} iterations\n")
+
+    fired = sorted({p for p in tied.parameter_of if p >= 0})
+    print(f"{'learned':>8s}  {'given':>6s}  {'label':7s}  rule")
+    scored = sorted(fired, key=lambda i: -result.weights[i])
+    for index in scored[:6] + scored[-6:]:
+        rule = tied.rules[index]
+        label = "correct" if generated.rule_is_correct.get(rule) else "WRONG"
+        print(f"{result.weights[index]:8.2f}  {rule.weight:6.2f}  {label:7s}  {rule}")
+
+    correct = [result.weights[i] for i in fired
+               if generated.rule_is_correct.get(tied.rules[i])]
+    wrong = [result.weights[i] for i in fired
+             if not generated.rule_is_correct.get(tied.rules[i], True)]
+    print(f"\nmean learned weight: correct rules {sum(correct)/len(correct):.2f}, "
+          f"wrong rules {sum(wrong)/len(wrong):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""ProbKB — knowledge expansion over probabilistic knowledge bases.
+
+A full reproduction of Chen & Wang, SIGMOD 2014: a relational model for
+probabilistic KBs, a SQL-based batch grounding algorithm, an MPP
+execution backend, quality control, and marginal inference.
+
+Quickstart::
+
+    from repro import Fact, HornClause, Atom, KnowledgeBase, ProbKB
+
+    kb = KnowledgeBase(classes=..., relations=..., facts=..., rules=...)
+    system = ProbKB(kb, backend="mpp")
+    system.ground()
+    marginals = system.infer()
+"""
+
+from .core import (
+    Atom,
+    Fact,
+    FunctionalConstraint,
+    HornClause,
+    KnowledgeBase,
+    MPPBackend,
+    ProbKB,
+    Relation,
+    SingleNodeBackend,
+    TuffyT,
+    TYPE_I,
+    TYPE_II,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Fact",
+    "FunctionalConstraint",
+    "HornClause",
+    "KnowledgeBase",
+    "MPPBackend",
+    "ProbKB",
+    "Relation",
+    "SingleNodeBackend",
+    "TYPE_I",
+    "TYPE_II",
+    "TuffyT",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness under benchmarks/."""
+
+from .reporting import (
+    bench_scale,
+    format_series,
+    format_table,
+    results_dir,
+    scaled,
+    write_result,
+)
+
+__all__ = [
+    "bench_scale",
+    "format_series",
+    "format_table",
+    "results_dir",
+    "scaled",
+    "write_result",
+]

@@ -1,0 +1,82 @@
+"""The paper's core contribution: probabilistic KBs as relations,
+batch grounding, quality control hooks, and the Tuffy-T baseline."""
+
+from .backends import Backend, MPPBackend, SingleNodeBackend, TPI_VIEWS
+from .clauses import (
+    Atom,
+    ClassifiedClause,
+    ClauseError,
+    HornClause,
+    PARTITION_BODY_PATTERNS,
+    PARTITION_INDEXES,
+    classify_clause,
+    clause_from_identifier,
+)
+from .hierarchy import broaden_facts, generalizations, subclass_map
+from .grounding import (
+    DEFAULT_MAX_ITERATIONS,
+    Grounder,
+    GroundingResult,
+    IterationStats,
+)
+from .lineage import Derivation, DerivationTree, LineageIndex
+from .model import (
+    Fact,
+    FunctionalConstraint,
+    KnowledgeBase,
+    KnowledgeBaseError,
+    Relation,
+    TYPE_I,
+    TYPE_II,
+)
+from .probkb import ProbKB, make_backend
+from .relmodel import Dictionary, LoadReport, RelationalKB
+from .sqlgen import (
+    apply_constraints_key_plan,
+    ground_atoms_plan,
+    ground_factors_plan,
+    singleton_factors_plan,
+)
+from .tuffy import TuffyT
+
+__all__ = [
+    "Atom",
+    "Backend",
+    "ClassifiedClause",
+    "ClauseError",
+    "DEFAULT_MAX_ITERATIONS",
+    "Derivation",
+    "DerivationTree",
+    "Dictionary",
+    "Fact",
+    "FunctionalConstraint",
+    "Grounder",
+    "GroundingResult",
+    "HornClause",
+    "IterationStats",
+    "KnowledgeBase",
+    "KnowledgeBaseError",
+    "LineageIndex",
+    "LoadReport",
+    "MPPBackend",
+    "PARTITION_BODY_PATTERNS",
+    "PARTITION_INDEXES",
+    "ProbKB",
+    "Relation",
+    "RelationalKB",
+    "SingleNodeBackend",
+    "TPI_VIEWS",
+    "TYPE_I",
+    "TYPE_II",
+    "TuffyT",
+    "apply_constraints_key_plan",
+    "broaden_facts",
+    "classify_clause",
+    "clause_from_identifier",
+    "ground_atoms_plan",
+    "generalizations",
+    "ground_factors_plan",
+    "make_backend",
+    "singleton_factors_plan",
+    "subclass_map",
+]

@@ -1,0 +1,243 @@
+"""Typed first-order Horn clauses and structural equivalence.
+
+ProbKB confines the deductive rule set H to Horn clauses whose shapes
+match six structurally-equivalent classes (Section 4.2.2):
+
+    (1)  p(x,y) <- q(x,y)
+    (2)  p(x,y) <- q(y,x)
+    (3)  p(x,y) <- q(z,x), r(z,y)
+    (4)  p(x,y) <- q(x,z), r(z,y)
+    (5)  p(x,y) <- q(z,x), r(y,z)
+    (6)  p(x,y) <- q(x,z), r(y,z)
+
+Two clauses are *structurally equivalent* (Definition 5) when they
+differ only in entity/class/relation symbols; each equivalence class
+becomes one MLN table M_i whose rows are the clauses' identifier
+tuples (Definition 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+
+class ClauseError(ValueError):
+    """Raised for clauses outside the six supported shapes."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A binary atom ``relation(args[0], args[1])`` over variables."""
+
+    relation: str
+    args: Tuple[str, str]
+
+    def __str__(self) -> str:
+        return f"{self.relation}({self.args[0]}, {self.args[1]})"
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """A weighted, typed Horn clause ``head <- body``.
+
+    ``var_classes`` types every variable (Remark 1: arguments are
+    inherently typed).  ``weight`` follows MLN semantics; ``math.inf``
+    marks a hard rule (those belong in the constraint set Ω, not H).
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+    weight: float
+    var_classes: Tuple[Tuple[str, str], ...]  # sorted (variable, class)
+    #: rule-learner confidence score used by rule cleaning (Section 5.3);
+    #: independent from the MLN weight, as in Sherlock.
+    score: float = 1.0
+
+    @staticmethod
+    def make(
+        head: Atom,
+        body: Sequence[Atom],
+        weight: float,
+        var_classes: Mapping[str, str],
+        score: float = 1.0,
+    ) -> "HornClause":
+        return HornClause(
+            head=head,
+            body=tuple(body),
+            weight=weight,
+            var_classes=tuple(sorted(var_classes.items())),
+            score=score,
+        )
+
+    @property
+    def classes(self) -> Dict[str, str]:
+        return dict(self.var_classes)
+
+    @property
+    def is_hard(self) -> bool:
+        return math.isinf(self.weight)
+
+    def variables(self) -> Tuple[str, ...]:
+        seen = []
+        for atom in (self.head, *self.body):
+            for var in atom.args:
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        quantifier = " ".join(
+            f"∀{var}∈{cls}" for var, cls in self.var_classes
+        )
+        return f"{self.weight:.2f} {quantifier}: {self.head} <- {body}"
+
+
+#: Canonical variable names used by the six patterns.
+HEAD_VARS = ("x", "y")
+BODY_VAR = "z"
+
+#: For each partition index, the body atoms' argument patterns after
+#: canonical renaming (head is always p(x, y)).
+PARTITION_BODY_PATTERNS: Dict[int, Tuple[Tuple[str, str], ...]] = {
+    1: (("x", "y"),),
+    2: (("y", "x"),),
+    3: (("z", "x"), ("z", "y")),
+    4: (("x", "z"), ("z", "y")),
+    5: (("z", "x"), ("y", "z")),
+    6: (("x", "z"), ("y", "z")),
+}
+
+PARTITION_INDEXES = tuple(sorted(PARTITION_BODY_PATTERNS))
+
+
+@dataclass(frozen=True)
+class ClassifiedClause:
+    """A clause mapped to its partition and canonical symbol order.
+
+    ``relations`` is (R1, R2[, R3]) and ``classes`` is (C1, C2[, C3])
+    — exactly the identifier-tuple layout of the MLN tables.
+    """
+
+    partition: int
+    relations: Tuple[str, ...]
+    classes: Tuple[str, ...]
+    weight: float
+    score: float
+
+
+def classify_clause(clause: HornClause) -> ClassifiedClause:
+    """Map a Horn clause onto one of the six partitions (Definition 6).
+
+    Raises :class:`ClauseError` for shapes outside the Sherlock set.
+    """
+    if len(clause.head.args) != 2:
+        raise ClauseError(f"head must be binary: {clause}")
+    head_x, head_y = clause.head.args
+    if head_x == head_y:
+        raise ClauseError(f"head variables must be distinct: {clause}")
+    classes = clause.classes
+    for var in clause.variables():
+        if var not in classes:
+            raise ClauseError(f"untyped variable {var!r} in {clause}")
+
+    renaming = {head_x: "x", head_y: "y"}
+    if len(clause.body) == 1:
+        patterns = _match_single(clause, renaming)
+    elif len(clause.body) == 2:
+        patterns = _match_double(clause, renaming)
+    else:
+        raise ClauseError(
+            f"body must have 1 or 2 atoms, got {len(clause.body)}: {clause}"
+        )
+    partition, ordered_body, full_renaming = patterns
+
+    relations = (clause.head.relation,) + tuple(a.relation for a in ordered_body)
+    inverse = {canon: orig for orig, canon in full_renaming.items()}
+    canon_vars = ("x", "y", "z")[: len(full_renaming)]
+    class_tuple = tuple(classes[inverse[v]] for v in canon_vars)
+    return ClassifiedClause(
+        partition=partition,
+        relations=relations,
+        classes=class_tuple,
+        weight=clause.weight,
+        score=clause.score,
+    )
+
+
+def _match_single(clause: HornClause, renaming: Dict[str, str]):
+    atom = clause.body[0]
+    canon = tuple(renaming.get(arg) for arg in atom.args)
+    if canon == ("x", "y"):
+        return 1, (atom,), renaming
+    if canon == ("y", "x"):
+        return 2, (atom,), renaming
+    raise ClauseError(f"single-body clause not of pattern 1/2: {clause}")
+
+
+def _match_double(clause: HornClause, renaming: Dict[str, str]):
+    body_vars = {v for atom in clause.body for v in atom.args}
+    extra = body_vars - set(renaming)
+    if len(extra) != 1:
+        raise ClauseError(
+            f"two-body clause must have exactly one join variable: {clause}"
+        )
+    z_var = extra.pop()
+    full = dict(renaming)
+    full[z_var] = "z"
+
+    canon_atoms = [
+        (atom, tuple(full.get(arg) for arg in atom.args)) for atom in clause.body
+    ]
+    # canonical order: the atom containing x first (q), then the y atom (r)
+    x_atoms = [(a, c) for a, c in canon_atoms if "x" in c]
+    y_atoms = [(a, c) for a, c in canon_atoms if "y" in c]
+    if len(x_atoms) != 1 or len(y_atoms) != 1:
+        raise ClauseError(f"two-body clause not of patterns 3-6: {clause}")
+    (q_atom, q_canon), (r_atom, r_canon) = x_atoms[0], y_atoms[0]
+    for partition, pattern in PARTITION_BODY_PATTERNS.items():
+        if len(pattern) == 2 and (q_canon, r_canon) == pattern:
+            return partition, (q_atom, r_atom), full
+    raise ClauseError(f"two-body clause not of patterns 3-6: {clause}")
+
+
+def clause_from_identifier(
+    partition: int,
+    relations: Sequence[str],
+    classes: Sequence[str],
+    weight: float,
+    score: float = 1.0,
+) -> HornClause:
+    """Rebuild a canonical HornClause from an MLN-table identifier tuple.
+
+    Inverse of :func:`classify_clause` up to variable renaming; used by
+    tests (round-trip property) and by the Tuffy-T baseline, which needs
+    explicit per-rule clauses.
+    """
+    body_patterns = PARTITION_BODY_PATTERNS[partition]
+    expected_body = len(body_patterns)
+    if len(relations) != expected_body + 1:
+        raise ClauseError(
+            f"partition {partition} needs {expected_body + 1} relations, "
+            f"got {len(relations)}"
+        )
+    n_vars = 3 if expected_body == 2 else 2
+    if len(classes) != n_vars:
+        raise ClauseError(
+            f"partition {partition} needs {n_vars} classes, got {len(classes)}"
+        )
+    var_names = ("x", "y", "z")[:n_vars]
+    head = Atom(relations[0], ("x", "y"))
+    body = tuple(
+        Atom(rel, pattern)
+        for rel, pattern in zip(relations[1:], body_patterns)
+    )
+    return HornClause.make(
+        head,
+        body,
+        weight,
+        dict(zip(var_names, classes)),
+        score=score,
+    )

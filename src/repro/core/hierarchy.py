@@ -1,0 +1,106 @@
+"""Class hierarchy utilities (Remark 1).
+
+"The definition of C implies a class hierarchy: for any Ci, Cj ∈ C,
+Ci is a subclass of Cj if and only if Ci ⊆ Cj."
+
+Sherlock-style rules are typed per class *pair*, so a rule quantified
+over Food does not fire on a fact typed Vegetable even when
+Vegetable ⊆ Food.  :func:`broaden_facts` makes the hierarchy effective:
+it adds generalized copies of each fact under every superclass
+signature, so the Kale example from the paper's introduction works —
+``rich_in(Kale: Vegetable, calcium)`` feeds a rule typed over Food.
+
+Generalized copies carry no weight (they are typing artefacts, not
+independent evidence), so they join rule bodies without adding
+singleton factors that would distort the distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .model import Fact, KnowledgeBase
+
+
+def subclass_map(kb: KnowledgeBase) -> Dict[str, Set[str]]:
+    """Strict ancestors of every class, transitively closed.
+
+    Ci is an ancestor of Cj iff Cj ⊂ Ci (proper subset, per Remark 1;
+    equal classes are aliases, not hierarchy).
+    """
+    ancestors: Dict[str, Set[str]] = {name: set() for name in kb.classes}
+    names = list(kb.classes)
+    for child in names:
+        child_members = kb.classes[child]
+        for parent in names:
+            if child == parent:
+                continue
+            parent_members = kb.classes[parent]
+            if child_members < parent_members:
+                ancestors[child].add(parent)
+    return ancestors
+
+
+def generalizations(
+    fact: Fact, ancestors: Dict[str, Set[str]]
+) -> List[Fact]:
+    """All superclass-typed copies of a fact (excluding itself)."""
+    subject_classes = [fact.subject_class] + sorted(
+        ancestors.get(fact.subject_class, ())
+    )
+    object_classes = [fact.object_class] + sorted(
+        ancestors.get(fact.object_class, ())
+    )
+    copies = []
+    for subject_class in subject_classes:
+        for object_class in object_classes:
+            if (subject_class, object_class) == (
+                fact.subject_class,
+                fact.object_class,
+            ):
+                continue
+            copies.append(
+                Fact(
+                    relation=fact.relation,
+                    subject=fact.subject,
+                    subject_class=subject_class,
+                    object=fact.object,
+                    object_class=object_class,
+                    weight=None,  # typing artefact, not fresh evidence
+                )
+            )
+    return copies
+
+
+def broaden_facts(kb: KnowledgeBase) -> KnowledgeBase:
+    """A new KB whose facts are closed under class generalization.
+
+    Only signatures some rule actually consumes are added (adding every
+    superclass pair would bloat TΠ with rows no query ever touches).
+    """
+    ancestors = subclass_map(kb)
+    wanted: Set[Tuple[str, str, str]] = set()
+    for rule in kb.rules:
+        classes = rule.classes
+        for atom in rule.body:
+            wanted.add(
+                (atom.relation, classes[atom.args[0]], classes[atom.args[1]])
+            )
+
+    facts: List[Fact] = list(kb.facts)
+    seen = {fact.key for fact in facts}
+    for fact in kb.facts:
+        for copy in generalizations(fact, ancestors):
+            signature = (copy.relation, copy.subject_class, copy.object_class)
+            if signature not in wanted or copy.key in seen:
+                continue
+            seen.add(copy.key)
+            facts.append(copy)
+    return KnowledgeBase(
+        classes=kb.classes,
+        relations=kb.relations.values(),
+        facts=facts,
+        rules=kb.rules,
+        constraints=kb.constraints,
+        validate=False,
+    )

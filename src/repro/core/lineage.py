@@ -1,0 +1,145 @@
+"""Lineage queries over the ground factor table TΦ (Section 4.2.3).
+
+"Since it records the causal relationships among facts, it contains the
+entire lineage and can be queried.  One application of lineage is to
+help determine the facts' credibility."
+
+:class:`LineageIndex` materializes the derivation graph from TΦ rows
+and answers the queries the quality experiments use: which ground rules
+derived a fact, which base (extracted) facts ultimately support it, and
+a simple credibility score counting independent derivations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One ground rule instance: head <- body with the rule's weight."""
+
+    head: int
+    body: Tuple[int, ...]
+    weight: float
+
+
+@dataclass
+class DerivationTree:
+    """A fact with (up to a depth cap) the derivations supporting it."""
+
+    fact: int
+    derivations: List["DerivationStep"] = field(default_factory=list)
+    is_base: bool = False
+
+    def render(self, indent: int = 0) -> str:
+        lines = ["  " * indent + f"fact {self.fact}" + (" (base)" if self.is_base else "")]
+        for step in self.derivations:
+            lines.append(
+                "  " * (indent + 1) + f"<- rule(w={step.weight:.2f})"
+            )
+            for child in step.premises:
+                lines.append(child.render(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass
+class DerivationStep:
+    weight: float
+    premises: List[DerivationTree] = field(default_factory=list)
+
+
+class LineageIndex:
+    """Derivation graph over TΦ."""
+
+    def __init__(
+        self,
+        factor_rows: Sequence[Tuple[Optional[int], Optional[int], Optional[int], float]],
+    ) -> None:
+        self.derivations_by_head: Dict[int, List[Derivation]] = defaultdict(list)
+        self.base_facts: Set[int] = set()
+        self.uses: Dict[int, List[Derivation]] = defaultdict(list)
+        for head, body2, body3, weight in factor_rows:
+            if head is None:
+                continue
+            body = tuple(b for b in (body2, body3) if b is not None)
+            if not body:
+                # singleton factor: an uncertain extracted fact
+                self.base_facts.add(head)
+                continue
+            derivation = Derivation(head, body, weight)
+            self.derivations_by_head[head].append(derivation)
+            for premise in body:
+                self.uses[premise].append(derivation)
+
+    # -- direct queries ------------------------------------------------------
+
+    def derivations_of(self, fact: int) -> List[Derivation]:
+        """Ground rules with this fact as head."""
+        return list(self.derivations_by_head.get(fact, []))
+
+    def derived_facts(self) -> Set[int]:
+        return set(self.derivations_by_head)
+
+    def facts_using(self, fact: int) -> List[Derivation]:
+        """Ground rules this fact participates in as a premise."""
+        return list(self.uses.get(fact, []))
+
+    def is_base(self, fact: int) -> bool:
+        return fact in self.base_facts
+
+    # -- transitive queries ------------------------------------------------------
+
+    def base_support(self, fact: int) -> FrozenSet[int]:
+        """All base facts reachable through some derivation chain."""
+        support: Set[int] = set()
+        seen: Set[int] = set()
+        stack = [fact]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self.base_facts:
+                support.add(current)
+            for derivation in self.derivations_by_head.get(current, []):
+                stack.extend(derivation.body)
+        return frozenset(support)
+
+    def affected_by(self, fact: int) -> FrozenSet[int]:
+        """Facts whose derivations (transitively) use ``fact`` — the set
+        an error would propagate to (Figure 5(a))."""
+        affected: Set[int] = set()
+        stack = [fact]
+        while stack:
+            current = stack.pop()
+            for derivation in self.uses.get(current, []):
+                if derivation.head not in affected:
+                    affected.add(derivation.head)
+                    stack.append(derivation.head)
+        return frozenset(affected)
+
+    def derivation_tree(self, fact: int, max_depth: int = 5) -> DerivationTree:
+        """Expand the derivations of a fact to a bounded depth."""
+        tree = DerivationTree(fact=fact, is_base=self.is_base(fact))
+        if max_depth <= 0:
+            return tree
+        for derivation in self.derivations_by_head.get(fact, []):
+            step = DerivationStep(weight=derivation.weight)
+            for premise in derivation.body:
+                step.premises.append(
+                    self.derivation_tree(premise, max_depth - 1)
+                )
+            tree.derivations.append(step)
+        return tree
+
+    def credibility(self, fact: int) -> float:
+        """A simple lineage-based credibility score: base facts score 1;
+        derived facts score by their number of independent derivations,
+        saturating smoothly (1 - 2^-k)."""
+        if self.is_base(fact):
+            return 1.0
+        k = len(self.derivations_by_head.get(fact, []))
+        return 1.0 - 0.5 ** k if k else 0.0

@@ -1,0 +1,309 @@
+"""ProbKB: the public facade of the system.
+
+Ties together the relational model, the batch grounding algorithm,
+quality control, and marginal inference:
+
+    >>> from repro import ProbKB
+    >>> system = ProbKB(kb, backend="mpp", nseg=8)
+    >>> grounding = system.ground()
+    >>> marginals = system.infer()          # {Fact: probability}
+    >>> new = system.new_facts(marginals, min_probability=0.5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..infer import FactorGraph, bp_marginals, gibbs_marginals
+from ..relational import Scan, to_sql
+from ..relational.expr import IsNull, col
+from ..relational.plan import Filter
+from ..relational.types import Row
+from .backends import Backend, MPPBackend, SingleNodeBackend
+from .grounding import Grounder, GroundingResult
+from .lineage import LineageIndex
+from .model import Fact, KnowledgeBase
+from .relmodel import RelationalKB
+from .sqlgen import (
+    apply_constraints_key_plan,
+    ground_atoms_plan,
+    ground_factors_plan,
+    singleton_factors_plan,
+)
+
+
+def make_backend(
+    backend: Union[str, Backend],
+    nseg: int = 8,
+    use_matviews: bool = True,
+) -> Backend:
+    """Resolve a backend spec: 'single' | 'mpp' | an existing Backend."""
+    if isinstance(backend, Backend):
+        return backend
+    if backend == "single":
+        return SingleNodeBackend()
+    if backend == "mpp":
+        return MPPBackend(nseg=nseg, use_matviews=use_matviews)
+    raise ValueError(f"unknown backend {backend!r} (use 'single' or 'mpp')")
+
+
+class ProbKB:
+    """A probabilistic knowledge base loaded and ready for expansion."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        backend: Union[str, Backend] = "single",
+        nseg: int = 8,
+        use_matviews: bool = True,
+        apply_constraints: bool = True,
+        semi_naive: bool = False,
+    ) -> None:
+        self.kb = kb
+        self.backend = make_backend(backend, nseg=nseg, use_matviews=use_matviews)
+        load_start = self.backend.elapsed_seconds
+        self.rkb = RelationalKB(kb, self.backend)
+        self.load_seconds = self.backend.elapsed_seconds - load_start
+        self.grounder = Grounder(
+            self.rkb,
+            apply_constraints=apply_constraints,
+            semi_naive=semi_naive,
+        )
+        self.grounding: Optional[GroundingResult] = None
+
+    # -- pipeline ------------------------------------------------------------------
+
+    def apply_constraints(self) -> int:
+        """Run Query 3 once (e.g. up-front cleaning as in Section 6.1.1)."""
+        removed = self.grounder.apply_constraints()
+        self.backend.after_facts_changed()
+        return removed
+
+    def ground(self, max_iterations: Optional[int] = None) -> GroundingResult:
+        """Run Algorithm 1; returns per-iteration statistics."""
+        self.grounding = self.grounder.run(max_iterations)
+        self.grounding.load_seconds = self.load_seconds
+        return self.grounding
+
+    def add_evidence(
+        self,
+        facts: Sequence[Fact],
+        max_iterations: Optional[int] = None,
+        reground_factors: bool = True,
+    ) -> GroundingResult:
+        """Incrementally expand the KB with new extracted evidence.
+
+        The new facts become the semi-naive delta, so each follow-up
+        iteration joins only what changed — no re-derivation of the
+        existing closure.  TΦ is rebuilt afterwards (factors are a
+        function of the final atom set).
+        """
+        incremental = Grounder(
+            self.rkb,
+            apply_constraints=self.grounder.apply_constraints_each_iteration,
+            semi_naive=True,
+        )
+        outcome = GroundingResult()
+        added = self.rkb.add_evidence(facts)
+        outcome.iterations, outcome.converged = incremental.ground_atoms(
+            max_iterations
+        )
+        if reground_factors:
+            self.backend.truncate("TF")
+            outcome.factors, outcome.factor_seconds = incremental.ground_factors()
+        self.grounding = outcome
+        outcome.load_seconds = self.load_seconds
+        # the evidence itself counts as new knowledge in the report
+        if outcome.iterations:
+            outcome.iterations[0].new_facts += added
+        return outcome
+
+    def factor_rows(self) -> List[Row]:
+        return self.backend.query(Scan("TF")).rows
+
+    def factor_graph(self) -> FactorGraph:
+        """The ground factor graph handed to the inference engine."""
+        return FactorGraph.from_factor_rows(self.factor_rows())
+
+    def infer(
+        self,
+        method: str = "gibbs",
+        num_sweeps: int = 500,
+        seed: int = 0,
+    ) -> Dict[Fact, float]:
+        """Marginal probabilities of every fact (observed and inferred)."""
+        graph = self.factor_graph()
+        if method == "gibbs":
+            marginals = gibbs_marginals(graph, num_sweeps=num_sweeps, seed=seed)
+        elif method == "bp":
+            marginals = bp_marginals(graph).marginals
+        else:
+            raise ValueError(f"unknown inference method {method!r} (gibbs|bp)")
+        by_id = self._facts_by_id()
+        return {
+            by_id[fact_id]: probability
+            for fact_id, probability in marginals.items()
+            if fact_id in by_id
+        }
+
+    # -- results ----------------------------------------------------------------------
+
+    def all_facts(self) -> List[Fact]:
+        return [self.rkb.decode_fact(row) for row in self.backend.query(Scan("TP")).rows]
+
+    def inferred_facts(self) -> List[Fact]:
+        """Facts added by knowledge expansion (NULL-weight TΠ rows)."""
+        plan = Filter(Scan("TP", "T"), IsNull(col("T.w")))
+        return [self.rkb.decode_fact(row) for row in self.backend.query(plan).rows]
+
+    def new_facts(
+        self,
+        marginals: Optional[Dict[Fact, float]] = None,
+        min_probability: float = 0.0,
+    ) -> List[Tuple[Fact, Optional[float]]]:
+        """Inferred facts with their marginals, filtered by probability."""
+        inferred = self.inferred_facts()
+        if marginals is None:
+            return [(fact, None) for fact in inferred]
+        results = []
+        for fact in inferred:
+            probability = _lookup_marginal(marginals, fact)
+            if probability is not None and probability >= min_probability:
+                results.append((fact, probability))
+        return results
+
+    def lineage(self) -> LineageIndex:
+        return LineageIndex(self.factor_rows())
+
+    # -- materialized marginals & query-time access ---------------------------
+
+    def materialize_marginals(
+        self,
+        marginals: Optional[Dict[Fact, float]] = None,
+        method: str = "gibbs",
+        num_sweeps: int = 500,
+        seed: int = 0,
+    ) -> int:
+        """Store marginal probabilities in the database (table TProb).
+
+        ProbKB "stores all the inferred results in the knowledge base,
+        thereby avoiding query-time computation and improving system
+        responsivity" (Section 2.2) — after this, :meth:`query_facts`
+        answers probabilistic queries straight from the tables.
+        """
+        from ..relational import schema as make_schema
+
+        if marginals is None:
+            marginals = self.infer(method=method, num_sweeps=num_sweeps, seed=seed)
+        if not self.backend.has_table("TProb"):
+            self.backend.create_table(
+                make_schema("TProb", "I:int", "p:float", unique_key=["I"]),
+                dist_keys=["I"],
+            )
+        else:
+            self.backend.truncate("TProb")
+        key_to_id = {
+            tuple(row[1:6]): row[0]
+            for row in self.backend.query(Scan("TP")).rows
+        }
+        rows = []
+        for fact, probability in marginals.items():
+            fact_id = key_to_id.get(self.rkb.encode_fact_key(fact))
+            if fact_id is not None:
+                rows.append((fact_id, probability))
+        return self.backend.insert_rows("TProb", rows)
+
+    def query_facts(
+        self,
+        relation: Optional[str] = None,
+        subject: Optional[str] = None,
+        object: Optional[str] = None,
+        min_probability: float = 0.0,
+    ) -> List[Tuple[Fact, Optional[float]]]:
+        """Query the expanded KB by pattern, with stored probabilities.
+
+        Filters run as relational plans inside the backend.  Facts
+        without a materialized marginal (or before materialization)
+        carry probability None and pass any threshold of 0.
+        """
+        from ..relational.expr import conj, eq_const
+
+        predicates = []
+        if relation is not None:
+            relation_id = self.rkb.relations.lookup(relation)
+            if relation_id is None:
+                return []
+            predicates.append(eq_const("T.R", relation_id))
+        if subject is not None:
+            subject_id = self.rkb.entities.lookup(subject)
+            if subject_id is None:
+                return []
+            predicates.append(eq_const("T.x", subject_id))
+        if object is not None:
+            object_id = self.rkb.entities.lookup(object)
+            if object_id is None:
+                return []
+            predicates.append(eq_const("T.y", object_id))
+
+        plan: "Scan" = Scan("TP", "T")
+        if predicates:
+            plan = Filter(plan, conj(*predicates))
+        rows = self.backend.query(plan).rows
+
+        probabilities: Dict[int, float] = {}
+        if self.backend.has_table("TProb"):
+            probabilities = dict(self.backend.query(Scan("TProb")).rows)
+
+        results: List[Tuple[Fact, Optional[float]]] = []
+        for row in rows:
+            probability = probabilities.get(row[0])
+            if probability is None:
+                if min_probability > 0.0:
+                    continue
+            elif probability < min_probability:
+                continue
+            results.append((self.rkb.decode_fact(row), probability))
+        return results
+
+    def _facts_by_id(self) -> Dict[int, Fact]:
+        rows = self.backend.query(Scan("TP")).rows
+        return {row[0]: self.rkb.decode_fact(row) for row in rows}
+
+    # -- introspection -----------------------------------------------------------------
+
+    def generated_sql(self) -> Dict[str, str]:
+        """The actual SQL the grounding algorithm runs (paper Figure 3)."""
+        queries: Dict[str, str] = {}
+        for partition in self.rkb.nonempty_partitions or [1, 3]:
+            queries[f"Query 1-{partition}"] = to_sql(
+                ground_atoms_plan(partition, self.backend, mln_alias=f"M{partition}")
+            )
+            queries[f"Query 2-{partition}"] = to_sql(
+                ground_factors_plan(partition, self.backend, mln_alias=f"M{partition}")
+            )
+        queries["Query 3 (type I subquery)"] = to_sql(apply_constraints_key_plan(1))
+        queries["Query 3 (type II subquery)"] = to_sql(apply_constraints_key_plan(2))
+        queries["singleton factors"] = to_sql(singleton_factors_plan(self.backend))
+        return queries
+
+    def fact_count(self) -> int:
+        return self.rkb.fact_count()
+
+    def factor_count(self) -> int:
+        return self.rkb.factor_count()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.backend.elapsed_seconds
+
+
+def _lookup_marginal(marginals: Dict[Fact, float], fact: Fact) -> Optional[float]:
+    """Marginals are keyed by Fact; weights differ, so match on key."""
+    probability = marginals.get(fact)
+    if probability is not None:
+        return probability
+    for candidate, value in marginals.items():
+        if candidate.key == fact.key:
+            return value
+    return None

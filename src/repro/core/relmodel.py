@@ -1,0 +1,384 @@
+"""The relational model for probabilistic KBs (Section 4.2).
+
+Maps Γ = (E, C, R, Π, H, Ω) onto database tables:
+
+* dictionary tables ``DE``/``DC``/``DR`` encode strings as integer ids
+  "to avoid string comparison during joins" (Section 4.2);
+* ``TC(C, e)`` — class membership (Definition 2);
+* ``TR(R, C1, C2)`` — relation signatures (Definition 3);
+* ``TP(I, R, x, C1, y, C2, w)`` — the single facts table TΠ
+  (Definition 4; C1/C2 are denormalized copies of TC/TR so batch rule
+  application never joins them);
+* ``M1..M6`` — one MLN table per structural-equivalence partition
+  (Definition 6);
+* ``FC(R, arg, deg)`` — functional constraints TΩ (Definition 11);
+* ``TF(I1, I2, I3, w)`` — the ground factor table TΦ (Definition 7),
+  bag semantics.
+
+Fact identity (set-union semantics for TΠ) is the key (R, x, C1, y, C2).
+New-fact detection and id assignment happen master-side in this class,
+which keeps deduplication correct on every backend regardless of how TΠ
+is physically distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..relational import schema
+from ..relational.types import Row
+from .backends import Backend, MPPBackend
+from .clauses import PARTITION_INDEXES, classify_clause
+from .model import Fact, KnowledgeBase
+
+# -- table schemas (shared by all backends) -----------------------------------
+
+TP_SCHEMA = schema("TP", "I:int", "R:int", "x:int", "C1:int", "y:int", "C2:int", "w:float")
+#: staging table for each iteration's candidate facts (dedup by key)
+FACT_KEY_COLUMNS = ("R", "x", "C1", "y", "C2")
+TNEW_SCHEMA = schema(
+    "TNew", "R:int", "x:int", "C1:int", "y:int", "C2:int",
+    unique_key=FACT_KEY_COLUMNS,
+)
+#: graveyard of constraint-deleted fact keys — anti-joined during the
+#: merge so removed errors are not simply re-derived next iteration
+TDEL_SCHEMA = schema(
+    "TDel", "R:int", "x:int", "C1:int", "y:int", "C2:int",
+    unique_key=FACT_KEY_COLUMNS,
+)
+#: the facts merged in the previous iteration (semi-naive grounding)
+TDELTA_SCHEMA = schema(
+    "TDelta", "R:int", "x:int", "C1:int", "y:int", "C2:int",
+    unique_key=FACT_KEY_COLUMNS,
+)
+#: staging for incrementally added evidence (weighted, unlike TNew)
+TEV_SCHEMA = schema(
+    "TEv", "R:int", "x:int", "C1:int", "y:int", "C2:int", "w:float",
+    unique_key=FACT_KEY_COLUMNS,
+)
+TC_SCHEMA = schema("TC", "C:int", "e:int")
+TR_SCHEMA = schema("TR", "R:int", "C1:int", "C2:int")
+FC_SCHEMA = schema("FC", "R:int", "arg:int", "deg:int")
+TF_SCHEMA = schema("TF", "I1:int", "I2:int", "I3:int", "w:float")
+DE_SCHEMA = schema("DE", "id:int", "name:text")
+DC_SCHEMA = schema("DC", "id:int", "name:text")
+DR_SCHEMA = schema("DR", "id:int", "name:text")
+
+
+def mln_schema(partition: int):
+    """Schema of MLN table M_i (identifier tuples + weight)."""
+    if partition in (1, 2):
+        return schema(
+            f"M{partition}", "R1:int", "R2:int", "C1:int", "C2:int", "w:float"
+        )
+    return schema(
+        f"M{partition}",
+        "R1:int",
+        "R2:int",
+        "R3:int",
+        "C1:int",
+        "C2:int",
+        "C3:int",
+        "w:float",
+    )
+
+
+FactKey = Tuple[int, int, int, int, int]  # (R, x, C1, y, C2) as ids
+
+
+@dataclass
+class LoadReport:
+    """What the initial bulkload stored."""
+
+    facts: int
+    rules_by_partition: Dict[int, int]
+    constraints: int
+    classes: int
+    relations: int
+    entities: int
+
+
+class Dictionary:
+    """A string <-> dense integer id dictionary (the DX tables)."""
+
+    def __init__(self) -> None:
+        self._id_of: Dict[str, int] = {}
+        self._name_of: List[str] = []
+
+    def id(self, name: str) -> int:
+        ident = self._id_of.get(name)
+        if ident is None:
+            ident = len(self._name_of)
+            self._id_of[name] = ident
+            self._name_of.append(name)
+        return ident
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self._id_of.get(name)
+
+    def name(self, ident: int) -> str:
+        return self._name_of[ident]
+
+    def __len__(self) -> int:
+        return len(self._name_of)
+
+    def rows(self) -> List[Tuple[int, str]]:
+        return list(enumerate(self._name_of))
+
+
+class RelationalKB:
+    """A knowledge base loaded into a backend under the relational model."""
+
+    def __init__(self, kb: KnowledgeBase, backend: Backend) -> None:
+        self.kb = kb
+        self.backend = backend
+        self.entities = Dictionary()
+        self.classes = Dictionary()
+        self.relations = Dictionary()
+        self._fact_keys: Set[FactKey] = set()
+        self._next_fact_id = 0
+        self.nonempty_partitions: List[int] = []
+        self.load_report = self._load()
+
+    # -- loading -----------------------------------------------------------------
+
+    def _load(self) -> LoadReport:
+        backend = self.backend
+        kb = self.kb
+
+        # dictionaries
+        class_rows = [(self.classes.id(name), name) for name in sorted(kb.classes)]
+        relation_rows = [
+            (self.relations.id(name), name) for name in sorted(kb.relations)
+        ]
+        entity_rows = [
+            (self.entities.id(name), name) for name in sorted(kb.entities)
+        ]
+
+        # TC / TR
+        tc_rows = [
+            (self.classes.id(class_name), self.entities.id(entity))
+            for class_name, members in kb.classes.items()
+            for entity in sorted(members)
+        ]
+        tr_rows = [
+            (
+                self.relations.id(rel.name),
+                self.classes.id(rel.domain),
+                self.classes.id(rel.range),
+            )
+            for rel in kb.relations.values()
+        ]
+
+        # TΠ
+        tp_rows: List[Row] = []
+        for fact in kb.facts:
+            key = self.encode_fact_key(fact)
+            if key in self._fact_keys:
+                continue
+            self._fact_keys.add(key)
+            tp_rows.append((self._next_fact_id,) + key_to_row(key) + (fact.weight,))
+            self._next_fact_id += 1
+
+        # MLN tables
+        mln_rows: Dict[int, List[Row]] = {i: [] for i in PARTITION_INDEXES}
+        mln_seen: Dict[int, Set[Row]] = {i: set() for i in PARTITION_INDEXES}
+        for rule in kb.rules:
+            classified = classify_clause(rule)
+            row = (
+                tuple(self.relations.id(r) for r in classified.relations)
+                + tuple(self.classes.id(c) for c in classified.classes)
+                + (classified.weight,)
+            )
+            # Proposition 1 requires M_i duplicate-free
+            if row in mln_seen[classified.partition]:
+                continue
+            mln_seen[classified.partition].add(row)
+            mln_rows[classified.partition].append(row)
+
+        # TΩ
+        fc_rows = [
+            (self.relations.id(c.relation), c.arg, c.degree)
+            for c in kb.constraints
+        ]
+
+        # create + bulkload.  TΠ is distributed by its id column I (the
+        # Greenplum default of "first column"): without the
+        # redistributed views every batch join over TΠ must then move
+        # data — exactly the contrast Section 4.4 exploits.
+        backend.create_table(TP_SCHEMA, dist_keys=["I"])
+        backend.create_table(TNEW_SCHEMA, dist_keys=["x"])
+        backend.create_table(TDEL_SCHEMA, dist_keys=["x"])
+        backend.create_table(TDELTA_SCHEMA, dist_keys=["x"])
+        backend.create_table(TEV_SCHEMA, dist_keys=["x"])
+        backend.create_table(TC_SCHEMA, dist_keys=["e"])
+        backend.create_table(TR_SCHEMA, dist_keys=["R"])
+        backend.create_table(TF_SCHEMA, dist_keys=["I1"])
+        for dictionary_schema in (DE_SCHEMA, DC_SCHEMA, DR_SCHEMA):
+            backend.create_table(dictionary_schema, dist_keys=["id"])
+        if isinstance(backend, MPPBackend):
+            # MLN and constraint tables are small: replicate them so rule
+            # application never ships them between segments.
+            for partition in PARTITION_INDEXES:
+                backend.create_replicated_table(mln_schema(partition))
+            backend.create_replicated_table(FC_SCHEMA)
+        else:
+            for partition in PARTITION_INDEXES:
+                backend.create_table(mln_schema(partition))
+            backend.create_table(FC_SCHEMA)
+
+        backend.bulkload("DE", entity_rows)
+        backend.bulkload("DC", class_rows)
+        backend.bulkload("DR", relation_rows)
+        backend.bulkload("TC", tc_rows)
+        backend.bulkload("TR", tr_rows)
+        backend.bulkload("TP", tp_rows)
+        # iteration 1 of semi-naive grounding must see every base fact
+        backend.bulkload("TDelta", [row[1:6] for row in tp_rows])
+        backend.bulkload("FC", fc_rows)
+        for partition in PARTITION_INDEXES:
+            backend.bulkload(f"M{partition}", mln_rows[partition])
+        self.nonempty_partitions = [
+            i for i in PARTITION_INDEXES if mln_rows[i]
+        ]
+        if isinstance(backend, MPPBackend):
+            backend.create_tpi_views()
+
+        return LoadReport(
+            facts=len(tp_rows),
+            rules_by_partition={i: len(mln_rows[i]) for i in PARTITION_INDEXES},
+            constraints=len(fc_rows),
+            classes=len(class_rows),
+            relations=len(relation_rows),
+            entities=len(entity_rows),
+        )
+
+    # -- encoding ------------------------------------------------------------------
+
+    def encode_fact_key(self, fact: Fact) -> FactKey:
+        return (
+            self.relations.id(fact.relation),
+            self.entities.id(fact.subject),
+            self.classes.id(fact.subject_class),
+            self.entities.id(fact.object),
+            self.classes.id(fact.object_class),
+        )
+
+    def decode_fact(self, row: Row) -> Fact:
+        """Decode a full TP row (I, R, x, C1, y, C2, w) into a Fact."""
+        _, rel, x, c1, y, c2, weight = row
+        return Fact(
+            relation=self.relations.name(rel),
+            subject=self.entities.name(x),
+            subject_class=self.classes.name(c1),
+            object=self.entities.name(y),
+            object_class=self.classes.name(c2),
+            weight=weight,
+        )
+
+    # -- fact mutation --------------------------------------------------------------
+
+    def guard_candidates(self, plan):
+        """Wrap a candidate-facts plan (columns R,x,C1,y,C2) with the
+        anti-joins that implement set union: drop facts already in TΠ
+        and facts previously deleted by quality control (TDel).
+
+        The existing-facts side goes through ``tpi_scan`` so that on a
+        tuned MPP backend the NOT EXISTS probes the Txy view and stays
+        collocated instead of re-shipping TΠ every iteration.
+        """
+        from ..relational import Scan
+        from ..relational.plan import AntiJoin
+
+        left_keys = list(FACT_KEY_COLUMNS)
+        existing = self.backend.tpi_scan("TOld", ["x", "y"])
+        guarded = AntiJoin(
+            plan,
+            existing,
+            left_keys,
+            [f"TOld.{c}" for c in FACT_KEY_COLUMNS],
+        )
+        return AntiJoin(
+            guarded,
+            Scan("TDel", "TGone"),
+            left_keys,
+            [f"TGone.{c}" for c in FACT_KEY_COLUMNS],
+        )
+
+    def stage_candidates(self, plan) -> int:
+        """INSERT INTO TNew SELECT (guarded candidates) — one statement
+        per partition; TNew's unique key dedups across partitions."""
+        return self.backend.insert_from("TNew", self.guard_candidates(plan))
+
+    def merge_staged(self) -> int:
+        """TΠ ← TΠ ∪ TNew, assigning fact ids from the sequence.
+
+        The genuinely-new rows are materialized into TDelta first (they
+        are exactly what the next semi-naive iteration must join), then
+        flow from there into TΠ.  Inferred facts get NULL weight until
+        marginal inference fills them in (Section 4.3).
+        """
+        from ..relational import Scan
+
+        self.backend.truncate("TDelta")
+        self.backend.insert_from(
+            "TDelta", self.guard_candidates(Scan("TNew", "N"))
+        )
+        inserted, self._next_fact_id = self.backend.insert_from_with_ids(
+            "TP", Scan("TDelta", "D"), self._next_fact_id, pad_nulls=1
+        )
+        return inserted
+
+    def add_evidence(self, facts: Iterable["Fact"]) -> int:
+        """Incrementally add weighted evidence facts to TΠ.
+
+        New facts (per the usual anti-join guard) keep their extraction
+        weights and become the semi-naive delta, so a follow-up delta
+        grounding derives exactly their consequences.  Returns the
+        number of genuinely new facts.
+        """
+        from ..relational import Project, Scan, col
+
+        rows: List[Row] = []
+        for fact in facts:
+            rows.append(self.encode_fact_key(fact) + (fact.weight,))
+        self.backend.truncate("TEv")
+        self.backend.insert_rows("TEv", rows)
+        guarded = self.guard_candidates(Scan("TEv", "E"))
+        self.backend.truncate("TDelta")
+        self.backend.insert_from(
+            "TDelta",
+            Project(
+                guarded,
+                [(col(f"E.{c}"), c) for c in FACT_KEY_COLUMNS],
+            ),
+        )
+        inserted, self._next_fact_id = self.backend.insert_from_with_ids(
+            "TP", guarded, self._next_fact_id, pad_nulls=0
+        )
+        return inserted
+
+    def insert_new_facts(self, rows: Iterable[Row]) -> int:
+        """Merge literal (R, x, C1, y, C2) rows into TΠ with set
+        semantics — the row-level variant of the staged merge."""
+        self.backend.truncate("TNew")
+        self.backend.insert_rows("TNew", [tuple(row[:5]) for row in rows])
+        return self.merge_staged()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def fact_count(self) -> int:
+        return self.backend.table_size("TP")
+
+    def factor_count(self) -> int:
+        return self.backend.table_size("TF")
+
+    def rule_count(self) -> int:
+        return sum(
+            self.backend.table_size(f"M{i}") for i in PARTITION_INDEXES
+        )
+
+
+def key_to_row(key: FactKey) -> Tuple[int, int, int, int, int]:
+    return key

@@ -1,0 +1,272 @@
+"""Generation of the batch grounding queries (Figure 3, Queries 1-i/2-i/3).
+
+Each partition M_i yields two join queries:
+
+* ``ground_atoms_plan(i)``   — Query 1-i: derive new facts by joining
+  M_i with TΠ on the body atoms' relations, classes, and shared
+  entities; *one query applies every rule in the partition*.
+* ``ground_factors_plan(i)`` — Query 2-i: join the head in as well and
+  emit ground factors (I1, I2, I3, w).
+
+``apply_constraints_key_plan`` builds Query 3's violating-entity
+subquery (Section 5.4).  All plans are pure logical plans; they run on
+either backend and render to PostgreSQL SQL via
+:func:`repro.relational.to_sql` (conformance-tested against sqlite3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..relational import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Scan,
+    col,
+    const,
+)
+from ..relational.expr import Compare, Expr, eq_const
+from .backends import Backend
+from .clauses import PARTITION_BODY_PATTERNS
+
+#: the previous iteration's newly derived facts (semi-naive grounding)
+DELTA_TABLE = "TDelta"
+
+#: class column of the MLN tables for each canonical variable
+_CLASS_COLUMN = {"x": "C1", "y": "C2", "z": "C3"}
+#: entity/class column pairs of a TΠ scan by argument position
+_ARG_COLUMNS = (("x", "C1"), ("y", "C2"))
+
+
+def _body_aliases(partition: int) -> List[str]:
+    """TΠ scan aliases for the body atoms, following the paper (T for
+    single-atom bodies, T2/T3 for two-atom bodies)."""
+    if partition in (1, 2):
+        return ["T"]
+    return ["T2", "T3"]
+
+
+def _head_entity_exprs(partition: int, aliases: Sequence[str]) -> Dict[str, str]:
+    """Where each head variable's value comes from: var -> 'alias.col'."""
+    sources: Dict[str, str] = {}
+    for pattern, alias in zip(PARTITION_BODY_PATTERNS[partition], aliases):
+        for pos, var in enumerate(pattern):
+            if var in ("x", "y") and var not in sources:
+                entity_col, _ = _ARG_COLUMNS[pos]
+                sources[var] = f"{alias}.{entity_col}"
+    return sources
+
+
+def _shared_z(partition: int, aliases: Sequence[str]) -> Optional[Tuple[str, str]]:
+    """The join-variable columns ('T2.x', 'T3.y')-style pair, if any."""
+    patterns = PARTITION_BODY_PATTERNS[partition]
+    if len(patterns) != 2:
+        return None
+    columns = []
+    for pattern, alias in zip(patterns, aliases):
+        pos = pattern.index("z")
+        entity_col, _ = _ARG_COLUMNS[pos]
+        columns.append(f"{alias}.{entity_col}")
+    return (columns[0], columns[1])
+
+
+def _entity_join_columns(partition: int, alias_index: int) -> List[str]:
+    """Which entity columns of the given body scan participate in
+    entity-equality joins — drives redistributed-view selection."""
+    patterns = PARTITION_BODY_PATTERNS[partition]
+    if len(patterns) != 2 or alias_index == 0:
+        # first body scan joins M_i on (R, C1, C2) only
+        return []
+    pos = patterns[alias_index].index("z")
+    return [_ARG_COLUMNS[pos][0]]
+
+
+def _mln_body_join(
+    partition: int,
+    backend: Backend,
+    mln_alias: str = "M",
+    delta_scans: Optional[Sequence[int]] = None,
+    mln_filter: Optional[Expr] = None,
+) -> Tuple[PlanNode, List[str], Dict[str, str]]:
+    """Join M_i with the body TΠ scans; returns (plan, aliases, head map).
+
+    ``delta_scans`` (semi-naive grounding) lists the body positions that
+    should scan the last iteration's delta table instead of full TΠ.
+    ``mln_filter`` restricts the MLN table (e.g. to one rule — used by
+    weight learning, which needs per-rule ground factors).
+    """
+    aliases = _body_aliases(partition)
+    patterns = PARTITION_BODY_PATTERNS[partition]
+    mln_table = f"M{partition}"
+    delta_set = set(delta_scans or ())
+
+    plan: PlanNode = Scan(mln_table, mln_alias)
+    if mln_filter is not None:
+        plan = Filter(plan, mln_filter)
+    for index, (pattern, alias) in enumerate(zip(patterns, aliases)):
+        if index in delta_set:
+            scan = Scan(DELTA_TABLE, alias)
+        else:
+            scan = backend.tpi_scan(alias, _entity_join_columns(partition, index))
+        left_keys = [f"{mln_alias}.R{index + 2}"]
+        right_keys = [f"{alias}.R"]
+        for pos, var in enumerate(pattern):
+            _, class_col = _ARG_COLUMNS[pos]
+            left_keys.append(f"{mln_alias}.{_CLASS_COLUMN[var]}")
+            right_keys.append(f"{alias}.{class_col}")
+        if index == 1:
+            shared = _shared_z(partition, aliases)
+            assert shared is not None
+            left_keys.append(shared[0])
+            right_keys.append(shared[1])
+        plan = HashJoin(plan, scan, left_keys, right_keys)
+    return plan, aliases, _head_entity_exprs(partition, aliases)
+
+
+def ground_atoms_plan(
+    partition: int, backend: Backend, mln_alias: str = "M"
+) -> PlanNode:
+    """Query 1-i: derive the head facts of every rule in partition i.
+
+    Output columns: (R, x, C1, y, C2) — id assignment and NULL weights
+    are handled by :meth:`RelationalKB.insert_new_facts`.
+    """
+    plan, _, head = _mln_body_join(partition, backend, mln_alias)
+    return Project(
+        plan,
+        [
+            (col(f"{mln_alias}.R1"), "R"),
+            (col(head["x"]), "x"),
+            (col(f"{mln_alias}.C1"), "C1"),
+            (col(head["y"]), "y"),
+            (col(f"{mln_alias}.C2"), "C2"),
+        ],
+    )
+
+
+def ground_atoms_delta_plans(
+    partition: int, backend: Backend, mln_alias: str = "M"
+) -> List[PlanNode]:
+    """Semi-naive variants of Query 1-i: every new derivation must use
+    at least one fact from the previous iteration's delta, so
+    single-atom patterns join the delta alone and two-atom patterns get
+    two variants ((Δ, T) and (T, Δ); the Δ⋈Δ overlap is deduplicated by
+    the staging table's key).
+    """
+    body_size = len(PARTITION_BODY_PATTERNS[partition])
+    variants = [(0,)] if body_size == 1 else [(0,), (1,)]
+    plans = []
+    for delta_scans in variants:
+        plan, _, head = _mln_body_join(
+            partition, backend, mln_alias, delta_scans=delta_scans
+        )
+        plans.append(
+            Project(
+                plan,
+                [
+                    (col(f"{mln_alias}.R1"), "R"),
+                    (col(head["x"]), "x"),
+                    (col(f"{mln_alias}.C1"), "C1"),
+                    (col(head["y"]), "y"),
+                    (col(f"{mln_alias}.C2"), "C2"),
+                ],
+            )
+        )
+    return plans
+
+
+def ground_factors_plan(
+    partition: int,
+    backend: Backend,
+    mln_alias: str = "M",
+    mln_filter: Optional[Expr] = None,
+) -> PlanNode:
+    """Query 2-i: emit ground factors (I1, I2, I3, w) for partition i.
+
+    Joins the rule head back against TΠ to find the head fact's id.
+    Per Proposition 1 the output is duplicate-free, so factors merge
+    into TΦ with bag union.
+    """
+    plan, aliases, head = _mln_body_join(
+        partition, backend, mln_alias, mln_filter=mln_filter
+    )
+    head_scan = backend.tpi_scan("T1", ["x", "y"])
+    left_keys = [
+        f"{mln_alias}.R1",
+        f"{mln_alias}.C1",
+        f"{mln_alias}.C2",
+        head["x"],
+        head["y"],
+    ]
+    right_keys = ["T1.R", "T1.C1", "T1.C2", "T1.x", "T1.y"]
+    plan = HashJoin(plan, head_scan, left_keys, right_keys)
+
+    outputs = [(col("T1.I"), "I1")]
+    body_ids: List[Tuple[Expr, str]] = [
+        (col(f"{alias}.I"), f"I{slot + 2}") for slot, alias in enumerate(aliases)
+    ]
+    outputs.extend(body_ids)
+    if len(aliases) == 1:
+        outputs.append((const(None), "I3"))
+    outputs.append((col(f"{mln_alias}.w"), "w"))
+    return Project(plan, outputs)
+
+
+def singleton_factors_plan(backend: Backend) -> PlanNode:
+    """groundFactors(TΠ): the uncertain extracted facts (w NOT NULL)
+    become singleton factors (I, NULL, NULL, w)."""
+    from ..relational.expr import IsNull
+
+    scan = Scan("TP", "T")
+    filtered = Filter(scan, IsNull(col("T.w"), negated=True))
+    return Project(
+        filtered,
+        [
+            (col("T.I"), "I1"),
+            (const(None), "I2"),
+            (const(None), "I3"),
+            (col("T.w"), "w"),
+        ],
+    )
+
+
+def apply_constraints_key_plan(functionality_type: int) -> PlanNode:
+    """Query 3's subquery: entities violating functional constraints.
+
+    For Type I the result is the violating (x, C1) pairs — subjects
+    associated with more than δ objects under a functional relation;
+    Type II is the mirror image on (y, C2).
+    """
+    if functionality_type == 1:
+        entity_col, class_col = "T.x", "T.C1"
+        group_by = ["T.R", "T.x", "T.C1", "T.C2"]
+    elif functionality_type == 2:
+        entity_col, class_col = "T.y", "T.C2"
+        group_by = ["T.R", "T.y", "T.C2", "T.C1"]
+    else:
+        raise ValueError(f"functionality type must be 1 or 2, got {functionality_type}")
+
+    joined = HashJoin(
+        Scan("TP", "T"),
+        Filter(Scan("FC", "FC"), eq_const("FC.arg", functionality_type)),
+        ["T.R"],
+        ["FC.R"],
+    )
+    aggregated = Aggregate(
+        joined,
+        group_by=group_by,
+        aggregates=[("count", None, "n"), ("min", "FC.deg", "mindeg")],
+        having=Compare(">", col("n"), col("mindeg")),
+    )
+    projected = Project(
+        aggregated, [(col(entity_col), "x"), (col(class_col), "C1")]
+    )
+    return Distinct(projected)
+
+
+#: columns of TΠ deleted against for each functionality type
+CONSTRAINT_DELETE_COLUMNS = {1: ("x", "C1"), 2: ("y", "C2")}

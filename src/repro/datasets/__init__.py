@@ -1,0 +1,36 @@
+"""Datasets: the ReVerb-Sherlock stand-in generator, its ground-truth
+world and oracle judge, and the S1/S2 synthetic scale-out KBs."""
+
+from .io import load_kb, save_kb
+from .reverb_sherlock import (
+    GeneratedKB,
+    OracleJudge,
+    ReVerbSherlockConfig,
+    generate,
+)
+from .synthetic import s1_kb, s2_kb
+from .world import (
+    PLAUSIBLE,
+    SOUND,
+    World,
+    WorldConfig,
+    WorldRule,
+    apply_rules,
+)
+
+__all__ = [
+    "GeneratedKB",
+    "OracleJudge",
+    "PLAUSIBLE",
+    "ReVerbSherlockConfig",
+    "SOUND",
+    "World",
+    "WorldConfig",
+    "WorldRule",
+    "apply_rules",
+    "generate",
+    "load_kb",
+    "s1_kb",
+    "s2_kb",
+    "save_kb",
+]

@@ -1,0 +1,138 @@
+"""TSV serialization of knowledge bases.
+
+The on-disk layout mirrors how ReVerb/Sherlock artifacts ship: one
+facts file of weighted triples, one rules file of Horn clauses, one
+classes file, and one constraints file.  Useful for caching generated
+KBs and for inspecting them with standard tools.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Set, Tuple
+
+from ..core import (
+    Atom,
+    Fact,
+    FunctionalConstraint,
+    HornClause,
+    KnowledgeBase,
+    Relation,
+)
+
+FACTS_FILE = "facts.tsv"
+RULES_FILE = "rules.tsv"
+CLASSES_FILE = "classes.tsv"
+RELATIONS_FILE = "relations.tsv"
+CONSTRAINTS_FILE = "constraints.tsv"
+
+
+def save_kb(kb: KnowledgeBase, directory: str) -> None:
+    """Write a knowledge base as TSV files under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, CLASSES_FILE), "w") as handle:
+        for class_name in sorted(kb.classes):
+            for entity in sorted(kb.classes[class_name]):
+                handle.write(f"{class_name}\t{entity}\n")
+    with open(os.path.join(directory, RELATIONS_FILE), "w") as handle:
+        for relation in sorted(kb.relations.values(), key=lambda r: r.name):
+            handle.write(f"{relation.name}\t{relation.domain}\t{relation.range}\n")
+    with open(os.path.join(directory, FACTS_FILE), "w") as handle:
+        for fact in kb.facts:
+            weight = "" if fact.weight is None else repr(fact.weight)
+            handle.write(
+                f"{fact.relation}\t{fact.subject}\t{fact.subject_class}\t"
+                f"{fact.object}\t{fact.object_class}\t{weight}\n"
+            )
+    with open(os.path.join(directory, RULES_FILE), "w") as handle:
+        for rule in kb.rules:
+            handle.write(_rule_line(rule) + "\n")
+    with open(os.path.join(directory, CONSTRAINTS_FILE), "w") as handle:
+        for constraint in kb.constraints:
+            handle.write(
+                f"{constraint.relation}\t{constraint.arg}\t{constraint.degree}\n"
+            )
+
+
+def load_kb(directory: str) -> KnowledgeBase:
+    """Read a knowledge base written by :func:`save_kb`."""
+    classes: Dict[str, Set[str]] = {}
+    with open(os.path.join(directory, CLASSES_FILE)) as handle:
+        for line in handle:
+            class_name, entity = line.rstrip("\n").split("\t")
+            classes.setdefault(class_name, set()).add(entity)
+
+    relations: List[Relation] = []
+    with open(os.path.join(directory, RELATIONS_FILE)) as handle:
+        for line in handle:
+            name, domain, range_ = line.rstrip("\n").split("\t")
+            relations.append(Relation(name, domain, range_))
+
+    facts: List[Fact] = []
+    with open(os.path.join(directory, FACTS_FILE)) as handle:
+        for line in handle:
+            fields = line.rstrip("\n").split("\t")
+            relation, subject, subject_class, obj, object_class, weight = fields
+            facts.append(
+                Fact(
+                    relation,
+                    subject,
+                    subject_class,
+                    obj,
+                    object_class,
+                    float(weight) if weight else None,
+                )
+            )
+
+    rules: List[HornClause] = []
+    with open(os.path.join(directory, RULES_FILE)) as handle:
+        for line in handle:
+            rules.append(_parse_rule_line(line.rstrip("\n")))
+
+    constraints: List[FunctionalConstraint] = []
+    with open(os.path.join(directory, CONSTRAINTS_FILE)) as handle:
+        for line in handle:
+            relation, arg, degree = line.rstrip("\n").split("\t")
+            constraints.append(
+                FunctionalConstraint(relation, arg=int(arg), degree=int(degree))
+            )
+
+    return KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        rules=rules,
+        constraints=constraints,
+        validate=False,
+    )
+
+
+def _rule_line(rule: HornClause) -> str:
+    """``weight<TAB>score<TAB>head<TAB>body...<TAB>vars`` with atoms as
+    ``rel(a,b)`` and vars as ``x:Class,...``."""
+    atoms = [_atom_text(rule.head)] + [_atom_text(atom) for atom in rule.body]
+    vars_text = ",".join(f"{var}:{cls}" for var, cls in rule.var_classes)
+    return "\t".join([repr(rule.weight), repr(rule.score)] + atoms + [vars_text])
+
+
+def _atom_text(atom: Atom) -> str:
+    return f"{atom.relation}({atom.args[0]},{atom.args[1]})"
+
+
+def _parse_atom(text: str) -> Atom:
+    relation, _, args = text.partition("(")
+    first, second = args.rstrip(")").split(",")
+    return Atom(relation, (first, second))
+
+
+def _parse_rule_line(line: str) -> HornClause:
+    fields = line.split("\t")
+    weight, score = float(fields[0]), float(fields[1])
+    atoms = [_parse_atom(text) for text in fields[2:-1]]
+    var_classes = {}
+    for item in fields[-1].split(","):
+        var, _, cls = item.partition(":")
+        var_classes[var] = cls
+    return HornClause.make(
+        atoms[0], atoms[1:], weight, var_classes, score=score
+    )

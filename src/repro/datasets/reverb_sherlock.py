@@ -1,0 +1,541 @@
+"""The ReVerb-Sherlock knowledge base, synthesized with ground truth.
+
+The paper's primary dataset combines ReVerb Wikipedia extractions,
+Sherlock's 30,912 learned Horn clauses, and Leibniz's functional-
+relation repository.  Those artifacts cannot be shipped here, so this
+module generates a *calibrated stand-in*: a ground-truth world
+(:mod:`repro.datasets.world`), a noisy surface-level extraction layer,
+a Sherlock-style learned rule set with imperfect confidence scores, and
+a Leibniz-style constraint repository.  Every error source the paper
+analyses (Section 5, Figure 7(b)) is injected at a configurable rate:
+
+* **E1** incorrect extractions — corrupted facts;
+* **E2** incorrect rules — schema-valid but semantically wrong clauses;
+* **E3** ambiguous entities — several real entities sharing a surface
+  name; plus synonyms (one entity, two names) and general types
+  (a City extracted as merely a Place);
+* **E4** propagated errors — emerge on their own during inference.
+
+Because the generator knows the world, it also provides the
+:class:`OracleJudge` that replaces the paper's two human judges.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core import (
+    Atom,
+    Fact,
+    FunctionalConstraint,
+    HornClause,
+    KnowledgeBase,
+    Relation,
+    TYPE_I,
+    TYPE_II,
+)
+from .world import PLAUSIBLE, SOUND, World, WorldConfig, WorldRule, _PATTERN_ARGS
+
+Triple = Tuple[str, str, str]
+
+
+@dataclass
+class ReVerbSherlockConfig:
+    """Knobs for the generated KB; defaults give a laptop-scale KB with
+    the paper's error-source mix."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    #: fraction of true base facts that get extracted
+    extraction_rate: float = 0.9
+    #: E1: fraction of extracted facts corrupted
+    extraction_error_rate: float = 0.07
+    #: E3: number of ambiguous surface names (each merging 2-3 people);
+    #: ambiguity is pervasive in ReVerb people names (Section 5.2)
+    ambiguous_groups: int = 45
+    #: number of entities with a second (synonym) surface name
+    synonym_entities: int = 3
+    #: probability a City/Country object is typed merely as Place
+    general_type_rate: float = 0.03
+    #: E2: wrong rules per correct rule
+    wrong_rule_ratio: float = 0.35
+    #: open-domain noise: relations with facts but no rules (ReVerb has
+    #: 83K relations for 31K rules)
+    n_bulk_relations: int = 60
+    n_bulk_facts: int = 150
+    seed: int = 0
+
+
+@dataclass
+class GeneratedKB:
+    """The generated KB plus everything needed to audit it."""
+
+    kb: KnowledgeBase
+    world: World
+    config: ReVerbSherlockConfig
+    surface_to_reals: Dict[str, List[str]]
+    real_to_surface: Dict[str, str]
+    ambiguous_surfaces: FrozenSet[str]
+    synonym_surfaces: Dict[str, str]  # synonym surface -> primary surface
+    injected_error_keys: FrozenSet[Tuple[str, str, str, str, str]]
+    rule_is_correct: Dict[HornClause, bool]
+    judge: "OracleJudge"
+
+    def stats(self) -> Dict[str, int]:
+        return self.kb.stats()
+
+
+class OracleJudge:
+    """Ground-truth replacement for the paper's human judges.
+
+    Judges a surface-level fact by resolving its surface names to the
+    real entities they may denote and checking the world's closures:
+    *correct* if some interpretation is in the sound closure, *probable*
+    if some is in the plausible closure, otherwise *incorrect*.
+    """
+
+    def __init__(self, world: World, surface_to_reals: Dict[str, List[str]]):
+        self.world = world
+        self.surface_to_reals = surface_to_reals
+
+    def judge(self, fact: Fact) -> str:
+        subjects = self._resolve(fact.subject, fact.subject_class)
+        objects = self._resolve(fact.object, fact.object_class)
+        best = "incorrect"
+        for subject in subjects:
+            for obj in objects:
+                verdict = self.world.judge_triple((fact.relation, subject, obj))
+                if verdict == "correct":
+                    return "correct"
+                if verdict == "probable":
+                    best = "probable"
+        return best
+
+    def is_acceptable(self, fact: Fact) -> bool:
+        """The paper's precision counts correct + probable facts."""
+        return self.judge(fact) != "incorrect"
+
+    def _resolve(self, surface: str, class_name: str) -> List[str]:
+        candidates = self.surface_to_reals.get(surface, [])
+        return [
+            real
+            for real in candidates
+            if class_name in self.world.classes_of(real)
+        ]
+
+
+def generate(config: Optional[ReVerbSherlockConfig] = None) -> GeneratedKB:
+    """Generate the full noisy KB with its oracle."""
+    config = config or ReVerbSherlockConfig()
+    world = World(config.world)
+    rng = random.Random(config.seed + 1)
+
+    surface_to_reals, real_to_surface, ambiguous, synonyms = _build_surfaces(
+        world, config, rng
+    )
+    facts, injected_errors, relation_signatures = _extract_facts(
+        world, config, rng, real_to_surface, synonyms
+    )
+    _add_bulk_relations(world, config, rng, real_to_surface, facts, relation_signatures)
+    rules, rule_is_correct = _learn_rules(world, config, rng, relation_signatures)
+    constraints = _leibniz_constraints()
+    classes = _surface_classes(world, surface_to_reals)
+    relations = [
+        Relation(name, domain, range_)
+        for name, signatures in relation_signatures.items()
+        for domain, range_ in sorted(signatures)
+    ]
+
+    kb = KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        rules=rules,
+        constraints=constraints,
+    )
+    judge = OracleJudge(world, surface_to_reals)
+    return GeneratedKB(
+        kb=kb,
+        world=world,
+        config=config,
+        surface_to_reals=surface_to_reals,
+        real_to_surface=real_to_surface,
+        ambiguous_surfaces=frozenset(ambiguous),
+        synonym_surfaces=synonyms,
+        injected_error_keys=frozenset(injected_errors),
+        rule_is_correct=rule_is_correct,
+        judge=judge,
+    )
+
+
+# -- surfaces ------------------------------------------------------------------
+
+
+def _build_surfaces(world: World, config: ReVerbSherlockConfig, rng: random.Random):
+    """Assign surface names; inject ambiguity (shared names) and
+    synonyms (extra names)."""
+    real_to_surface: Dict[str, str] = {}
+    surface_to_reals: Dict[str, List[str]] = defaultdict(list)
+    ambiguous: Set[str] = set()
+    synonyms: Dict[str, str] = {}
+
+    people = list(world.people)
+    rng.shuffle(people)
+    index = 0
+    for group in range(config.ambiguous_groups):
+        group_size = rng.choice((2, 2, 3))
+        members = people[index : index + group_size]
+        if len(members) < 2:
+            break
+        index += group_size
+        shared = f"amb_person_{group}"
+        ambiguous.add(shared)
+        for member in members:
+            real_to_surface[member] = shared
+            surface_to_reals[shared].append(member)
+
+    for entity in (
+        world.people + world.cities + world.countries + world.districts + world.organizations
+    ):
+        if entity in real_to_surface:
+            continue
+        real_to_surface[entity] = entity
+        surface_to_reals[entity].append(entity)
+
+    # synonyms: a second surface for some cities (e.g. "NYC"/"New York")
+    candidates = [c for c in world.cities]
+    rng.shuffle(candidates)
+    for city in candidates[: config.synonym_entities]:
+        alias = f"{city}_aka"
+        synonyms[alias] = city
+        surface_to_reals[alias].append(city)
+
+    return dict(surface_to_reals), real_to_surface, ambiguous, synonyms
+
+
+def _pick_classes(
+    world: World,
+    config: ReVerbSherlockConfig,
+    rng: random.Random,
+    entity: str,
+) -> str:
+    """The class an extraction assigns to an entity mention: usually the
+    most specific one, occasionally a general type."""
+    classes = world.classes_of(entity)
+    if len(classes) > 1 and rng.random() < config.general_type_rate:
+        return classes[-1]  # the general type (Place)
+    return classes[0]
+
+
+# -- extraction -----------------------------------------------------------------
+
+
+def _extract_facts(
+    world: World,
+    config: ReVerbSherlockConfig,
+    rng: random.Random,
+    real_to_surface: Dict[str, str],
+    synonyms: Dict[str, str],
+):
+    """Extract the base facts with weights and injected E1 errors."""
+    facts: List[Fact] = []
+    injected_errors: Set[Tuple[str, str, str, str, str]] = set()
+    relation_signatures: Dict[str, Set[Tuple[str, str]]] = defaultdict(set)
+    synonym_of: Dict[str, List[str]] = defaultdict(list)
+    for alias, primary in synonyms.items():
+        synonym_of[primary].append(alias)
+
+    pool: Dict[str, List[str]] = {
+        "Person": world.people,
+        "Place": world.districts + world.cities,
+        "City": world.cities,
+        "Country": world.countries,
+        "Organization": world.organizations,
+    }
+
+    for triple in sorted(world.true_facts):
+        if rng.random() > config.extraction_rate:
+            continue
+        relation, subject_real, object_real = triple
+        subject = real_to_surface[subject_real]
+        obj = real_to_surface[object_real]
+        if synonym_of.get(object_real) and rng.random() < 0.5:
+            obj = rng.choice(synonym_of[object_real])
+        subject_class = _pick_classes(world, config, rng, subject_real)
+        object_class = _pick_classes(world, config, rng, object_real)
+
+        corrupt = rng.random() < config.extraction_error_rate
+        if corrupt:
+            # E1: the extractor mangled the object
+            candidates = pool.get(object_class) or world.cities
+            wrong_object_real = rng.choice(candidates)
+            obj = real_to_surface[wrong_object_real]
+            weight = round(rng.uniform(0.3, 0.85), 2)
+        else:
+            weight = round(rng.uniform(0.6, 0.99), 2)
+
+        fact = Fact(relation, subject, subject_class, obj, object_class, weight)
+        facts.append(fact)
+        relation_signatures[relation].add((subject_class, object_class))
+        if corrupt and world.judge_triple(
+            (relation, subject_real, _first_real(obj, real_to_surface, synonyms))
+        ) == "incorrect":
+            injected_errors.add(fact.key)
+    return facts, injected_errors, relation_signatures
+
+
+def _first_real(surface: str, real_to_surface, synonyms) -> str:
+    if surface in synonyms:
+        return synonyms[surface]
+    return surface
+
+
+def _add_bulk_relations(
+    world: World,
+    config: ReVerbSherlockConfig,
+    rng: random.Random,
+    real_to_surface: Dict[str, str],
+    facts: List[Fact],
+    relation_signatures: Dict[str, Set[Tuple[str, str]]],
+) -> None:
+    """Open-domain noise: many relations that no rule ever mentions."""
+    entities = world.people + world.cities + world.organizations
+    for bulk in range(config.n_bulk_relations):
+        relation = f"bulk_rel_{bulk}"
+        relation_signatures[relation]  # register even if no facts drawn
+        for _ in range(max(1, config.n_bulk_facts // max(1, config.n_bulk_relations))):
+            subject_real = rng.choice(entities)
+            object_real = rng.choice(entities)
+            subject = real_to_surface[subject_real]
+            obj = real_to_surface[object_real]
+            subject_class = world.classes_of(subject_real)[0]
+            object_class = world.classes_of(object_real)[0]
+            facts.append(
+                Fact(
+                    relation,
+                    subject,
+                    subject_class,
+                    obj,
+                    object_class,
+                    round(rng.uniform(0.5, 0.95), 2),
+                )
+            )
+            relation_signatures[relation].add((subject_class, object_class))
+
+
+# -- rule learning (Sherlock stand-in) -----------------------------------------------
+
+
+def _learn_rules(
+    world: World,
+    config: ReVerbSherlockConfig,
+    rng: random.Random,
+    relation_signatures: Dict[str, Set[Tuple[str, str]]],
+):
+    """Instantiate correct rules over observed class signatures, then
+    add schema-valid wrong rules with overlapping confidence scores."""
+    correct_rules: List[HornClause] = []
+    seen: Set[Tuple] = set()
+    world_rules = world.sound_rules + world.plausible_rules
+    for world_rule in world_rules:
+        for clause in _instantiate(world_rule, relation_signatures, rng):
+            identity = _rule_identity(clause)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            correct_rules.append(clause)
+
+    # weak geography-from-people rules: these ARE in the real Sherlock
+    # set (the paper's Table 1 carries located_in(x,y) <- born_in(z,x) ∧
+    # born_in(z,y) at weight 0.52).  With clean entities they are often
+    # right; with ambiguous join keys they mass-produce wrong geography
+    # that then cascades through the sound transitivity rules (Fig 5a).
+    weak_geo: List[HornClause] = []
+    for head, q_rel, r_rel in (
+        ("located_in", "born_in", "born_in"),
+        ("located_in", "live_in", "live_in"),
+        ("located_in", "grow_up_in", "live_in"),
+        ("capital_of", "born_in", "live_in"),
+    ):
+        template = WorldRule(head, (q_rel, r_rel), pattern=3)
+        for clause in _instantiate(template, relation_signatures, rng):
+            head_sig = (clause.classes["x"], clause.classes["y"])
+            identity = _rule_identity(clause)
+            if identity in seen:
+                continue
+            if head_sig not in relation_signatures.get(head, ()):
+                continue
+            seen.add(identity)
+            weak_geo.append(clause)
+
+    n_wrong = int(len(correct_rules) * config.wrong_rule_ratio)
+    wrong_rules = _make_wrong_rules(
+        relation_signatures, rng, seen, n_wrong, world_rules
+    )
+
+    rule_is_correct: Dict[HornClause, bool] = {}
+    rules: List[HornClause] = []
+    for clause in correct_rules:
+        scored = _with_weight_and_score(
+            clause, weight=rng.gauss(1.5, 0.4), score=min(0.99, max(0.2, rng.gauss(0.78, 0.13)))
+        )
+        rules.append(scored)
+        rule_is_correct[scored] = True
+    for clause in weak_geo:
+        scored = _with_weight_and_score(
+            clause, weight=rng.gauss(0.45, 0.1), score=min(0.99, max(0.02, rng.gauss(0.5, 0.15)))
+        )
+        rules.append(scored)
+        rule_is_correct[scored] = False
+    for clause in wrong_rules:
+        scored = _with_weight_and_score(
+            clause, weight=rng.gauss(0.9, 0.4), score=min(0.99, max(0.02, rng.gauss(0.42, 0.18)))
+        )
+        rules.append(scored)
+        rule_is_correct[scored] = False
+    rng.shuffle(rules)
+    return rules, rule_is_correct
+
+
+def _instantiate(
+    world_rule: WorldRule,
+    relation_signatures: Dict[str, Set[Tuple[str, str]]],
+    rng: random.Random,
+    max_per_rule: int = 12,
+) -> List[HornClause]:
+    """Typed instantiations of one world rule over observed signatures."""
+    args = _PATTERN_ARGS[world_rule.pattern]
+    results: List[HornClause] = []
+    if len(world_rule.body) == 1:
+        q_rel = world_rule.body[0]
+        for signature in sorted(relation_signatures.get(q_rel, ())):
+            binding = dict(zip(args[0], signature))
+            clause = _build_clause(world_rule, binding)
+            if clause is not None:
+                results.append(clause)
+    else:
+        q_rel, r_rel = world_rule.body
+        q_args, r_args = args
+        combos = []
+        for q_sig in sorted(relation_signatures.get(q_rel, ())):
+            for r_sig in sorted(relation_signatures.get(r_rel, ())):
+                binding: Dict[str, str] = {}
+                ok = True
+                for var, cls in list(zip(q_args, q_sig)) + list(zip(r_args, r_sig)):
+                    if binding.setdefault(var, cls) != cls:
+                        ok = False
+                        break
+                if ok:
+                    combos.append(binding)
+        rng.shuffle(combos)
+        for binding in combos[:max_per_rule]:
+            clause = _build_clause(world_rule, binding)
+            if clause is not None:
+                results.append(clause)
+    return results
+
+
+def _build_clause(world_rule: WorldRule, binding: Dict[str, str]) -> Optional[HornClause]:
+    args = _PATTERN_ARGS[world_rule.pattern]
+    if set(binding) < ({"x", "y"} | ({"z"} if len(args) == 2 else set())):
+        return None
+    head = Atom(world_rule.head, ("x", "y"))
+    body = [
+        Atom(rel, arg_pair)
+        for rel, arg_pair in zip(world_rule.body, args)
+    ]
+    return HornClause.make(head, body, weight=1.0, var_classes=binding)
+
+
+def _make_wrong_rules(
+    relation_signatures: Dict[str, Set[Tuple[str, str]]],
+    rng: random.Random,
+    seen: Set[Tuple],
+    count: int,
+    world_rules: Sequence[WorldRule],
+) -> List[HornClause]:
+    """E2: schema-valid clauses that do not hold in the world, built by
+    re-heading correct rule bodies (the paper's example: capital_of(x,y)
+    <- born_in(z,x) ∧ born_in(z,y))."""
+    named = [r for r in relation_signatures if not r.startswith("bulk_")]
+    wrong: List[HornClause] = []
+    attempts = 0
+    while len(wrong) < count and attempts < count * 60:
+        attempts += 1
+        template = rng.choice(world_rules)
+        head_rel = rng.choice(named)
+        candidate = WorldRule(head_rel, template.body, template.pattern)
+        clauses = _instantiate(candidate, relation_signatures, rng, max_per_rule=2)
+        if not clauses:
+            continue
+        clause = rng.choice(clauses)
+        # must not coincide with a correct rule, and the head signature
+        # must be one the relation actually uses (schema-valid)
+        identity = _rule_identity(clause)
+        head_sig = (clause.classes["x"], clause.classes["y"])
+        if identity in seen:
+            continue
+        if head_sig not in relation_signatures.get(head_rel, ()):  # implausible schema
+            continue
+        if _is_true_rule(candidate, world_rules):
+            continue
+        seen.add(identity)
+        wrong.append(clause)
+    return wrong
+
+
+def _is_true_rule(candidate: WorldRule, world_rules: Sequence[WorldRule]) -> bool:
+    return any(
+        candidate.head == rule.head
+        and candidate.body == rule.body
+        and candidate.pattern == rule.pattern
+        for rule in world_rules
+    )
+
+
+def _rule_identity(clause: HornClause) -> Tuple:
+    return (
+        clause.head.relation,
+        tuple((a.relation, a.args) for a in clause.body),
+        clause.var_classes,
+    )
+
+
+def _with_weight_and_score(clause: HornClause, weight: float, score: float) -> HornClause:
+    return HornClause(
+        head=clause.head,
+        body=clause.body,
+        weight=round(max(0.1, weight), 2),
+        var_classes=clause.var_classes,
+        score=round(score, 3),
+    )
+
+
+# -- constraints (Leibniz stand-in) ----------------------------------------------------
+
+
+def _leibniz_constraints() -> List[FunctionalConstraint]:
+    """Functional and pseudo-functional relations, as Leibniz provides
+    in the paper (plus hand-labelled pseudo-functional degrees)."""
+    return [
+        FunctionalConstraint("born_in", arg=TYPE_I, degree=1),
+        FunctionalConstraint("grow_up_in", arg=TYPE_I, degree=1),
+        FunctionalConstraint("located_in", arg=TYPE_I, degree=1),
+        FunctionalConstraint("headquartered_in", arg=TYPE_I, degree=1),
+        FunctionalConstraint("capital_of", arg=TYPE_II, degree=1),
+        # pseudo-functional: up to two residences per class pair
+        FunctionalConstraint("live_in", arg=TYPE_I, degree=2),
+    ]
+
+
+def _surface_classes(
+    world: World, surface_to_reals: Dict[str, List[str]]
+) -> Dict[str, Set[str]]:
+    classes: Dict[str, Set[str]] = defaultdict(set)
+    for surface, reals in surface_to_reals.items():
+        for real in reals:
+            for class_name in world.classes_of(real):
+                classes[class_name].add(surface)
+    return dict(classes)

@@ -1,0 +1,141 @@
+"""Loopy belief propagation (sum-product) on ground factor graphs.
+
+An alternative marginal-inference engine (the paper cites residual/loopy
+BP among the applicable algorithms).  Messages are kept in normalized
+probability space with damping for stability on loopy graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .factor_graph import ClauseFactor, FactorGraph
+
+
+@dataclass
+class BPResult:
+    marginals: Dict[int, float]
+    iterations: int
+    converged: bool
+    max_residual: float
+
+
+def bp_marginals(
+    graph: FactorGraph,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    damping: float = 0.3,
+) -> BPResult:
+    """Run sum-product BP; returns P(X=1) keyed by external id.
+
+    On tree-structured graphs the result is exact; on loopy graphs it is
+    the usual loopy-BP approximation.
+    """
+    n_vars = graph.num_variables
+    if n_vars == 0:
+        return BPResult({}, 0, True, 0.0)
+
+    # edges: (factor_id, slot) <-> variable
+    edges: List[Tuple[int, int, int]] = []  # (factor, slot, var)
+    for factor_id, factor in enumerate(graph.factors):
+        for slot, var in enumerate(factor.variables):
+            edges.append((factor_id, slot, var))
+
+    # message[(factor, slot)] = factor->variable message (p0, p1)
+    msg_fv: Dict[Tuple[int, int], Tuple[float, float]] = {
+        (f, s): (0.5, 0.5) for f, s, _ in edges
+    }
+    # message[(factor, slot)] = variable->factor message (p0, p1)
+    msg_vf: Dict[Tuple[int, int], Tuple[float, float]] = {
+        (f, s): (0.5, 0.5) for f, s, _ in edges
+    }
+
+    var_edges: List[List[Tuple[int, int]]] = [[] for _ in range(n_vars)]
+    for factor_id, slot, var in edges:
+        var_edges[var].append((factor_id, slot))
+
+    factors = graph.factors
+    max_residual = math.inf
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        max_residual = 0.0
+        # variable -> factor
+        for var in range(n_vars):
+            for factor_id, slot in var_edges[var]:
+                p0, p1 = 1.0, 1.0
+                for other_factor, other_slot in var_edges[var]:
+                    if (other_factor, other_slot) == (factor_id, slot):
+                        continue
+                    m0, m1 = msg_fv[(other_factor, other_slot)]
+                    p0 *= m0
+                    p1 *= m1
+                msg_vf[(factor_id, slot)] = _normalize(p0, p1)
+        # factor -> variable
+        for factor_id, factor in enumerate(factors):
+            arity = len(factor.variables)
+            for slot in range(arity):
+                p0, p1 = 0.0, 0.0
+                for assignment in itertools.product((0, 1), repeat=arity):
+                    weight = _potential(factor, assignment)
+                    for other_slot in range(arity):
+                        if other_slot == slot:
+                            continue
+                        m = msg_vf[(factor_id, other_slot)]
+                        weight *= m[assignment[other_slot]]
+                    if assignment[slot]:
+                        p1 += weight
+                    else:
+                        p0 += weight
+                new = _normalize(p0, p1)
+                old = msg_fv[(factor_id, slot)]
+                damped = _normalize(
+                    damping * old[0] + (1 - damping) * new[0],
+                    damping * old[1] + (1 - damping) * new[1],
+                )
+                max_residual = max(max_residual, abs(damped[1] - old[1]))
+                msg_fv[(factor_id, slot)] = damped
+        if max_residual < tolerance:
+            break
+
+    marginals = {}
+    for var in range(n_vars):
+        p0, p1 = 1.0, 1.0
+        for factor_id, slot in var_edges[var]:
+            m0, m1 = msg_fv[(factor_id, slot)]
+            p0 *= m0
+            p1 *= m1
+            if p0 + p1 < 1e-280:  # renormalize to avoid underflow
+                p0, p1 = _normalize(p0, p1)
+        p0, p1 = _normalize(p0, p1)
+        marginals[graph.external_id(var)] = p1
+    return BPResult(
+        marginals=marginals,
+        iterations=iteration,
+        converged=max_residual < tolerance,
+        max_residual=max_residual,
+    )
+
+
+def _potential(factor: ClauseFactor, assignment: Tuple[int, ...]) -> float:
+    """Factor value e^W (satisfied) or 1, over the factor's own slots.
+
+    ``assignment`` is indexed by slot: slot 0 is the head, the rest the
+    body — mirror of :meth:`ClauseFactor.satisfied` on local indexes.
+    """
+    if len(assignment) == 1:
+        satisfied = bool(assignment[0])
+    elif all(assignment[1:]):
+        satisfied = bool(assignment[0])
+    else:
+        satisfied = True
+    return math.exp(factor.weight) if satisfied else 1.0
+
+
+def _normalize(p0: float, p1: float) -> Tuple[float, float]:
+    total = p0 + p1
+    if total <= 0:
+        return (0.5, 0.5)
+    return (p0 / total, p1 / total)

@@ -1,0 +1,163 @@
+"""Ground factor graphs for MLN marginal inference.
+
+ProbKB's grounding produces the factor table ``TΦ`` whose rows
+``(I1, I2, I3, w)`` each denote a weighted ground clause
+``I1 ← I2 ∧ I3`` (``I2``/``I3`` may be NULL for singleton or length-2
+factors).  Per Section 2.2, the factor's value is ``e^w`` when the ground
+clause is *satisfied* and ``1`` otherwise, so the joint distribution is
+``P(x) ∝ exp(Σ_i w_i n_i(x))``.
+
+This module turns those rows into an explicit factor graph consumable by
+the Gibbs sampler, belief propagation, and the exact enumerator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ClauseFactor:
+    """A weighted ground Horn clause ``head ← body[0] ∧ body[1] ∧ ...``.
+
+    ``head`` and ``body`` are *variable indexes* into the graph.  A
+    singleton factor (an uncertain extracted fact) is represented with an
+    empty body: the clause reduces to the atom itself, so the factor is
+    ``e^w`` when the variable is true.
+    """
+
+    head: int
+    body: Tuple[int, ...]
+    weight: float
+
+    @property
+    def variables(self) -> Tuple[int, ...]:
+        return (self.head,) + self.body
+
+    def satisfied(self, assignment: Sequence[int]) -> bool:
+        """Is the ground clause true under the 0/1 ``assignment``?"""
+        if not self.body:
+            return bool(assignment[self.head])
+        if all(assignment[var] for var in self.body):
+            return bool(assignment[self.head])
+        return True  # body false -> implication vacuously true
+
+    def log_potential(self, assignment: Sequence[int]) -> float:
+        return self.weight if self.satisfied(assignment) else 0.0
+
+
+class FactorGraph:
+    """A ground factor graph over binary variables.
+
+    Variables are registered with external ids (ProbKB fact ids); all
+    computation uses dense 0-based indexes.
+    """
+
+    def __init__(self) -> None:
+        self._index_of: Dict[int, int] = {}
+        self._id_of: List[int] = []
+        self.factors: List[ClauseFactor] = []
+        self._adjacency: Optional[List[List[int]]] = None
+
+    # -- construction --------------------------------------------------------
+
+    def variable(self, external_id: int) -> int:
+        """Register (or look up) a variable; returns its dense index."""
+        index = self._index_of.get(external_id)
+        if index is None:
+            index = len(self._id_of)
+            self._index_of[external_id] = index
+            self._id_of.append(external_id)
+            self._adjacency = None
+        return index
+
+    def add_clause(
+        self,
+        head_id: int,
+        body_ids: Sequence[int],
+        weight: float,
+    ) -> ClauseFactor:
+        if not math.isfinite(weight):
+            # Hard rules (weight ±∞) belong to the constraint set Ω and are
+            # enforced by quality control, never grounded into TΦ.
+            raise ValueError(
+                f"factor weights must be finite, got {weight!r}; "
+                "hard rules are handled as semantic constraints"
+            )
+        factor = ClauseFactor(
+            head=self.variable(head_id),
+            body=tuple(self.variable(b) for b in body_ids),
+            weight=float(weight),
+        )
+        self.factors.append(factor)
+        self._adjacency = None
+        return factor
+
+    @classmethod
+    def from_factor_rows(
+        cls, rows: Iterable[Tuple[Optional[int], Optional[int], Optional[int], float]]
+    ) -> "FactorGraph":
+        """Build a graph from TΦ rows ``(I1, I2, I3, w)``.
+
+        ``I2``/``I3`` may be ``None``; ``w`` must not be (facts with
+        undetermined weights do not generate factors).
+        """
+        graph = cls()
+        for head, body2, body3, weight in rows:
+            if head is None or weight is None:
+                raise ValueError(f"malformed factor row {(head, body2, body3, weight)}")
+            body = [b for b in (body2, body3) if b is not None]
+            graph.add_clause(head, body, weight)
+        return graph
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._id_of)
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.factors)
+
+    def external_id(self, index: int) -> int:
+        return self._id_of[index]
+
+    def external_ids(self) -> List[int]:
+        return list(self._id_of)
+
+    def factors_touching(self) -> List[List[int]]:
+        """For each variable index, the indexes of factors mentioning it."""
+        if self._adjacency is None:
+            adjacency: List[List[int]] = [[] for _ in range(self.num_variables)]
+            for factor_id, factor in enumerate(self.factors):
+                for var in set(factor.variables):
+                    adjacency[var].append(factor_id)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def neighbors(self) -> List[List[int]]:
+        """For each variable, the other variables sharing a factor."""
+        touching = self.factors_touching()
+        result: List[List[int]] = []
+        for var, factor_ids in enumerate(touching):
+            seen = set()
+            for factor_id in factor_ids:
+                seen.update(self.factors[factor_id].variables)
+            seen.discard(var)
+            result.append(sorted(seen))
+        return result
+
+    # -- scoring -----------------------------------------------------------------
+
+    def log_score(self, assignment: Sequence[int]) -> float:
+        """Unnormalized log probability ``Σ_i W_i n_i(x)``."""
+        return sum(factor.log_potential(assignment) for factor in self.factors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FactorGraph({self.num_variables} variables, "
+            f"{self.num_factors} factors)"
+        )

@@ -1,0 +1,132 @@
+"""Approximate MAP inference: the most likely world.
+
+ProbKB uses marginal inference in production (Section 2.2), but the
+paper names maximum a posteriori (MAP) inference as the other standard
+task.  This module provides two scalable approximations validated
+against the exact enumerator on small graphs:
+
+* :func:`icm_map` — iterated conditional modes: greedy coordinate
+  ascent; fast, converges to a local optimum.
+* :func:`annealed_map` — Gibbs sampling with a geometric temperature
+  schedule (simulated annealing), escaping local optima at the price of
+  more sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .factor_graph import FactorGraph
+
+
+@dataclass
+class MAPResult:
+    """An assignment with its unnormalized log score."""
+
+    assignment: Dict[int, int]  # external id -> 0/1
+    log_score: float
+    sweeps: int
+
+    def true_facts(self) -> List[int]:
+        return sorted(fid for fid, value in self.assignment.items() if value)
+
+
+def _local_delta(graph: FactorGraph, touching, state: List[int], var: int) -> float:
+    """log score(x_var=1) - log score(x_var=0) given the rest of state.
+
+    Restores ``state[var]`` before returning.
+    """
+    original = state[var]
+    delta = 0.0
+    for factor_id in touching[var]:
+        factor = graph.factors[factor_id]
+        state[var] = 1
+        delta += factor.log_potential(state)
+        state[var] = 0
+        delta -= factor.log_potential(state)
+    state[var] = original
+    return delta
+
+
+def icm_map(
+    graph: FactorGraph,
+    max_sweeps: int = 100,
+    initial_state: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> MAPResult:
+    """Iterated conditional modes: flip each variable to its locally
+    best value until a full sweep changes nothing."""
+    n = graph.num_variables
+    rng = random.Random(seed)
+    state = (
+        list(initial_state)
+        if initial_state is not None
+        else [rng.randint(0, 1) for _ in range(n)]
+    )
+    touching = graph.factors_touching()
+    sweeps = 0
+    for sweeps in range(1, max_sweeps + 1):
+        changed = False
+        for var in range(n):
+            delta = _local_delta(graph, touching, state, var)
+            # ties keep the current value: strict ascent cannot cycle
+            best = 1 if delta > 0 else 0 if delta < 0 else state[var]
+            if state[var] != best:
+                state[var] = best
+                changed = True
+            else:
+                state[var] = best
+        if not changed:
+            break
+    assignment = {graph.external_id(v): state[v] for v in range(n)}
+    return MAPResult(assignment, graph.log_score(state), sweeps)
+
+
+def annealed_map(
+    graph: FactorGraph,
+    num_sweeps: int = 300,
+    initial_temperature: float = 2.0,
+    final_temperature: float = 0.05,
+    seed: int = 0,
+) -> MAPResult:
+    """Simulated annealing over the MLN energy.
+
+    Samples each variable from the tempered conditional and tracks the
+    best state seen; finishes with an ICM polish from that state.
+    """
+    n = graph.num_variables
+    if n == 0:
+        return MAPResult({}, 0.0, 0)
+    rng = random.Random(seed)
+    state = [rng.randint(0, 1) for _ in range(n)]
+    touching = graph.factors_touching()
+    best_state = list(state)
+    best_score = graph.log_score(state)
+    if num_sweeps > 1:
+        cooling = (final_temperature / initial_temperature) ** (1 / (num_sweeps - 1))
+    else:
+        cooling = 1.0
+    temperature = initial_temperature
+    for _ in range(num_sweeps):
+        for var in range(n):
+            delta = _local_delta(graph, touching, state, var) / temperature
+            if delta > 35:
+                p_true = 1.0
+            elif delta < -35:
+                p_true = 0.0
+            else:
+                p_true = 1.0 / (1.0 + math.exp(-delta))
+            state[var] = 1 if rng.random() < p_true else 0
+        score = graph.log_score(state)
+        if score > best_score:
+            best_score = score
+            best_state = list(state)
+        temperature *= cooling
+    polished = icm_map(graph, initial_state=best_state, seed=seed)
+    if polished.log_score >= best_score:
+        return MAPResult(polished.assignment, polished.log_score, num_sweeps)
+    assignment = {graph.external_id(v): best_state[v] for v in range(n)}
+    return MAPResult(assignment, best_score, num_sweeps)

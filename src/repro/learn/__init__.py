@@ -1,0 +1,21 @@
+"""Weight learning for the MLN rules (pseudo-likelihood, tied weights)."""
+
+from .weights import (
+    LearningResult,
+    TiedGraph,
+    build_tied_graph,
+    learn_weights,
+    observed_from_judge,
+    pseudo_log_likelihood,
+    reweighted_rules,
+)
+
+__all__ = [
+    "LearningResult",
+    "TiedGraph",
+    "build_tied_graph",
+    "learn_weights",
+    "observed_from_judge",
+    "pseudo_log_likelihood",
+    "reweighted_rules",
+]

@@ -1,0 +1,26 @@
+"""Shared-nothing MPP database simulator (the Greenplum stand-in)."""
+
+from .cluster import MPPDatabase, MPPTable, Shards
+from .distribution import (
+    DistributionPolicy,
+    HashDistribution,
+    RandomDistribution,
+    ReplicatedDistribution,
+    partition_rows,
+    stable_hash,
+)
+from .plannodes import DistDesc, PhysicalNode
+
+__all__ = [
+    "DistDesc",
+    "DistributionPolicy",
+    "HashDistribution",
+    "MPPDatabase",
+    "MPPTable",
+    "PhysicalNode",
+    "RandomDistribution",
+    "ReplicatedDistribution",
+    "Shards",
+    "partition_rows",
+    "stable_hash",
+]

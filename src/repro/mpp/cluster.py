@@ -1,0 +1,1014 @@
+"""The shared-nothing MPP database simulator (the Greenplum stand-in).
+
+An :class:`MPPDatabase` holds hash/replicated/randomly distributed tables
+across N segments, executes the same logical plans as the single-node
+engine, and inserts *motion* operators (redistribute/broadcast/gather)
+whenever a join, aggregate, or distinct is not collocated.  Motion rows
+are charged shipping costs on the receiving segments; the simulated
+elapsed time of a statement is the per-statement overhead plus the
+*maximum* per-segment work — i.e. ideal parallel execution, which is what
+the paper's Greenplum numbers approximate.
+
+Motion decisions are made adaptively from actual intermediate sizes,
+standing in for Greenplum's statistics-driven planner.  Every executed
+statement records its physical plan (:mod:`repro.mpp.plannodes`) for
+EXPLAIN ANALYZE output reproducing the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..relational.cost import CostClock
+from ..relational.executor import Result, _aggregate
+from ..relational.expr import resolve_column
+from ..relational.plan import (
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+    Values,
+    walk,
+)
+from ..relational.schema import TableSchema
+from ..relational.table import Table
+from ..relational.types import ExecutionError, Row, ensure
+from .distribution import (
+    DistributionPolicy,
+    HashDistribution,
+    RandomDistribution,
+    ReplicatedDistribution,
+    partition_rows,
+    stable_hash,
+)
+from .plannodes import DistDesc, PhysicalNode
+
+
+class MPPTable:
+    """A table partitioned (or replicated) across segments."""
+
+    def __init__(
+        self,
+        table_schema: TableSchema,
+        policy: DistributionPolicy,
+        nseg: int,
+    ) -> None:
+        self.schema = table_schema
+        self.policy = policy
+        self.parts: List[Table] = [Table(table_schema) for _ in range(nseg)]
+        if policy.key_columns is not None:
+            self.key_positions = table_schema.positions(policy.key_columns)
+            if table_schema.unique_key is not None:
+                ensure(
+                    set(policy.key_columns) <= set(table_schema.unique_key),
+                    ExecutionError,
+                    f"distribution key of {table_schema.name!r} must be a "
+                    "subset of its unique key for per-segment dedup to be "
+                    "globally correct",
+                )
+        else:
+            self.key_positions = ()
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        if isinstance(self.policy, ReplicatedDistribution):
+            return len(self.parts[0])
+        return sum(len(part) for part in self.parts)
+
+    def all_rows(self) -> List[Row]:
+        if isinstance(self.policy, ReplicatedDistribution):
+            return list(self.parts[0].rows)
+        rows: List[Row] = []
+        for part in self.parts:
+            rows.extend(part.rows)
+        return rows
+
+
+class Shards:
+    """A distributed intermediate result."""
+
+    __slots__ = ("columns", "parts", "dist")
+
+    def __init__(self, columns: List[str], parts: List[List[Row]], dist: DistDesc):
+        self.columns = columns
+        self.parts = parts
+        self.dist = dist
+
+    @property
+    def total_rows(self) -> int:
+        if self.dist.kind == "replicated":
+            return len(self.parts[0])
+        return sum(len(part) for part in self.parts)
+
+    def gathered(self) -> List[Row]:
+        if self.dist.kind == "replicated":
+            return list(self.parts[0])
+        rows: List[Row] = []
+        for part in self.parts:
+            rows.extend(part)
+        return rows
+
+
+class MPPDatabase:
+    """A simulated shared-nothing MPP cluster."""
+
+    def __init__(self, nseg: int = 8, name: str = "mpp") -> None:
+        ensure(nseg >= 1, ExecutionError, "need at least one segment")
+        self.name = name
+        self.nseg = nseg
+        self.tables: Dict[str, MPPTable] = {}
+        self.segment_clocks = [CostClock() for _ in range(nseg)]
+        self.master_clock = CostClock()
+        #: simulated elapsed seconds (parallel time), accumulated per query
+        self.elapsed_seconds = 0.0
+        self.last_plan: Optional[PhysicalNode] = None
+        self._matview_sources: Dict[str, str] = {}
+        #: mirror tables kept in sync with a source table's DML —
+        #: how redistributed matviews stay fresh incrementally
+        self._mirrors: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(
+        self,
+        table_schema: TableSchema,
+        policy: Optional[DistributionPolicy] = None,
+        replace: bool = False,
+    ) -> MPPTable:
+        if table_schema.name in self.tables and not replace:
+            raise ExecutionError(f"table {table_schema.name!r} already exists")
+        if policy is None:
+            policy = RandomDistribution()
+        table = MPPTable(table_schema, policy, self.nseg)
+        self.tables[table_schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+        self._matview_sources.pop(name, None)
+
+    def table(self, name: str) -> MPPTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ExecutionError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def create_redistributed_matview(
+        self,
+        name: str,
+        source_table: str,
+        key_columns: Sequence[str],
+    ) -> MPPTable:
+        """A redistributed materialized view of a table (Section 4.4).
+
+        Same rows as ``source_table`` but hash-distributed on
+        ``key_columns`` so joins on those columns are collocated.
+        """
+        source = self.table(source_table)
+        view_schema = TableSchema(
+            name, source.schema.columns, unique_key=source.schema.unique_key
+        )
+        view = self.create_table(
+            view_schema, HashDistribution(key_columns), replace=True
+        )
+        self._matview_sources[name] = source_table
+        self.refresh_matview(name)
+        return view
+
+    def refresh_matview(self, name: str) -> None:
+        source_name = self._matview_sources.get(name)
+        ensure(source_name is not None, ExecutionError, f"{name!r} is not a matview")
+        view = self.table(name)
+        rows = self.table(source_name).all_rows()  # type: ignore[arg-type]
+        for part in view.parts:
+            part.truncate()
+        self._timed_statement(
+            lambda: self._load_partitioned(view, rows, charge_ship=True)
+        )
+
+    def refresh_all_matviews(self) -> None:
+        """Algorithm 1's ``redistribute(TΠ)`` step."""
+        for name in list(self._matview_sources):
+            self.refresh_matview(name)
+
+    @property
+    def matviews(self) -> List[str]:
+        return list(self._matview_sources)
+
+    # -- mirrors (incremental matview maintenance) --------------------------
+
+    def add_mirror(self, source_table: str, mirror_table: str) -> None:
+        """Keep ``mirror_table`` synchronized with DML on ``source_table``
+        (each mirror has its own distribution — the redistributed
+        materialized views of Section 4.4)."""
+        self.table(source_table)
+        self.table(mirror_table)
+        self._mirrors.setdefault(source_table, []).append(mirror_table)
+
+    def _mirror_insert(self, source_table: str, rows: Sequence[Row]) -> None:
+        for mirror_name in self._mirrors.get(source_table, ()):
+            mirror = self.table(mirror_name)
+            shards = partition_rows(rows, mirror.policy, mirror.key_positions, self.nseg)
+            for seg, shard in enumerate(shards):
+                stored = mirror.parts[seg].insert(shard)
+                clock = self.segment_clocks[seg]
+                clock.rows_shipped += len(shard)
+                clock.rows_inserted += stored
+
+    def _mirror_delete(
+        self, source_table: str, column_names: Sequence[str], keys: Set[Row]
+    ) -> None:
+        for mirror_name in self._mirrors.get(source_table, ()):
+            mirror = self.table(mirror_name)
+            for seg, part in enumerate(mirror.parts):
+                self.segment_clocks[seg].rows_broadcast += len(keys)
+                part.delete_in(column_names, keys)
+
+    # ------------------------------------------------------------------ DML
+
+    def bulkload(self, table_name: str, rows: Sequence[Row]) -> int:
+        """COPY-style load: one statement, rows hashed to their segments."""
+        table = self.table(table_name)
+        row_list = list(rows)
+
+        def work() -> int:
+            stored = self._load_partitioned(table, row_list, charge_ship=False)
+            self._mirror_insert(table_name, row_list)
+            return stored
+
+        return self._timed_statement(work)
+
+    insert_rows = bulkload
+
+    def insert_from(self, table_name: str, plan: PlanNode) -> int:
+        """INSERT INTO table SELECT ...: result redistributed to the
+        target's distribution, deduplicated per segment."""
+        table = self.table(table_name)
+
+        def work() -> int:
+            executor = _MPPExecutor(self)
+            shards, node = executor.exec_plan(plan)
+            self.last_plan = node
+            rows = shards.gathered() if shards.dist.kind == "replicated" else None
+            if rows is not None:
+                stored = self._load_partitioned(table, rows, charge_ship=True)
+                self._mirror_insert(table_name, rows)
+                return stored
+            inserted = 0
+            # ship every row to its home segment, charging receivers
+            incoming: List[List[Row]] = [[] for _ in range(self.nseg)]
+            for seg, part in enumerate(shards.parts):
+                for row in part:
+                    target = self._segment_for(table, row)
+                    if target != seg:
+                        self.segment_clocks[target].rows_shipped += 1
+                    incoming[target].append(row)
+            for seg, part in enumerate(incoming):
+                stored = table.parts[seg].insert(part)
+                self.segment_clocks[seg].rows_inserted += stored
+                inserted += stored
+            self._mirror_insert(
+                table_name, [row for part in incoming for row in part]
+            )
+            return inserted
+
+        return self._timed_statement(work)
+
+    def insert_from_with_ids(
+        self,
+        table_name: str,
+        plan: PlanNode,
+        next_id: int,
+        pad_nulls: int = 0,
+    ) -> Tuple[int, int]:
+        """INSERT ... SELECT with a leading sequence column, fully
+        distributed: each segment stamps ids from its slice of the
+        sequence (only per-segment row *counts* travel to the master),
+        then rows ship to their home segments.  Returns (inserted,
+        next sequence value)."""
+        table = self.table(table_name)
+        padding: Row = (None,) * pad_nulls
+
+        def work() -> Tuple[int, int]:
+            executor = _MPPExecutor(self)
+            shards, node = executor.exec_plan(plan)
+            self.last_plan = node
+            source_parts = (
+                [shards.gathered()]
+                if shards.dist.kind == "replicated"
+                else shards.parts
+            )
+            sequence = next_id
+            incoming: List[List[Row]] = [[] for _ in range(self.nseg)]
+            for seg, part in enumerate(source_parts):
+                for row in part:
+                    full_row = (sequence,) + row + padding
+                    sequence += 1
+                    target = self._segment_for(table, full_row)
+                    if target != seg:
+                        self.segment_clocks[target].rows_shipped += 1
+                    incoming[target].append(full_row)
+            inserted = 0
+            for seg, part in enumerate(incoming):
+                stored = table.parts[seg].insert(part)
+                self.segment_clocks[seg].rows_inserted += stored
+                inserted += stored
+            self._mirror_insert(
+                table_name, [row for part in incoming for row in part]
+            )
+            return inserted, sequence
+
+        return self._timed_statement(work)
+
+    def delete_in(
+        self,
+        table_name: str,
+        column_names: Sequence[str],
+        key_plan: PlanNode,
+    ) -> int:
+        """DELETE FROM table WHERE (cols) IN (subplan): the key set is
+        gathered on the master and broadcast to all segments."""
+        table = self.table(table_name)
+
+        def work() -> int:
+            executor = _MPPExecutor(self)
+            shards, node = executor.exec_plan(key_plan)
+            self.last_plan = node
+            keys: Set[Row] = set(shards.gathered())
+            self.master_clock.rows_shipped += len(keys)
+            removed = 0
+            for seg, part in enumerate(table.parts):
+                self.segment_clocks[seg].rows_broadcast += len(keys)
+                removed += part.delete_in(column_names, keys)
+            self._mirror_delete(table_name, column_names, keys)
+            return removed
+
+        return self._timed_statement(work)
+
+    def truncate(self, table_name: str) -> None:
+        table = self.table(table_name)
+        for part in table.parts:
+            part.truncate()
+
+    # ------------------------------------------------------------------ query
+
+    def query(self, plan: PlanNode) -> Result:
+        """Execute a logical plan; the result is gathered on the master."""
+
+        def work() -> Result:
+            executor = _MPPExecutor(self)
+            shards, node = executor.exec_plan(plan)
+            rows = shards.gathered()
+            self.master_clock.rows_shipped += len(rows)
+            gather = PhysicalNode("Gather Motion", rows=len(rows))
+            gather.children.append(node)
+            self.last_plan = gather
+            return Result(shards.columns, rows)
+
+        return self._timed_statement(work)
+
+    def execute_sql(self, sql: str):
+        """Parse and execute a SELECT statement on the cluster."""
+        from ..relational.sqlparse import parse_sql
+
+        return self.query(parse_sql(sql))
+
+    def explain_last(self) -> str:
+        """EXPLAIN ANALYZE text of the most recent statement's plan."""
+        ensure(self.last_plan is not None, ExecutionError, "no plan recorded")
+        return self.last_plan.explain()  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------ cost
+
+    @property
+    def work_clock(self) -> CostClock:
+        """Total work across all segments plus the master."""
+        merged = CostClock()
+        for clock in self.segment_clocks:
+            merged.merge(clock)
+        merged.merge(self.master_clock)
+        return merged
+
+    # ------------------------------------------------------------------ internals
+
+    def _segment_for(self, table: MPPTable, row: Row) -> int:
+        return table.policy.segment_of(row, table.key_positions, self.nseg)
+
+    def _load_partitioned(
+        self, table: MPPTable, rows: List[Row], charge_ship: bool
+    ) -> int:
+        shards = partition_rows(rows, table.policy, table.key_positions, self.nseg)
+        if isinstance(table.policy, ReplicatedDistribution):
+            for part in table.parts:
+                part.truncate()
+        inserted = 0
+        for seg, shard in enumerate(shards):
+            stored = table.parts[seg].insert(shard)
+            clock = self.segment_clocks[seg]
+            clock.rows_inserted += stored
+            if charge_ship:
+                clock.rows_shipped += len(shard)
+            inserted += stored
+        if isinstance(table.policy, ReplicatedDistribution):
+            return len(table.parts[0])
+        return inserted
+
+    def _timed_statement(self, work: Callable):
+        """Run one statement, updating the simulated parallel clock."""
+        seg_before = [clock.seconds for clock in self.segment_clocks]
+        master_before = self.master_clock.seconds
+        self.master_clock.charge_query()
+        outcome = work()
+        seg_delta = max(
+            clock.seconds - before
+            for clock, before in zip(self.segment_clocks, seg_before)
+        )
+        master_delta = self.master_clock.seconds - master_before
+        self.elapsed_seconds += seg_delta + master_delta
+        return outcome
+
+
+class _MPPExecutor:
+    """Adaptive planner + executor over distributed shards."""
+
+    def __init__(self, cluster: MPPDatabase) -> None:
+        self.cluster = cluster
+        self.nseg = cluster.nseg
+        self.clocks = cluster.segment_clocks
+
+    # -- entry ---------------------------------------------------------------
+
+    def exec_plan(self, plan: PlanNode) -> Tuple[Shards, PhysicalNode]:
+        self._bind(plan)
+        return self._exec(plan)
+
+    def _bind(self, plan: PlanNode) -> None:
+        for node in walk(plan):
+            if isinstance(node, Scan):
+                table = self.cluster.tables.get(node.table_name)
+                if table is None:
+                    raise ExecutionError(f"unknown table {node.table_name!r}")
+                node.set_table_columns(table.schema.column_names)
+
+    # -- timing helper ---------------------------------------------------------
+
+    def _timed(self, node: PhysicalNode, work: Callable[[], Shards]) -> Shards:
+        before = [clock.seconds for clock in self.clocks]
+        shards = work()
+        node.seconds = max(
+            clock.seconds - b for clock, b in zip(self.clocks, before)
+        )
+        node.rows = shards.total_rows
+        return shards
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _exec(self, plan: PlanNode) -> Tuple[Shards, PhysicalNode]:
+        handler = {
+            Scan: self._exec_scan,
+            Values: self._exec_values,
+            Filter: self._exec_filter,
+            Project: self._exec_project,
+            HashJoin: self._exec_join,
+            AntiJoin: self._exec_anti_join,
+            Distinct: self._exec_distinct,
+            Aggregate: self._exec_aggregate,
+            UnionAll: self._exec_union,
+            Sort: self._exec_sort,
+            Limit: self._exec_limit,
+        }.get(type(plan))
+        if handler is None:
+            raise ExecutionError(f"unsupported MPP plan node {type(plan).__name__}")
+        return handler(plan)
+
+    # -- leaf nodes -----------------------------------------------------------
+
+    def _exec_scan(self, plan: Scan) -> Tuple[Shards, PhysicalNode]:
+        table = self.cluster.table(plan.table_name)
+        columns = plan.output_columns
+        if isinstance(table.policy, ReplicatedDistribution):
+            dist = DistDesc.replicated()
+        elif table.policy.key_columns is not None:
+            dist = DistDesc.hash_on(
+                f"{plan.alias}.{c}" for c in table.policy.key_columns
+            )
+        else:
+            dist = DistDesc.arbitrary()
+        node = PhysicalNode("Seq Scan", f"on {plan.table_name}")
+
+        def work() -> Shards:
+            parts = []
+            for seg, part in enumerate(table.parts):
+                self.clocks[seg].rows_scanned += len(part)
+                parts.append(list(part.rows))
+            return Shards(columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    def _exec_values(self, plan: Values) -> Tuple[Shards, PhysicalNode]:
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        parts[0] = list(plan.rows)
+        node = PhysicalNode("Values", rows=len(plan.rows))
+        return Shards(plan.output_columns, parts, DistDesc.arbitrary()), node
+
+    # -- unary nodes ----------------------------------------------------------
+
+    def _exec_filter(self, plan: Filter) -> Tuple[Shards, PhysicalNode]:
+        child, child_node = self._exec(plan.child)
+        predicate = plan.predicate.bind(child.columns)
+        node = PhysicalNode("Filter", plan.predicate.to_sql())
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts = []
+            for seg, part in enumerate(child.parts):
+                kept = [row for row in part if predicate(row)]
+                clock = self.clocks[seg]
+                clock.rows_probed += len(part)
+                clock.rows_output += len(kept)
+                parts.append(kept)
+            return Shards(child.columns, parts, child.dist)
+
+        return self._timed(node, work), node
+
+    def _exec_project(self, plan: Project) -> Tuple[Shards, PhysicalNode]:
+        child, child_node = self._exec(plan.child)
+        evaluators = [expr.bind(child.columns) for expr, _ in plan.outputs]
+        out_columns = plan.output_columns
+        dist = self._project_dist(plan, child)
+        node = PhysicalNode("Project")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts = []
+            for seg, part in enumerate(child.parts):
+                projected = [tuple(fn(row) for fn in evaluators) for row in part]
+                self.clocks[seg].rows_output += len(projected)
+                parts.append(projected)
+            return Shards(out_columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    def _project_dist(self, plan: Project, child: Shards) -> DistDesc:
+        """Track the hash distribution through column renames."""
+        if child.dist.kind != "hash":
+            return child.dist
+        from ..relational.expr import Col
+
+        rename: Dict[str, str] = {}
+        for expr, name in plan.outputs:
+            if isinstance(expr, Col):
+                source = child.columns[resolve_column(expr.name, child.columns)]
+                rename.setdefault(source, name)
+        mapped = []
+        for column in child.dist.columns or ():
+            if column not in rename:
+                return DistDesc.arbitrary()
+            mapped.append(rename[column])
+        return DistDesc.hash_on(mapped)
+
+    # -- joins ------------------------------------------------------------------
+
+    def _exec_join(self, plan: HashJoin) -> Tuple[Shards, PhysicalNode]:
+        left, left_node = self._exec(plan.left)
+        right, right_node = self._exec(plan.right)
+        left_keys = [
+            left.columns[resolve_column(k, left.columns)] for k in plan.left_keys
+        ]
+        right_keys = [
+            right.columns[resolve_column(k, right.columns)] for k in plan.right_keys
+        ]
+
+        left, right, left_node, right_node, out_dist = self._collocate(
+            left, right, left_keys, right_keys, left_node, right_node
+        )
+
+        out_columns = left.columns + right.columns
+        residual = (
+            plan.residual.bind(out_columns) if plan.residual is not None else None
+        )
+        lpos = [resolve_column(k, left.columns) for k in left_keys]
+        rpos = [resolve_column(k, right.columns) for k in right_keys]
+        node = PhysicalNode("Hash Join", _join_detail(left_keys, right_keys))
+        node.children.extend([left_node, right_node])
+
+        def work() -> Shards:
+            parts = []
+            for seg in range(self.nseg):
+                left_part = left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
+                right_part = right.parts[0] if right.dist.kind == "replicated" else right.parts[seg]
+                if left.dist.kind == "replicated" and right.dist.kind == "replicated":
+                    # both replicated: compute once on segment 0
+                    if seg != 0:
+                        parts.append([])
+                        continue
+                joined = _hash_join_rows(
+                    left_part, right_part, lpos, rpos, residual, self.clocks[seg]
+                )
+                parts.append(joined)
+            dist = out_dist
+            if left.dist.kind == "replicated" and right.dist.kind == "replicated":
+                dist = DistDesc.arbitrary()
+            return Shards(out_columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    def _collocate(
+        self,
+        left: Shards,
+        right: Shards,
+        left_keys: List[str],
+        right_keys: List[str],
+        left_node: PhysicalNode,
+        right_node: PhysicalNode,
+    ):
+        """Insert motions so the two join inputs are collocated.
+
+        Returns possibly-moved shards, their (possibly motion-wrapped)
+        plan nodes, and the output distribution of the join.
+        """
+        # replicated inputs join locally against anything
+        if left.dist.kind == "replicated":
+            return left, right, left_node, right_node, right.dist
+        if right.dist.kind == "replicated":
+            return left, right, left_node, right_node, left.dist
+
+        # a side hashed on a SUBSET of its join keys is collocatable:
+        # equal join keys imply equal subset values, hence same segment
+        left_perm = _subset_perm(left.dist, left_keys)
+        right_perm = _subset_perm(right.dist, right_keys)
+        if left_perm is not None and left_perm == right_perm:
+            return left, right, left_node, right_node, left.dist
+
+        if left_perm is not None:
+            # move right to hash on the columns corresponding to left's
+            keys = [right_keys[i] for i in left_perm]
+            right, right_node = self._redistribute(right, keys, right_node)
+            return left, right, left_node, right_node, left.dist
+        if right_perm is not None:
+            keys = [left_keys[i] for i in right_perm]
+            left, left_node = self._redistribute(left, keys, left_node)
+            return left, right, left_node, right_node, right.dist
+
+        # neither collocated: cost-based redistribute-both vs broadcast-smaller
+        small, big = (left, right) if left.total_rows <= right.total_rows else (right, left)
+        redistribute_cost = left.total_rows + right.total_rows
+        broadcast_cost = small.total_rows * self.nseg
+        if broadcast_cost < redistribute_cost:
+            if small is left:
+                left, left_node = self._broadcast(left, left_node)
+                return left, right, left_node, right_node, right.dist
+            right, right_node = self._broadcast(right, right_node)
+            return left, right, left_node, right_node, left.dist
+        left, left_node = self._redistribute(left, left_keys, left_node)
+        right, right_node = self._redistribute(right, right_keys, right_node)
+        return left, right, left_node, right_node, left.dist
+
+    def _exec_anti_join(self, plan: AntiJoin) -> Tuple[Shards, PhysicalNode]:
+        """NOT EXISTS: valid per-segment when every right row that could
+        match a left row lives on the left row's segment — i.e. the
+        right side is replicated, or both sides are hashed on the
+        (corresponding) anti-join keys."""
+        left, left_node = self._exec(plan.left)
+        right, right_node = self._exec(plan.right)
+        left_keys = [
+            left.columns[resolve_column(k, left.columns)] for k in plan.left_keys
+        ]
+        right_keys = [
+            right.columns[resolve_column(k, right.columns)] for k in plan.right_keys
+        ]
+        if right.dist.kind != "replicated":
+            left_perm = _subset_perm(left.dist, left_keys)
+            right_perm = _subset_perm(right.dist, right_keys)
+            if left_perm is not None and left_perm == right_perm:
+                pass  # already collocated
+            elif right_perm is not None:
+                keys = [left_keys[i] for i in right_perm]
+                left, left_node = self._redistribute(left, keys, left_node)
+            elif left_perm is not None:
+                keys = [right_keys[i] for i in left_perm]
+                right, right_node = self._redistribute(right, keys, right_node)
+            else:
+                left, left_node = self._redistribute(left, left_keys, left_node)
+                right, right_node = self._redistribute(right, right_keys, right_node)
+
+        lpos = [resolve_column(k, left.columns) for k in left_keys]
+        rpos = [resolve_column(k, right.columns) for k in right_keys]
+        node = PhysicalNode("Hash Anti Join", _join_detail(left_keys, right_keys))
+        node.children.extend([left_node, right_node])
+
+        def work() -> Shards:
+            parts = []
+            for seg in range(self.nseg):
+                left_part = (
+                    left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
+                )
+                right_part = (
+                    right.parts[0]
+                    if right.dist.kind == "replicated"
+                    else right.parts[seg]
+                )
+                if left.dist.kind == "replicated" and seg != 0:
+                    parts.append([])
+                    continue
+                clock = self.clocks[seg]
+                existing = {
+                    tuple(row[pos] for pos in rpos) for row in right_part
+                }
+                clock.rows_built += len(right_part)
+                kept = [
+                    row
+                    for row in left_part
+                    if tuple(row[pos] for pos in lpos) not in existing
+                ]
+                clock.rows_probed += len(left_part)
+                clock.rows_output += len(kept)
+                parts.append(kept)
+            dist = left.dist if left.dist.kind != "replicated" else DistDesc.arbitrary()
+            return Shards(left.columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    # -- motions -------------------------------------------------------------
+
+    def _redistribute(
+        self, shards: Shards, keys: List[str], child_node: PhysicalNode
+    ) -> Tuple[Shards, PhysicalNode]:
+        positions = [resolve_column(k, shards.columns) for k in keys]
+        node = PhysicalNode("Redistribute Motion", f"on ({', '.join(keys)})")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+            source_parts = (
+                [shards.parts[0]] if shards.dist.kind == "replicated" else shards.parts
+            )
+            for seg, part in enumerate(source_parts):
+                for row in part:
+                    target = stable_hash(
+                        tuple(row[pos] for pos in positions)
+                    ) % self.nseg
+                    if target != seg:
+                        self.clocks[target].rows_shipped += 1
+                    parts[target].append(row)
+            return Shards(shards.columns, parts, DistDesc.hash_on(keys))
+
+        return self._timed(node, work), node
+
+    def _broadcast(
+        self, shards: Shards, child_node: PhysicalNode
+    ) -> Tuple[Shards, PhysicalNode]:
+        node = PhysicalNode("Broadcast Motion")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            all_rows = shards.gathered()
+            for seg in range(self.nseg):
+                local = len(shards.parts[seg]) if shards.dist.kind != "replicated" else len(all_rows)
+                self.clocks[seg].rows_broadcast += len(all_rows) - local
+            parts = [list(all_rows) for _ in range(self.nseg)]
+            return Shards(shards.columns, parts, DistDesc.replicated())
+
+        return self._timed(node, work), node
+
+    def _gather_to_first(
+        self, shards: Shards, child_node: PhysicalNode
+    ) -> Tuple[Shards, PhysicalNode]:
+        node = PhysicalNode("Gather Motion", "to seg0")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            rows = shards.gathered()
+            if shards.dist.kind != "replicated":
+                self.clocks[0].rows_shipped += len(rows) - len(shards.parts[0])
+            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+            parts[0] = rows
+            return Shards(shards.columns, parts, DistDesc.arbitrary())
+
+        return self._timed(node, work), node
+
+    # -- distinct / aggregate / union / limit -------------------------------------
+
+    def _exec_distinct(self, plan: Distinct) -> Tuple[Shards, PhysicalNode]:
+        child, child_node = self._exec(plan.child)
+        if child.dist.kind == "arbitrary":
+            child, child_node = self._redistribute(
+                child, list(child.columns), child_node
+            )
+        node = PhysicalNode("Distinct")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts = []
+            for seg, part in enumerate(child.parts):
+                seen: Set[Row] = set()
+                deduped = []
+                for row in part:
+                    if row not in seen:
+                        seen.add(row)
+                        deduped.append(row)
+                clock = self.clocks[seg]
+                clock.rows_probed += len(part)
+                clock.rows_output += len(deduped)
+                parts.append(deduped)
+            return Shards(child.columns, parts, child.dist)
+
+        return self._timed(node, work), node
+
+    def _exec_aggregate(self, plan: Aggregate) -> Tuple[Shards, PhysicalNode]:
+        child, child_node = self._exec(plan.child)
+        if plan.group_by:
+            if (
+                child.dist.kind != "hash"
+                or not set(child.dist.columns or ()) <= _qualified_set(plan.group_by, child.columns)
+            ):
+                keys = [
+                    child.columns[resolve_column(c, child.columns)]
+                    for c in plan.group_by
+                ]
+                child, child_node = self._redistribute(child, keys, child_node)
+        else:
+            child, child_node = self._gather_to_first(child, child_node)
+
+        group_pos = [resolve_column(c, child.columns) for c in plan.group_by]
+        agg_pos = [
+            resolve_column(c, child.columns) if c is not None else None
+            for _, c, _ in plan.aggregates
+        ]
+        out_columns = plan.output_columns
+        having = plan.having.bind(out_columns) if plan.having is not None else None
+        node = PhysicalNode("HashAggregate", f"group by ({', '.join(plan.group_by)})")
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts = []
+            for seg, part in enumerate(child.parts):
+                if not plan.group_by and seg != 0:
+                    parts.append([])
+                    continue
+                groups: Dict[Tuple, List[Row]] = defaultdict(list)
+                for row in part:
+                    groups[tuple(row[pos] for pos in group_pos)].append(row)
+                if not plan.group_by and not groups:
+                    groups[()] = []
+                out_rows = []
+                for key, members in groups.items():
+                    values = tuple(
+                        _aggregate(func, pos, members)
+                        for (func, _, _), pos in zip(plan.aggregates, agg_pos)
+                    )
+                    out_row = key + values
+                    if having is None or having(out_row):
+                        out_rows.append(out_row)
+                clock = self.clocks[seg]
+                clock.rows_probed += len(part)
+                clock.rows_output += len(out_rows)
+                parts.append(out_rows)
+            dist = (
+                DistDesc.hash_on(plan.group_by)
+                if plan.group_by
+                else DistDesc.arbitrary()
+            )
+            return Shards(out_columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    def _exec_union(self, plan: UnionAll) -> Tuple[Shards, PhysicalNode]:
+        results = [self._exec(child) for child in plan.children]
+        node = PhysicalNode("Append")
+        node.children.extend(child_node for _, child_node in results)
+        out_columns = plan.output_columns
+
+        def work() -> Shards:
+            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+            dists = set()
+            for shards, _ in results:
+                if shards.dist.kind == "replicated":
+                    parts[0].extend(shards.parts[0])
+                    dists.add(DistDesc.arbitrary())
+                else:
+                    for seg, part in enumerate(shards.parts):
+                        parts[seg].extend(part)
+                    dists.add(shards.dist)
+            dist = dists.pop() if len(dists) == 1 else DistDesc.arbitrary()
+            return Shards(out_columns, parts, dist)
+
+        return self._timed(node, work), node
+
+    def _exec_sort(self, plan: Sort) -> Tuple[Shards, PhysicalNode]:
+        """Global order requires a gather; the sort runs on segment 0
+        (a merge of per-segment sorted runs in a real system)."""
+        child, child_node = self._exec(plan.child)
+        child, child_node = self._gather_to_first(child, child_node)
+        positions = [
+            (resolve_column(name, child.columns), descending)
+            for name, descending in plan.keys
+        ]
+        node = PhysicalNode("Sort", plan.describe().replace("Sort: ", ""))
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            ordered = list(child.parts[0])
+            for pos, descending in reversed(positions):
+                ordered.sort(
+                    key=lambda row: (row[pos] is not None, row[pos]),
+                    reverse=descending,
+                )
+            self.clocks[0].rows_probed += len(ordered)
+            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+            parts[0] = ordered
+            return Shards(child.columns, parts, DistDesc.arbitrary())
+
+        return self._timed(node, work), node
+
+    def _exec_limit(self, plan: Limit) -> Tuple[Shards, PhysicalNode]:
+        child, child_node = self._exec(plan.child)
+        child, child_node = self._gather_to_first(child, child_node)
+        node = PhysicalNode("Limit", str(plan.limit))
+        node.children.append(child_node)
+
+        def work() -> Shards:
+            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+            parts[0] = child.parts[0][: plan.limit]
+            return Shards(child.columns, parts, DistDesc.arbitrary())
+
+        return self._timed(node, work), node
+
+
+# -- row-level helpers ------------------------------------------------------------
+
+
+def _hash_join_rows(
+    left_rows: List[Row],
+    right_rows: List[Row],
+    lpos: List[int],
+    rpos: List[int],
+    residual,
+    clock: CostClock,
+) -> List[Row]:
+    build_left = len(left_rows) <= len(right_rows)
+    if build_left:
+        build_rows, probe_rows = left_rows, right_rows
+        build_pos, probe_pos = lpos, rpos
+    else:
+        build_rows, probe_rows = right_rows, left_rows
+        build_pos, probe_pos = rpos, lpos
+
+    table: Dict[Tuple, List[Row]] = defaultdict(list)
+    for row in build_rows:
+        key = tuple(row[pos] for pos in build_pos)
+        if None in key:
+            continue
+        table[key].append(row)
+    clock.rows_built += len(build_rows)
+
+    out: List[Row] = []
+    append = out.append
+    for row in probe_rows:
+        matches = table.get(tuple(row[pos] for pos in probe_pos))
+        if not matches:
+            continue
+        for match in matches:
+            combined = match + row if build_left else row + match
+            append(combined)
+    clock.rows_probed += len(probe_rows)
+    clock.rows_output += len(out)
+    if residual is not None:
+        out = [row for row in out if residual(row)]
+    return out
+
+
+def _join_detail(left_keys: List[str], right_keys: List[str]) -> str:
+    return "on " + " AND ".join(
+        f"{l} = {r}" for l, r in zip(left_keys, right_keys)
+    )
+
+
+def _qualified_set(names: Sequence[str], columns: Sequence[str]) -> Set[str]:
+    return {columns[resolve_column(name, columns)] for name in names}
+
+
+def _subset_perm(dist: DistDesc, keys: Sequence[str]) -> Optional[Tuple[int, ...]]:
+    """If ``dist`` hashes on a subset of ``keys``, the positions (into
+    ``keys``) of its hash columns, in hash order; else None."""
+    if dist.kind != "hash" or dist.columns is None:
+        return None
+    key_list = list(keys)
+    try:
+        return tuple(key_list.index(column) for column in dist.columns)
+    except ValueError:
+        return None

@@ -1,0 +1,104 @@
+"""Distribution policies for the shared-nothing MPP simulator.
+
+A hash-distributed table assigns each row to a segment by a stable hash
+of its distribution-key columns (Greenplum's ``DISTRIBUTED BY``).  A
+replicated table keeps a full copy on every segment.  Randomly
+distributed tables round-robin rows (``DISTRIBUTED RANDOMLY``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..relational.types import Row, Value
+
+
+def stable_hash(values: Sequence[Value]) -> int:
+    """A process-stable hash of a key tuple (crc32 over a canonical form).
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would make segment assignment non-deterministic across runs; crc32
+    keeps the simulator reproducible.
+    """
+    payload = "\x1f".join(
+        f"{type(v).__name__}:{v!r}" for v in values
+    ).encode("utf-8")
+    return zlib.crc32(payload)
+
+
+class DistributionPolicy:
+    """Base class; concrete policies say where each row lives."""
+
+    def segment_of(self, row: Row, key_positions: Sequence[int], nseg: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def key_columns(self) -> Optional[Tuple[str, ...]]:
+        """Hash-key column names, or None for non-hash policies."""
+        return None
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HashDistribution(DistributionPolicy):
+    """``DISTRIBUTED BY (columns...)``."""
+
+    columns: Tuple[str, ...]
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def segment_of(self, row: Row, key_positions: Sequence[int], nseg: int) -> int:
+        key = tuple(row[pos] for pos in key_positions)
+        return stable_hash(key) % nseg
+
+    @property
+    def key_columns(self) -> Tuple[str, ...]:
+        return self.columns
+
+    def describe(self) -> str:
+        return f"DISTRIBUTED BY ({', '.join(self.columns)})"
+
+
+class RandomDistribution(DistributionPolicy):
+    """``DISTRIBUTED RANDOMLY`` — round-robin for determinism."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def segment_of(self, row: Row, key_positions: Sequence[int], nseg: int) -> int:
+        seg = self._next % nseg
+        self._next += 1
+        return seg
+
+    def describe(self) -> str:
+        return "DISTRIBUTED RANDOMLY"
+
+
+class ReplicatedDistribution(DistributionPolicy):
+    """Every segment holds a full copy (Greenplum replicated tables)."""
+
+    def segment_of(self, row: Row, key_positions: Sequence[int], nseg: int) -> int:
+        raise AssertionError("replicated tables are copied, not partitioned")
+
+    def describe(self) -> str:
+        return "DISTRIBUTED REPLICATED"
+
+
+def partition_rows(
+    rows: Sequence[Row],
+    policy: DistributionPolicy,
+    key_positions: Sequence[int],
+    nseg: int,
+) -> List[List[Row]]:
+    """Split rows into per-segment lists according to a policy."""
+    if isinstance(policy, ReplicatedDistribution):
+        return [list(rows) for _ in range(nseg)]
+    shards: List[List[Row]] = [[] for _ in range(nseg)]
+    for row in rows:
+        shards[policy.segment_of(row, key_positions, nseg)].append(row)
+    return shards

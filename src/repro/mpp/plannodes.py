@@ -1,0 +1,79 @@
+"""Physical plan records for the MPP simulator.
+
+The MPP executor plans adaptively (motion decisions are made from actual
+intermediate sizes, standing in for Greenplum's statistics-driven
+optimizer).  While executing, it records the physical plan it chose as a
+tree of :class:`PhysicalNode` so benchmarks can print Figure-4-style
+EXPLAIN ANALYZE output with per-operator timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class PhysicalNode:
+    """One operator of an executed MPP plan."""
+
+    kind: str  # e.g. "Seq Scan", "Hash Join", "Redistribute Motion"
+    detail: str = ""
+    children: List["PhysicalNode"] = field(default_factory=list)
+    #: modelled elapsed seconds for this operator alone (max over segments)
+    seconds: float = 0.0
+    #: output row count (total across segments)
+    rows: int = 0
+
+    def describe(self) -> str:
+        label = self.kind if not self.detail else f"{self.kind} {self.detail}"
+        return f"{label}  (rows={self.rows}, {self.seconds * 1e3:.2f}ms)"
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def total_seconds(self) -> float:
+        return self.seconds + sum(c.total_seconds() for c in self.children)
+
+    def find_all(self, kind: str) -> List["PhysicalNode"]:
+        found = [self] if self.kind == kind else []
+        for child in self.children:
+            found.extend(child.find_all(kind))
+        return found
+
+
+@dataclass(frozen=True)
+class DistDesc:
+    """Describes how an intermediate result is spread across segments."""
+
+    kind: str  # "hash" | "replicated" | "arbitrary"
+    columns: Optional[Tuple[str, ...]] = None
+
+    @staticmethod
+    def hash_on(columns) -> "DistDesc":
+        return DistDesc("hash", tuple(columns))
+
+    @staticmethod
+    def replicated() -> "DistDesc":
+        return DistDesc("replicated")
+
+    @staticmethod
+    def arbitrary() -> "DistDesc":
+        return DistDesc("arbitrary")
+
+    def matches_keys(self, keys) -> Optional[Tuple[int, ...]]:
+        """If this is a hash distribution on a permutation of ``keys``,
+        return that permutation (indices into ``keys``); else None.
+
+        Two results are collocated for a join when both are hashed on the
+        join keys *in the same order*, so the permutation matters.
+        """
+        if self.kind != "hash" or self.columns is None:
+            return None
+        if len(self.columns) != len(keys) or set(self.columns) != set(keys):
+            return None
+        key_list = list(keys)
+        return tuple(key_list.index(c) for c in self.columns)

@@ -1,0 +1,59 @@
+"""Quality control (Section 5) and its evaluation protocol (Section 6.2):
+semantic constraints, ambiguity detection, rule cleaning, and the
+precision-curve experiments behind Figure 7."""
+
+from .ambiguity import (
+    AMBIGUOUS_ENTITY,
+    AMBIGUOUS_JOIN_KEY,
+    CATEGORY_LABELS,
+    GENERAL_TYPES,
+    INCORRECT_EXTRACTION,
+    INCORRECT_RULE,
+    OTHER,
+    SYNONYMS,
+    Violation,
+    ViolationAudit,
+    categorize_violations,
+    find_violations,
+)
+from .evaluation import (
+    CurvePoint,
+    G1_CONFIGS,
+    G2_CONFIGS,
+    QualityConfig,
+    QualityRunResult,
+    TABLE4_CONFIGS,
+    judge_precision,
+    run_figure7a,
+    run_quality_experiment,
+)
+from .constraints import precleaned_kb
+from .rule_cleaning import clean_rules, cleaned_kb, cleaning_report
+
+__all__ = [
+    "AMBIGUOUS_ENTITY",
+    "AMBIGUOUS_JOIN_KEY",
+    "CATEGORY_LABELS",
+    "CurvePoint",
+    "G1_CONFIGS",
+    "G2_CONFIGS",
+    "GENERAL_TYPES",
+    "INCORRECT_EXTRACTION",
+    "INCORRECT_RULE",
+    "OTHER",
+    "QualityConfig",
+    "QualityRunResult",
+    "SYNONYMS",
+    "TABLE4_CONFIGS",
+    "Violation",
+    "ViolationAudit",
+    "categorize_violations",
+    "clean_rules",
+    "cleaned_kb",
+    "cleaning_report",
+    "find_violations",
+    "judge_precision",
+    "precleaned_kb",
+    "run_figure7a",
+    "run_quality_experiment",
+]

@@ -1,0 +1,68 @@
+"""Rule cleaning (Section 5.3).
+
+"We perform rule cleaning by ranking the rules by their statistical
+significance and taking the top θ rules (θ ∈ [0, 1])."
+
+The score is the rule learner's confidence (Sherlock's statistical
+significance), carried on :attr:`HornClause.score`; as the paper notes,
+it does not always reflect real rule quality, so cleaning trades recall
+for precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import HornClause, KnowledgeBase
+
+
+def clean_rules(rules: Sequence[HornClause], theta: float) -> List[HornClause]:
+    """Keep the top-θ fraction of rules by score (θ=1 keeps all).
+
+    Ties are broken deterministically by the rule's textual form so the
+    pipeline is reproducible.
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    ranked = sorted(rules, key=lambda rule: (-rule.score, str(rule)))
+    keep = max(1, math.ceil(theta * len(ranked))) if ranked else 0
+    return ranked[:keep]
+
+
+def cleaned_kb(kb: KnowledgeBase, theta: float) -> KnowledgeBase:
+    """A copy of the KB with only the top-θ rules."""
+    return KnowledgeBase(
+        classes=kb.classes,
+        relations=kb.relations.values(),
+        facts=kb.facts,
+        rules=clean_rules(kb.rules, theta),
+        constraints=kb.constraints,
+        validate=False,
+    )
+
+
+def cleaning_report(
+    rules: Sequence[HornClause],
+    theta: float,
+    rule_is_correct: Optional[Dict[HornClause, bool]] = None,
+) -> Dict[str, float]:
+    """How well score-based cleaning separates correct from wrong rules.
+
+    With ground-truth labels available (the generator provides them),
+    reports the precision/recall of the kept rule set — quantifying the
+    paper's observation that "the learned scores do not always reflect
+    the real quality of the rules"."""
+    kept = clean_rules(rules, theta)
+    report: Dict[str, float] = {
+        "total": len(rules),
+        "kept": len(kept),
+        "theta": theta,
+    }
+    if rule_is_correct is not None:
+        kept_correct = sum(1 for rule in kept if rule_is_correct.get(rule, False))
+        all_correct = sum(1 for rule in rules if rule_is_correct.get(rule, False))
+        report["kept_correct"] = kept_correct
+        report["rule_precision"] = kept_correct / len(kept) if kept else 0.0
+        report["rule_recall"] = kept_correct / all_correct if all_correct else 0.0
+    return report

@@ -1,0 +1,103 @@
+"""A from-scratch single-node relational engine (the PostgreSQL stand-in).
+
+Public surface::
+
+    from repro.relational import (
+        Database, TableSchema, Column, schema,
+        Scan, Filter, Project, HashJoin, Aggregate, Distinct, UnionAll,
+        col, const, eq, eq_const, conj, to_sql, SqliteMirror,
+    )
+"""
+
+from .cost import CostClock
+from .database import Database
+from .executor import Result
+from .expr import (
+    And,
+    Col,
+    Compare,
+    Const,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+    col,
+    conj,
+    const,
+    eq,
+    eq_const,
+)
+from .plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    UnionAll,
+    Values,
+)
+from .schema import Column, TableSchema, schema
+from .sqlite_bridge import SqliteMirror
+from .sqlparse import SqlParseError, parse_sql
+from .sqltext import to_sql
+from .table import Table
+from .types import (
+    FLOAT,
+    INT,
+    TEXT,
+    ExecutionError,
+    PlanError,
+    RelationalError,
+    Row,
+    SchemaError,
+    Value,
+)
+
+__all__ = [
+    "And",
+    "Aggregate",
+    "Col",
+    "Column",
+    "Compare",
+    "Const",
+    "CostClock",
+    "Database",
+    "Distinct",
+    "ExecutionError",
+    "Expr",
+    "FLOAT",
+    "Filter",
+    "HashJoin",
+    "INT",
+    "IsNull",
+    "Limit",
+    "Not",
+    "Or",
+    "PlanError",
+    "PlanNode",
+    "Project",
+    "RelationalError",
+    "Result",
+    "Row",
+    "Scan",
+    "SchemaError",
+    "SqlParseError",
+    "SqliteMirror",
+    "TEXT",
+    "Table",
+    "TableSchema",
+    "UnionAll",
+    "Value",
+    "Values",
+    "col",
+    "conj",
+    "const",
+    "eq",
+    "eq_const",
+    "parse_sql",
+    "schema",
+    "to_sql",
+]

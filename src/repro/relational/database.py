@@ -1,0 +1,179 @@
+"""Single-node database: a catalog of tables plus an executor and clock.
+
+This is the stand-in for PostgreSQL in the reproduction.  It supports the
+operations ProbKB's grounding and quality-control algorithms need:
+
+* DDL: ``create_table`` (with optional unique key for set semantics);
+* queries: ``query(plan)``;
+* DML: ``insert_rows``, ``insert_from(plan)`` (INSERT ... SELECT),
+  ``delete_in`` (DELETE ... WHERE (cols) IN (subquery));
+* materialized views: stored copies refreshed from a defining plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cost import CostClock
+from .executor import Executor, Result
+from .plan import PlanNode
+from .schema import TableSchema
+from .table import Table
+from .types import ExecutionError, Row, ensure
+
+
+class Database:
+    """An in-memory single-node relational database."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.clock = CostClock()
+        self._matview_defs: Dict[str, PlanNode] = {}
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema, replace: bool = False) -> Table:
+        if table_schema.name in self.tables and not replace:
+            raise ExecutionError(f"table {table_schema.name!r} already exists")
+        table = Table(table_schema)
+        self.tables[table_schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+        self._matview_defs.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ExecutionError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, plan: PlanNode) -> Result:
+        """Execute a read-only plan; charges one statement of overhead."""
+        self.clock.charge_query()
+        return Executor(self.tables, self.clock).run(plan)
+
+    def execute_sql(self, sql: str) -> Result:
+        """Parse and execute a SELECT statement (the dialect to_sql emits)."""
+        from .sqlparse import parse_sql
+
+        return self.query(parse_sql(sql))
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modelled elapsed time (same API as :class:`MPPDatabase`)."""
+        return self.clock.seconds
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: Iterable[Row]) -> int:
+        """Plain INSERT; charged as one statement."""
+        self.clock.charge_query()
+        table = self.table(table_name)
+        inserted = table.insert(rows)
+        self.clock.rows_inserted += inserted
+        return inserted
+
+    def bulkload(self, table_name: str, rows: Iterable[Row]) -> int:
+        """COPY-style load: one statement regardless of row count."""
+        return self.insert_rows(table_name, rows)
+
+    def insert_from(self, table_name: str, plan: PlanNode) -> int:
+        """INSERT INTO table SELECT ... — one statement."""
+        self.clock.charge_query()
+        result = Executor(self.tables, self.clock).run(plan)
+        table = self.table(table_name)
+        ensure(
+            len(result.columns) == len(table.schema),
+            ExecutionError,
+            f"insert arity mismatch into {table_name!r}: "
+            f"{len(result.columns)} != {len(table.schema)}",
+        )
+        inserted = table.insert(result.rows)
+        self.clock.rows_inserted += inserted
+        return inserted
+
+    def insert_from_with_ids(
+        self,
+        table_name: str,
+        plan: PlanNode,
+        next_id: int,
+        pad_nulls: int = 0,
+    ) -> Tuple[int, int]:
+        """INSERT ... SELECT with a leading sequence column.
+
+        Each result row is stored as ``(id, *row, NULL * pad_nulls)``
+        with ids drawn from a sequence starting at ``next_id``.  Returns
+        (rows inserted, next sequence value).  This is how grounding
+        merges new facts into TΠ without round-tripping them through
+        the client.
+        """
+        self.clock.charge_query()
+        result = Executor(self.tables, self.clock).run(plan)
+        table = self.table(table_name)
+        padding: Row = (None,) * pad_nulls
+        rows = [
+            (next_id + offset,) + row + padding
+            for offset, row in enumerate(result.rows)
+        ]
+        inserted = table.insert(rows)
+        self.clock.rows_inserted += inserted
+        return inserted, next_id + len(rows)
+
+    def delete_in(
+        self,
+        table_name: str,
+        column_names: Sequence[str],
+        key_plan: PlanNode,
+    ) -> int:
+        """DELETE FROM table WHERE (cols) IN (SELECT ... ) — one statement."""
+        self.clock.charge_query()
+        result = Executor(self.tables, self.clock).run(key_plan)
+        keys: Set[Row] = set(result.rows)
+        table = self.table(table_name)
+        removed = table.delete_in(column_names, keys)
+        self.clock.rows_output += removed
+        return removed
+
+    def truncate(self, table_name: str) -> None:
+        self.clock.charge_query()
+        self.table(table_name).truncate()
+
+    # -- materialized views ----------------------------------------------------
+
+    def create_matview(
+        self,
+        name: str,
+        plan: PlanNode,
+        table_schema: TableSchema,
+    ) -> Table:
+        """Create a materialized view: a stored table + its defining plan."""
+        table = self.create_table(table_schema, replace=True)
+        self._matview_defs[name] = plan
+        self.refresh_matview(name)
+        return table
+
+    def refresh_matview(self, name: str) -> int:
+        plan = self._matview_defs.get(name)
+        ensure(plan is not None, ExecutionError, f"{name!r} is not a matview")
+        self.clock.charge_query()
+        result = Executor(self.tables, self.clock).run(plan)  # type: ignore[arg-type]
+        table = self.table(name)
+        table.truncate()
+        inserted = table.insert(result.rows, validate=False)
+        self.clock.rows_inserted += inserted
+        return inserted
+
+    @property
+    def matviews(self) -> List[str]:
+        return list(self._matview_defs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name}, tables={list(self.tables)})"

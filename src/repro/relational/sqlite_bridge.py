@@ -1,0 +1,56 @@
+"""Conformance bridge to stdlib sqlite3.
+
+Loads the contents of a :class:`~repro.relational.database.Database` into
+an in-memory sqlite3 database and runs SQL text there.  Tests use this to
+verify that our executor and the SQL renderer agree with a real RDBMS on
+the exact queries ProbKB generates.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import List, Optional, Tuple
+
+from .database import Database
+from .executor import _null_safe_key
+from .types import FLOAT, INT, Row, TEXT
+
+_SQLITE_TYPES = {INT: "INTEGER", FLOAT: "REAL", TEXT: "TEXT"}
+
+
+class SqliteMirror:
+    """An in-memory sqlite3 copy of a Database's tables."""
+
+    def __init__(self, db: Database, tables: Optional[List[str]] = None) -> None:
+        self.conn = sqlite3.connect(":memory:")
+        names = tables if tables is not None else list(db.tables)
+        for name in names:
+            self._load_table(db, name)
+
+    def _load_table(self, db: Database, name: str) -> None:
+        table = db.table(name)
+        columns = ", ".join(
+            f"{col.name} {_SQLITE_TYPES[col.type]}" for col in table.schema.columns
+        )
+        self.conn.execute(f"CREATE TABLE {name} ({columns})")
+        placeholders = ", ".join("?" for _ in table.schema.columns)
+        self.conn.executemany(
+            f"INSERT INTO {name} VALUES ({placeholders})", table.rows
+        )
+        self.conn.commit()
+
+    def run(self, sql: str) -> List[Row]:
+        cursor = self.conn.execute(sql)
+        return [tuple(row) for row in cursor.fetchall()]
+
+    def run_sorted(self, sql: str) -> List[Row]:
+        return sorted(self.run(sql), key=_null_safe_key)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "SqliteMirror":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

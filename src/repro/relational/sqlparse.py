@@ -1,0 +1,594 @@
+"""A SQL parser for the dialect ProbKB emits.
+
+The paper presents its grounding algorithm *as SQL* (Figure 3), so the
+reproduction should be able to take those statements as text and run
+them.  This module parses the SELECT subset that `sqltext.to_sql`
+renders — multi-table FROM lists with equi-join WHERE clauses, literal
+filters, IS [NOT] NULL, OR groups, NOT EXISTS guards, GROUP BY /
+HAVING with aggregates, DISTINCT, UNION ALL — into logical plans for
+either engine.  Round-trip property: for every plan p we generate,
+``parse_sql(to_sql(p))`` executes to the same result.
+
+Deliberately not a full SQL implementation; unsupported constructs
+raise :class:`SqlParseError` with the offending token.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .expr import And, Col, Compare, Const, Expr, IsNull, Or, conj
+from .plan import (
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from .types import PlanError, Value
+
+
+class SqlParseError(ValueError):
+    """Unparseable or unsupported SQL."""
+
+
+# -- tokenizer -----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+      | (?P<op><>|<=|>=|=|<|>)
+      | (?P<punct>[(),*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AND",
+    "OR", "NOT", "EXISTS", "IS", "NULL", "AS", "UNION", "ALL", "COUNT",
+    "MIN", "MAX", "SUM", "LIMIT", "ORDER", "ASC", "DESC",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    text = sql.strip().rstrip(";")
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlParseError(f"cannot tokenize at: {text[position:position + 20]!r}")
+        position = match.end()
+        if match.group("name") is not None:
+            word = match.group("name")
+            if word.upper() in _KEYWORDS and "." not in word:
+                tokens.append(_Token("kw", word.upper()))
+            else:
+                tokens.append(_Token("name", word))
+        elif match.group("string") is not None:
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(_Token("string", raw))
+        elif match.group("number") is not None:
+            tokens.append(_Token("number", match.group("number")))
+        elif match.group("op") is not None:
+            tokens.append(_Token("op", match.group("op")))
+        else:
+            tokens.append(_Token("punct", match.group("punct")))
+    return tokens
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # token plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def accept_kw(self, *keywords: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "kw" and token.text in keywords:
+            self.position += 1
+            return True
+        return False
+
+    def expect_kw(self, keyword: str) -> None:
+        if not self.accept_kw(keyword):
+            raise SqlParseError(f"expected {keyword} at {self.peek()!r}")
+
+    def expect_punct(self, punct: str) -> None:
+        token = self.advance()
+        if token.kind != "punct" or token.text != punct:
+            raise SqlParseError(f"expected {punct!r} at {token!r}")
+
+    def at_punct(self, punct: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "punct" and token.text == punct
+
+    # grammar ------------------------------------------------------------------
+
+    def parse_statement(self) -> "_SelectSpec":
+        spec = self.parse_select()
+        while self.accept_kw("UNION"):
+            self.expect_kw("ALL")
+            spec.union_with.append(self.parse_select())
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            spec.order_by = self._parse_order_list()
+        if self.accept_kw("LIMIT"):
+            spec.limit = int(self.advance().text)
+        if self.peek() is not None:
+            raise SqlParseError(f"trailing tokens at {self.peek()!r}")
+        return spec
+
+    def _parse_order_list(self) -> List[Tuple[str, bool]]:
+        keys = [self._parse_order_key()]
+        while self.at_punct(","):
+            self.advance()
+            keys.append(self._parse_order_key())
+        return keys
+
+    def _parse_order_key(self) -> Tuple[str, bool]:
+        name = self.advance().text
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return (name, descending)
+
+    def parse_select(self) -> "_SelectSpec":
+        self.expect_kw("SELECT")
+        spec = _SelectSpec()
+        spec.distinct = self.accept_kw("DISTINCT")
+        spec.select_items = self._parse_select_list()
+        self.expect_kw("FROM")
+        spec.tables = self._parse_from_list()
+        if self.accept_kw("WHERE"):
+            spec.where = self._parse_conjunction()
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            spec.group_by = self._parse_name_list()
+        if self.accept_kw("HAVING"):
+            spec.having = self._parse_predicate()
+        return spec
+
+    def _parse_select_list(self) -> List["_SelectItem"]:
+        if self.at_punct("*"):
+            self.advance()
+            return [_SelectItem(star=True)]
+        items = [self._parse_select_item()]
+        while self.at_punct(","):
+            self.advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> "_SelectItem":
+        item = _SelectItem(expression=self._parse_scalar())
+        if self.accept_kw("AS"):
+            item.alias = self.advance().text
+        return item
+
+    def _parse_scalar(self) -> Union[Expr, "_AggCall"]:
+        token = self.peek()
+        if token is None:
+            raise SqlParseError("unexpected end in expression")
+        if token.kind == "kw" and token.text in ("COUNT", "MIN", "MAX", "SUM"):
+            return self._parse_aggregate()
+        if token.kind == "kw" and token.text == "NULL":
+            self.advance()
+            return Const(None)
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text)
+        if token.kind == "number":
+            self.advance()
+            return Const(_number(token.text))
+        if token.kind == "name":
+            self.advance()
+            return Col(token.text)
+        raise SqlParseError(f"unexpected token in expression: {token!r}")
+
+    def _parse_aggregate(self) -> "_AggCall":
+        func = self.advance().text  # COUNT/MIN/MAX/SUM
+        self.expect_punct("(")
+        distinct = self.accept_kw("DISTINCT")
+        if self.at_punct("*"):
+            self.advance()
+            column = None
+        else:
+            column = self.advance().text
+        self.expect_punct(")")
+        if func == "COUNT":
+            name = "count_distinct" if distinct else "count"
+        else:
+            if distinct:
+                raise SqlParseError(f"DISTINCT unsupported for {func}")
+            name = func.lower()
+        return _AggCall(name, column)
+
+    def _parse_from_list(self) -> List[Tuple[str, str]]:
+        tables = [self._parse_table_ref()]
+        while self.at_punct(","):
+            self.advance()
+            tables.append(self._parse_table_ref())
+        return tables
+
+    def _parse_table_ref(self) -> Tuple[str, str]:
+        table = self.advance()
+        if table.kind != "name":
+            raise SqlParseError(f"expected table name at {table!r}")
+        alias = table.text
+        nxt = self.peek()
+        if nxt is not None and nxt.kind == "name":
+            alias = self.advance().text
+        return table.text, alias
+
+    def _parse_name_list(self) -> List[str]:
+        names = [self.advance().text]
+        while self.at_punct(","):
+            self.advance()
+            names.append(self.advance().text)
+        return names
+
+    def _parse_conjunction(self) -> List["_Predicate"]:
+        predicates = [self._parse_predicate()]
+        while self.accept_kw("AND"):
+            predicates.append(self._parse_predicate())
+        return predicates
+
+    def _parse_predicate(self) -> "_Predicate":
+        if self.accept_kw("NOT"):
+            self.expect_kw("EXISTS")
+            return self._parse_not_exists()
+        if self.at_punct("("):
+            return self._parse_or_group()
+        left = self._parse_scalar()
+        token = self.peek()
+        if token is not None and token.kind == "kw" and token.text == "IS":
+            self.advance()
+            negated = self.accept_kw("NOT")
+            self.expect_kw("NULL")
+            if not isinstance(left, Expr):
+                raise SqlParseError("IS NULL requires a scalar expression")
+            return _Predicate(expr=IsNull(left, negated=negated))
+        op_token = self.advance()
+        if op_token.kind != "op":
+            raise SqlParseError(f"expected comparison at {op_token!r}")
+        right = self._parse_scalar()
+        # aggregate calls only become expressions in HAVING rewriting
+        expr = None
+        if isinstance(left, Expr) and isinstance(right, Expr):
+            expr = Compare(op_token.text, left, right)
+        return _Predicate(expr=expr, raw=(left, op_token.text, right))
+
+    def _parse_or_group(self) -> "_Predicate":
+        self.expect_punct("(")
+        branches = [self._parse_predicate()]
+        while self.accept_kw("OR"):
+            branches.append(self._parse_predicate())
+        self.expect_punct(")")
+        if len(branches) == 1:
+            return branches[0]
+        return _Predicate(expr=Or(*[b.to_expr() for b in branches]))
+
+    def _parse_not_exists(self) -> "_Predicate":
+        self.expect_punct("(")
+        self.expect_kw("SELECT")
+        self.advance()  # the constant 1 (or any scalar)
+        self.expect_kw("FROM")
+        table, alias = self._parse_table_ref()
+        self.expect_kw("WHERE")
+        conditions = self._parse_conjunction()
+        self.expect_punct(")")
+        return _Predicate(anti=(_AntiSpec(table, alias, conditions)))
+
+
+class _AggCall:
+    __slots__ = ("func", "column")
+
+    def __init__(self, func: str, column: Optional[str]) -> None:
+        self.func = func
+        self.column = column
+
+
+class _SelectItem:
+    __slots__ = ("expression", "alias", "star")
+
+    def __init__(self, expression=None, alias=None, star=False):
+        self.expression = expression
+        self.alias = alias
+        self.star = star
+
+
+class _AntiSpec:
+    __slots__ = ("table", "alias", "conditions")
+
+    def __init__(self, table, alias, conditions):
+        self.table = table
+        self.alias = alias
+        self.conditions = conditions
+
+
+class _Predicate:
+    """One WHERE conjunct: a plain expression, a raw comparison (kept
+    for join-condition extraction), or a NOT EXISTS spec."""
+
+    __slots__ = ("expr", "raw", "anti")
+
+    def __init__(self, expr=None, raw=None, anti=None):
+        self.expr = expr
+        self.raw = raw
+        self.anti = anti
+
+    def to_expr(self) -> Expr:
+        if self.expr is None:
+            raise SqlParseError("NOT EXISTS not allowed inside OR")
+        return self.expr
+
+    def is_column_equality(self) -> bool:
+        return (
+            self.raw is not None
+            and self.raw[1] == "="
+            and isinstance(self.raw[0], Col)
+            and isinstance(self.raw[2], Col)
+        )
+
+
+class _SelectSpec:
+    def __init__(self) -> None:
+        self.distinct = False
+        self.select_items: List[_SelectItem] = []
+        self.tables: List[Tuple[str, str]] = []
+        self.where: List[_Predicate] = []
+        self.group_by: List[str] = []
+        self.having: Optional[_Predicate] = None
+        self.union_with: List["_SelectSpec"] = []
+        self.order_by: List[Tuple[str, bool]] = []
+        self.limit: Optional[int] = None
+
+
+# -- plan construction ---------------------------------------------------------------
+
+
+def parse_sql(sql: str) -> PlanNode:
+    """Parse a SELECT statement into a logical plan."""
+    spec = _Parser(_tokenize(sql)).parse_statement()
+    plan = _build_select(spec)
+    if spec.union_with:
+        plans = [plan] + [_build_select(other) for other in spec.union_with]
+        plan = UnionAll(plans)
+    if spec.order_by:
+        plan = Sort(plan, spec.order_by)
+    if spec.limit is not None:
+        plan = Limit(plan, spec.limit)
+    return plan
+
+
+def _build_select(spec: _SelectSpec) -> PlanNode:
+    alias_of: Dict[str, str] = {}
+    for table, alias in spec.tables:
+        if alias in alias_of:
+            raise SqlParseError(f"duplicate alias {alias!r}")
+        alias_of[alias] = table
+
+    joins = [p for p in spec.where if p.is_column_equality() and _spans_two_aliases(p, alias_of)]
+    antis = [p for p in spec.where if p.anti is not None]
+    filters = [p for p in spec.where if p not in joins and p.anti is None]
+
+    plan = _build_join_tree(spec.tables, joins)
+    if filters:
+        plan = Filter(plan, conj(*[p.to_expr() for p in filters]))
+    for predicate in antis:
+        plan = _apply_anti(plan, predicate.anti)
+
+    if spec.group_by or _has_aggregates(spec):
+        plan = _apply_aggregate(spec, plan)
+    else:
+        plan = _apply_projection(spec, plan)
+    if spec.distinct:
+        plan = Distinct(plan)
+    return plan
+
+
+def _spans_two_aliases(predicate: _Predicate, alias_of: Dict[str, str]) -> bool:
+    left, _, right = predicate.raw
+    left_alias = left.name.split(".")[0] if "." in left.name else None
+    right_alias = right.name.split(".")[0] if "." in right.name else None
+    return (
+        left_alias in alias_of
+        and right_alias in alias_of
+        and left_alias != right_alias
+    )
+
+
+def _build_join_tree(
+    tables: Sequence[Tuple[str, str]], joins: List[_Predicate]
+) -> PlanNode:
+    """Left-deep join tree in FROM order, attaching every usable
+    equality condition when its second side becomes available."""
+    remaining = list(joins)
+    first_table, first_alias = tables[0]
+    plan: PlanNode = Scan(first_table, first_alias)
+    joined = {first_alias}
+    for table, alias in tables[1:]:
+        left_keys: List[str] = []
+        right_keys: List[str] = []
+        still_remaining = []
+        for predicate in remaining:
+            left, _, right = predicate.raw
+            la, ra = left.name.split(".")[0], right.name.split(".")[0]
+            if la in joined and ra == alias:
+                left_keys.append(left.name)
+                right_keys.append(right.name)
+            elif ra in joined and la == alias:
+                left_keys.append(right.name)
+                right_keys.append(left.name)
+            else:
+                still_remaining.append(predicate)
+        remaining = still_remaining
+        if not left_keys:
+            raise SqlParseError(
+                f"no join condition connects table alias {alias!r} "
+                "(cross products unsupported)"
+            )
+        plan = HashJoin(plan, Scan(table, alias), left_keys, right_keys)
+        joined.add(alias)
+    if remaining:
+        plan = Filter(plan, conj(*[p.to_expr() for p in remaining]))
+    return plan
+
+
+def _apply_anti(plan: PlanNode, anti: _AntiSpec) -> PlanNode:
+    left_keys: List[str] = []
+    right_keys: List[str] = []
+    extra: List[Expr] = []
+    for predicate in anti.conditions:
+        if predicate.raw is None:
+            raise SqlParseError("unsupported predicate inside NOT EXISTS")
+        left, op, right = predicate.raw
+        if op != "=":
+            raise SqlParseError("NOT EXISTS supports equality conditions only")
+        left_is_inner = isinstance(left, Col) and left.name.startswith(anti.alias + ".")
+        right_is_inner = isinstance(right, Col) and right.name.startswith(anti.alias + ".")
+        if left_is_inner and right_is_inner:
+            raise SqlParseError("inner-only conditions unsupported in NOT EXISTS")
+        if left_is_inner and isinstance(right, Col):
+            right_keys.append(left.name)
+            left_keys.append(right.name)
+        elif right_is_inner and isinstance(left, Col):
+            right_keys.append(right.name)
+            left_keys.append(left.name)
+        elif left_is_inner and isinstance(right, Const):
+            extra.append(Compare("=", left, right))
+        elif right_is_inner and isinstance(left, Const):
+            extra.append(Compare("=", right, left))
+        else:
+            raise SqlParseError("NOT EXISTS condition must involve the inner table")
+    right_plan: PlanNode = Scan(anti.table, anti.alias)
+    if extra:
+        right_plan = Filter(right_plan, conj(*extra))
+    if not left_keys:
+        raise SqlParseError("NOT EXISTS needs at least one correlated equality")
+    return AntiJoin(plan, right_plan, left_keys, right_keys)
+
+
+def _has_aggregates(spec: _SelectSpec) -> bool:
+    return any(isinstance(item.expression, _AggCall) for item in spec.select_items)
+
+
+def _apply_aggregate(spec: _SelectSpec, plan: PlanNode) -> PlanNode:
+    aggregates: List[Tuple[str, Optional[str], str]] = []
+    outputs: List[Tuple[Expr, str]] = []
+    counter = 0
+
+    def register(call: _AggCall, alias: Optional[str]) -> str:
+        nonlocal counter
+        for func, column, name in aggregates:
+            if func == call.func and column == call.column:
+                return name
+        name = alias or f"agg_{counter}"
+        counter += 1
+        aggregates.append((call.func, call.column, name))
+        return name
+
+    for item in spec.select_items:
+        if item.star:
+            raise SqlParseError("SELECT * with GROUP BY unsupported")
+        if isinstance(item.expression, _AggCall):
+            name = register(item.expression, item.alias)
+            outputs.append((Col(name), item.alias or name))
+        else:
+            expression = item.expression
+            name = item.alias or (
+                expression.name if isinstance(expression, Col) else None
+            )
+            if name is None:
+                raise SqlParseError("non-column select item needs AS in GROUP BY")
+            outputs.append((expression, name))
+
+    having_expr: Optional[Expr] = None
+    if spec.having is not None:
+        having_expr = _rewrite_having(spec.having, register)
+
+    aggregate = Aggregate(
+        plan, group_by=spec.group_by, aggregates=aggregates, having=having_expr
+    )
+    return Project(aggregate, outputs)
+
+
+def _rewrite_having(predicate: _Predicate, register) -> Expr:
+    if predicate.raw is None:
+        if predicate.expr is not None:
+            return predicate.expr
+        raise SqlParseError("unsupported HAVING predicate")
+    left, op, right = predicate.raw
+    return Compare(op, _having_operand(left, register), _having_operand(right, register))
+
+
+def _having_operand(operand, register) -> Expr:
+    if isinstance(operand, _AggCall):
+        return Col(register(operand, None))
+    return _as_expr(operand)
+
+
+def _apply_projection(spec: _SelectSpec, plan: PlanNode) -> PlanNode:
+    if len(spec.select_items) == 1 and spec.select_items[0].star:
+        return plan
+    outputs: List[Tuple[Expr, str]] = []
+    for item in spec.select_items:
+        if item.star:
+            raise SqlParseError("mixing * with other select items is unsupported")
+        expression = item.expression
+        if isinstance(expression, _AggCall):
+            raise SqlParseError("aggregate without GROUP BY context")
+        name = item.alias or (
+            expression.name if isinstance(expression, Col) else f"col_{len(outputs)}"
+        )
+        outputs.append((expression, name))
+    return Project(plan, outputs)
+
+
+def _as_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    raise SqlParseError(f"expected scalar expression, got {value!r}")
+
+
+def _number(text: str) -> Value:
+    return float(text) if "." in text else int(text)

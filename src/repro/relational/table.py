@@ -1,0 +1,153 @@
+"""In-memory table storage with optional unique-key deduplication and
+hash indexes.
+
+A :class:`Table` stores rows as tuples.  When the schema declares a
+``unique_key``, inserts use set semantics on that key: a row whose key
+already exists is dropped.  This is how ProbKB's fact table avoids
+re-deriving known facts across grounding iterations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .schema import TableSchema
+from .types import ExecutionError, Row, Value, ensure
+
+
+class Table:
+    """An in-memory relation."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: List[Row] = []
+        self._key_positions: Optional[Tuple[int, ...]] = None
+        self._key_set: Optional[Set[Row]] = None
+        if schema.unique_key is not None:
+            self._key_positions = schema.positions(schema.unique_key)
+            self._key_set = set()
+        # lazily built hash indexes: column positions -> key -> row ids
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, List[int]]] = {}
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def _key_of(self, row: Row) -> Row:
+        assert self._key_positions is not None
+        return tuple(row[pos] for pos in self._key_positions)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, rows: Iterable[Row], validate: bool = True) -> int:
+        """Insert rows; returns the number actually stored.
+
+        With a unique key, duplicate-keyed rows are dropped (first writer
+        wins), including duplicates within ``rows`` itself.
+        """
+        inserted = 0
+        append = self.rows.append
+        if self._key_set is None:
+            for row in rows:
+                if validate:
+                    self.schema.validate_row(row)
+                append(tuple(row))
+                inserted += 1
+        else:
+            key_set = self._key_set
+            for row in rows:
+                if validate:
+                    self.schema.validate_row(row)
+                row = tuple(row)
+                key = self._key_of(row)
+                if key in key_set:
+                    continue
+                key_set.add(key)
+                append(row)
+                inserted += 1
+        if inserted:
+            self._indexes.clear()
+        return inserted
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the number removed."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        if removed:
+            self.rows = kept
+            self._rebuild_key_set()
+            self._indexes.clear()
+        return removed
+
+    def delete_in(self, column_names: Sequence[str], keys: Set[Row]) -> int:
+        """Delete rows whose projection on ``column_names`` is in ``keys``.
+
+        This implements ``DELETE FROM t WHERE (c1, ..., cn) IN (...)`` —
+        the shape of ProbKB's constraint-application Query 3.
+        """
+        positions = self.schema.positions(column_names)
+        return self.delete_where(
+            lambda row: tuple(row[pos] for pos in positions) in keys
+        )
+
+    def truncate(self) -> None:
+        self.rows = []
+        if self._key_set is not None:
+            self._key_set = set()
+        self._indexes.clear()
+
+    def _rebuild_key_set(self) -> None:
+        if self._key_positions is None:
+            return
+        self._key_set = {self._key_of(row) for row in self.rows}
+        if len(self._key_set) != len(self.rows):
+            raise ExecutionError(
+                f"unique key violated in table {self.name!r} after delete"
+            )
+
+    # -- lookup ------------------------------------------------------------
+
+    def contains_key(self, key: Row) -> bool:
+        """True if a row with this unique key exists (requires unique key)."""
+        ensure(
+            self._key_set is not None,
+            ExecutionError,
+            f"table {self.name!r} has no unique key",
+        )
+        return key in self._key_set  # type: ignore[operator]
+
+    def index_on(self, column_names: Sequence[str]) -> Dict[Row, List[int]]:
+        """Return (building if necessary) a hash index on the given columns.
+
+        Maps each key tuple to the list of row ids having that key.
+        Indexes are invalidated by any mutation.
+        """
+        positions = self.schema.positions(column_names)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = defaultdict(list)
+            for row_id, row in enumerate(self.rows):
+                index[tuple(row[pos] for pos in positions)].append(row_id)
+            index = dict(index)
+            self._indexes[positions] = index
+        return index
+
+    def project(self, column_names: Sequence[str]) -> List[Row]:
+        positions = self.schema.positions(column_names)
+        return [tuple(row[pos] for pos in positions) for row in self.rows]
+
+    def column(self, column_name: str) -> List[Value]:
+        pos = self.schema.position(column_name)
+        return [row[pos] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name}, {len(self.rows)} rows)"

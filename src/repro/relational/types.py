@@ -1,0 +1,72 @@
+"""Value and row types shared by the relational engine.
+
+The engine stores rows as plain Python tuples.  Column values are limited
+to the small set of scalar types the ProbKB relational model needs:
+integers (identifiers, dictionary-encoded symbols), floats (weights),
+strings (symbolic debugging tables), and NULL (``None``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+Value = Union[int, float, str, None]
+Row = Tuple[Value, ...]
+
+#: Type tags accepted by :class:`repro.relational.schema.Column`.
+INT = "int"
+FLOAT = "float"
+TEXT = "text"
+
+_PYTHON_TYPES = {
+    INT: (int,),
+    # bool is excluded from int on purpose; weights may be ints too.
+    FLOAT: (int, float),
+    TEXT: (str,),
+}
+
+VALID_TYPES = frozenset(_PYTHON_TYPES)
+
+
+def check_value(value: Value, type_tag: str) -> bool:
+    """Return True if ``value`` is acceptable for a column of ``type_tag``.
+
+    NULL (``None``) is always acceptable; nullability constraints are the
+    caller's concern.
+    """
+    if value is None:
+        return True
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, _PYTHON_TYPES[type_tag])
+
+
+def sql_literal(value: Value) -> str:
+    """Render a value as a SQL literal (PostgreSQL/SQLite compatible)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """Schema definition or column resolution failure."""
+
+
+class ExecutionError(RelationalError):
+    """Runtime failure while executing a plan."""
+
+
+class PlanError(RelationalError):
+    """Structurally invalid logical plan."""
+
+
+def ensure(condition: bool, exc: type, message: str) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)

@@ -1,0 +1,98 @@
+"""The paper's running example (Table 1): the Ruth Gruber KB.
+
+Shared by several test modules; grounding it must reproduce the TΠ and
+TΦ contents of Figure 3 exactly.
+"""
+
+from repro import Atom, Fact, FunctionalConstraint, HornClause, KnowledgeBase, Relation
+
+RG, NYC, BR = "Ruth Gruber", "New York City", "Brooklyn"
+
+
+def paper_kb(with_constraints: bool = False) -> KnowledgeBase:
+    classes = {
+        "Writer": {RG},
+        "City": {NYC},
+        "Place": {BR},
+    }
+    relations = [
+        Relation("born_in", "Writer", "Place"),
+        Relation("born_in", "Writer", "City"),
+        Relation("live_in", "Writer", "Place"),
+        Relation("live_in", "Writer", "City"),
+        Relation("grow_up_in", "Writer", "Place"),
+        Relation("grow_up_in", "Writer", "City"),
+        Relation("located_in", "Place", "City"),
+    ]
+    facts = [
+        Fact("born_in", RG, "Writer", NYC, "City", weight=0.96),
+        Fact("born_in", RG, "Writer", BR, "Place", weight=0.93),
+    ]
+
+    def rule1(head_rel, body_rel, c1, c2, w):
+        return HornClause.make(
+            Atom(head_rel, ("x", "y")),
+            [Atom(body_rel, ("x", "y"))],
+            w,
+            {"x": c1, "y": c2},
+        )
+
+    def rule3(head_rel, q_rel, r_rel, w):
+        # located_in(x, y) <- q(z, x), r(z, y);  x: Place, y: City, z: Writer
+        return HornClause.make(
+            Atom(head_rel, ("x", "y")),
+            [Atom(q_rel, ("z", "x")), Atom(r_rel, ("z", "y"))],
+            w,
+            {"x": "Place", "y": "City", "z": "Writer"},
+        )
+
+    rules = [
+        rule1("live_in", "born_in", "Writer", "Place", 1.40),
+        rule1("live_in", "born_in", "Writer", "City", 1.53),
+        rule1("grow_up_in", "born_in", "Writer", "Place", 2.68),
+        rule1("grow_up_in", "born_in", "Writer", "City", 0.74),
+        rule3("located_in", "live_in", "live_in", 0.32),
+        rule3("located_in", "born_in", "born_in", 0.52),
+    ]
+    constraints = []
+    if with_constraints:
+        constraints = [FunctionalConstraint("born_in", arg=1, degree=1)]
+    return KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        rules=rules,
+        constraints=constraints,
+    )
+
+
+#: Figure 3(g): the closure of TΠ — (relation, subject, object) triples.
+EXPECTED_CLOSURE = {
+    ("born_in", RG, NYC),
+    ("born_in", RG, BR),
+    ("live_in", RG, NYC),
+    ("live_in", RG, BR),
+    ("grow_up_in", RG, NYC),
+    ("grow_up_in", RG, BR),
+    ("located_in", BR, NYC),
+}
+
+#: Figure 3(e): TΦ as (head triple, frozenset of body triples, weight).
+EXPECTED_FACTORS = {
+    (("born_in", RG, NYC), frozenset(), 0.96),
+    (("born_in", RG, BR), frozenset(), 0.93),
+    (("live_in", RG, NYC), frozenset({("born_in", RG, NYC)}), 1.53),
+    (("live_in", RG, BR), frozenset({("born_in", RG, BR)}), 1.40),
+    (("grow_up_in", RG, NYC), frozenset({("born_in", RG, NYC)}), 0.74),
+    (("grow_up_in", RG, BR), frozenset({("born_in", RG, BR)}), 2.68),
+    (
+        ("located_in", BR, NYC),
+        frozenset({("born_in", RG, BR), ("born_in", RG, NYC)}),
+        0.52,
+    ),
+    (
+        ("located_in", BR, NYC),
+        frozenset({("live_in", RG, BR), ("live_in", RG, NYC)}),
+        0.32,
+    ),
+}

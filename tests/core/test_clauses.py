@@ -1,0 +1,122 @@
+"""Horn clause classification (Definitions 5-6): all six patterns,
+canonical ordering, round-trips, and rejection of unsupported shapes."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Atom,
+    ClauseError,
+    HornClause,
+    PARTITION_BODY_PATTERNS,
+    classify_clause,
+    clause_from_identifier,
+)
+
+CLASSES = {"x": "A", "y": "B", "z": "C"}
+
+
+def clause(head_args, body_specs, weight=1.0):
+    head = Atom("p", head_args)
+    body = [Atom(name, args) for name, args in body_specs]
+    variables = {v for atom in [head] + body for v in atom.args}
+    return HornClause.make(head, body, weight, {v: CLASSES[v] for v in variables})
+
+
+@pytest.mark.parametrize(
+    "body,expected",
+    [
+        ([("q", ("x", "y"))], 1),
+        ([("q", ("y", "x"))], 2),
+        ([("q", ("z", "x")), ("r", ("z", "y"))], 3),
+        ([("q", ("x", "z")), ("r", ("z", "y"))], 4),
+        ([("q", ("z", "x")), ("r", ("y", "z"))], 5),
+        ([("q", ("x", "z")), ("r", ("y", "z"))], 6),
+    ],
+)
+def test_all_six_patterns(body, expected):
+    classified = classify_clause(clause(("x", "y"), body))
+    assert classified.partition == expected
+    assert classified.relations[0] == "p"
+
+
+def test_body_order_is_canonicalized():
+    """The y-atom listed first must still classify with q = the x-atom."""
+    swapped = clause(("x", "y"), [("r", ("z", "y")), ("q", ("z", "x"))])
+    classified = classify_clause(swapped)
+    assert classified.partition == 3
+    assert classified.relations == ("p", "q", "r")
+
+
+def test_nonstandard_variable_names():
+    head = Atom("lives", ("a", "b"))
+    body = [Atom("born", ("a", "b"))]
+    rule = HornClause.make(head, body, 1.0, {"a": "Person", "b": "City"})
+    classified = classify_clause(rule)
+    assert classified.partition == 1
+    assert classified.classes == ("Person", "City")
+
+
+def test_classes_follow_canonical_positions():
+    rule = clause(("x", "y"), [("q", ("z", "x")), ("r", ("z", "y"))])
+    classified = classify_clause(rule)
+    assert classified.classes == ("A", "B", "C")  # (C1, C2, C3) = x, y, z
+
+
+def test_roundtrip_through_identifier_tuple():
+    for partition, _ in PARTITION_BODY_PATTERNS.items():
+        relations = ("p", "q", "r")[: 2 if partition in (1, 2) else 3]
+        classes = ("A", "B", "C")[: 2 if partition in (1, 2) else 3]
+        rebuilt = clause_from_identifier(partition, relations, classes, 0.7)
+        classified = classify_clause(rebuilt)
+        assert classified.partition == partition
+        assert classified.relations == relations
+        assert classified.classes == classes
+        assert classified.weight == 0.7
+
+
+@pytest.mark.parametrize(
+    "head_args,body",
+    [
+        (("x", "x"), [("q", ("x", "y"))]),  # repeated head variable
+        (("x", "y"), [("q", ("z", "w")), ("r", ("z", "y"))]),  # two join vars
+        (("x", "y"), [("q", ("x", "y")), ("r", ("x", "y")), ("s", ("x", "y"))]),
+        (("x", "y"), [("q", ("z", "z"))]),  # body doesn't use head vars
+        (("x", "y"), [("q", ("x", "y")), ("r", ("x", "y"))]),  # no z at all
+    ],
+)
+def test_unsupported_shapes_rejected(head_args, body):
+    variables = {v for _, args in body for v in args} | set(head_args)
+    classes = {v: "A" for v in variables}
+    head = Atom("p", head_args)
+    atoms = [Atom(name, args) for name, args in body]
+    rule = HornClause.make(head, atoms, 1.0, classes)
+    with pytest.raises(ClauseError):
+        classify_clause(rule)
+
+
+def test_untyped_variable_rejected():
+    rule = HornClause.make(
+        Atom("p", ("x", "y")), [Atom("q", ("x", "y"))], 1.0, {"x": "A"}
+    )
+    with pytest.raises(ClauseError):
+        classify_clause(rule)
+
+
+def test_hard_rule_flag():
+    rule = clause(("x", "y"), [("q", ("x", "y"))], weight=math.inf)
+    assert rule.is_hard
+
+
+def test_clause_str_contains_quantifiers():
+    rule = clause(("x", "y"), [("q", ("x", "y"))], weight=1.4)
+    text = str(rule)
+    assert "p(x, y)" in text and "q(x, y)" in text and "1.40" in text
+
+
+def test_identifier_arity_validation():
+    with pytest.raises(ClauseError):
+        clause_from_identifier(3, ("p", "q"), ("A", "B", "C"), 1.0)
+    with pytest.raises(ClauseError):
+        clause_from_identifier(1, ("p", "q"), ("A", "B", "C"), 1.0)

@@ -1,0 +1,119 @@
+"""Semantic/functional constraint application (Query 3, Section 5)."""
+
+import pytest
+
+from repro import (
+    Fact,
+    FunctionalConstraint,
+    KnowledgeBase,
+    ProbKB,
+    Relation,
+    TYPE_I,
+    TYPE_II,
+)
+from repro.core import MPPBackend
+
+
+def kb_with_violations(constraints):
+    classes = {
+        "Person": {"mandel", "ann"},
+        "City": {"berlin", "baltimore", "paris", "rome"},
+        "Country": {"germany", "france"},
+    }
+    relations = [
+        Relation("born_in", "Person", "City"),
+        Relation("capital_of", "City", "Country"),
+        Relation("live_in", "Person", "City"),
+    ]
+    facts = [
+        # mandel violates Type I born_in (two cities)
+        Fact("born_in", "mandel", "Person", "berlin", "City", 0.9),
+        Fact("born_in", "mandel", "Person", "baltimore", "City", 0.8),
+        Fact("born_in", "ann", "Person", "paris", "City", 0.9),
+        # germany violates Type II capital_of (two capitals)
+        Fact("capital_of", "berlin", "City", "germany", "Country", 0.9),
+        Fact("capital_of", "baltimore", "City", "germany", "Country", 0.6),
+        Fact("capital_of", "paris", "City", "france", "Country", 0.9),
+        # pseudo-functional live_in with degree 2: two is fine
+        Fact("live_in", "ann", "Person", "paris", "City", 0.9),
+        Fact("live_in", "ann", "Person", "rome", "City", 0.7),
+    ]
+    return KnowledgeBase(
+        classes=classes, relations=relations, facts=facts, constraints=constraints
+    )
+
+
+def surviving(system):
+    return {(f.relation, f.subject, f.object) for f in system.all_facts()}
+
+
+def test_type_i_violation_removes_subject_facts():
+    kb = kb_with_violations([FunctionalConstraint("born_in", arg=TYPE_I)])
+    system = ProbKB(kb, backend="single")
+    removed = system.apply_constraints()
+    assert removed == 2
+    remaining = surviving(system)
+    assert ("born_in", "mandel", "berlin") not in remaining
+    assert ("born_in", "mandel", "baltimore") not in remaining
+    assert ("born_in", "ann", "paris") in remaining
+
+
+def test_type_ii_violation_removes_object_facts():
+    kb = kb_with_violations([FunctionalConstraint("capital_of", arg=TYPE_II)])
+    system = ProbKB(kb, backend="single")
+    removed = system.apply_constraints()
+    assert removed == 2
+    remaining = surviving(system)
+    assert ("capital_of", "berlin", "germany") not in remaining
+    assert ("capital_of", "paris", "france") in remaining
+
+
+def test_pseudo_functional_degree_tolerates_up_to_delta():
+    kb = kb_with_violations([FunctionalConstraint("live_in", arg=TYPE_I, degree=2)])
+    system = ProbKB(kb, backend="single")
+    assert system.apply_constraints() == 0
+
+    kb = kb_with_violations([FunctionalConstraint("live_in", arg=TYPE_I, degree=1)])
+    system = ProbKB(kb, backend="single")
+    # Query 3 greedily removes ALL facts of the violating entity (ann),
+    # including her born_in fact — 3 rows, not just the 2 live_in rows
+    assert system.apply_constraints() == 3
+
+
+def test_constraints_apply_on_mpp_backend():
+    kb = kb_with_violations(
+        [
+            FunctionalConstraint("born_in", arg=TYPE_I),
+            FunctionalConstraint("capital_of", arg=TYPE_II),
+        ]
+    )
+    single = ProbKB(kb_with_violations(kb.constraints), backend="single")
+    mpp = ProbKB(kb, backend=MPPBackend(nseg=3))
+    assert single.apply_constraints() == mpp.apply_constraints() == 4
+    assert surviving(single) == surviving(mpp)
+
+
+def test_no_constraints_is_noop():
+    kb = kb_with_violations([])
+    system = ProbKB(kb, backend="single")
+    assert system.apply_constraints() == 0
+    assert len(surviving(system)) == 8
+
+
+def test_constraint_grouping_is_per_class_pair():
+    """A person born in a City and (separately typed) in a Country does
+    not violate: GROUP BY includes C2 (Section 5.4's Query 3)."""
+    classes = {"Person": {"ann"}, "City": {"paris"}, "Country": {"france"}}
+    relations = [Relation("born_in", "Person", "City")]
+    facts = [
+        Fact("born_in", "ann", "Person", "paris", "City", 0.9),
+        Fact("born_in", "ann", "Person", "france", "Country", 0.9),
+    ]
+    kb = KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        constraints=[FunctionalConstraint("born_in", arg=TYPE_I)],
+    )
+    system = ProbKB(kb, backend="single")
+    assert system.apply_constraints() == 0

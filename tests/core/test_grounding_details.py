@@ -1,0 +1,120 @@
+"""Grounding mechanics: iteration stats, convergence, constraint
+interleaving, and the graveyard semantics."""
+
+import pytest
+
+from repro import Fact, FunctionalConstraint, KnowledgeBase, ProbKB, Relation
+from repro.core import Atom, DEFAULT_MAX_ITERATIONS, HornClause
+
+from .paper_example import paper_kb
+
+
+def test_iteration_stats_fields():
+    system = ProbKB(paper_kb(), backend="single")
+    result = system.ground()
+    first = result.iterations[0]
+    assert first.iteration == 1
+    assert first.new_facts == 5
+    assert first.derived_rows >= first.new_facts
+    assert first.seconds > 0
+    assert first.fact_count == 7
+
+
+def test_max_iterations_cap():
+    system = ProbKB(paper_kb(), backend="single")
+    result = system.ground(max_iterations=1)
+    assert len(result.iterations) == 1
+    assert not result.converged
+
+
+def test_default_iteration_cap_matches_paper():
+    # "15 iterations ground most of the facts"
+    assert DEFAULT_MAX_ITERATIONS == 15
+
+
+def test_graveyard_blocks_rederivation():
+    """A fact deleted by Query 3 must not be re-derived by the very
+    rules that produced it — otherwise constrained grounding would
+    never converge."""
+    classes = {"P": {"p1"}, "C": {"c1", "c2"}}
+    relations = [Relation("r", "P", "C"), Relation("q", "P", "C")]
+    facts = [
+        Fact("q", "p1", "P", "c1", "C", 0.9),
+        Fact("q", "p1", "P", "c2", "C", 0.9),
+    ]
+    # r(x, y) <- q(x, y): derives r(p1,c1) and r(p1,c2), violating the
+    # functional constraint on r
+    rules = [
+        HornClause.make(
+            Atom("r", ("x", "y")),
+            [Atom("q", ("x", "y"))],
+            1.0,
+            {"x": "P", "y": "C"},
+        )
+    ]
+    kb = KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        rules=rules,
+        constraints=[FunctionalConstraint("r", arg=1, degree=1)],
+    )
+    system = ProbKB(kb, backend="single", apply_constraints=True)
+    result = system.ground(max_iterations=10)
+    assert result.converged
+    # the violating entity p1 was removed entirely and stayed removed
+    assert all(f.subject != "p1" or f.relation == "q" for f in system.all_facts())
+    graveyard = system.backend.table_size("TDel")
+    assert graveyard >= 2
+
+
+def test_constraints_can_be_disabled_per_system():
+    kb = paper_kb(with_constraints=True)
+    unconstrained = ProbKB(kb, backend="single", apply_constraints=False)
+    unconstrained.ground()
+    assert unconstrained.fact_count() == 7  # nothing removed
+
+
+def test_empty_rule_set_converges_immediately():
+    kb = KnowledgeBase(
+        classes={"P": {"a"}},
+        relations=[Relation("r", "P", "P")],
+        facts=[Fact("r", "a", "P", "a", "P", 0.9)],
+        rules=[],
+    )
+    system = ProbKB(kb, backend="single")
+    result = system.ground()
+    assert result.converged
+    assert result.total_new_facts == 0
+    assert result.factors == 1  # the singleton prior
+
+
+def test_no_facts_kb():
+    kb = KnowledgeBase(
+        classes={"P": {"a"}},
+        relations=[Relation("r", "P", "P")],
+        facts=[],
+        rules=[
+            HornClause.make(
+                Atom("r", ("x", "y")),
+                [Atom("r", ("y", "x"))],
+                1.0,
+                {"x": "P", "y": "P"},
+            )
+        ],
+    )
+    system = ProbKB(kb, backend="single")
+    result = system.ground()
+    assert result.converged and system.fact_count() == 0
+
+
+def test_derived_rows_counts_candidates():
+    """derived_rows counts candidate rows the joins produced (before
+    dedup), new_facts what survived the set union."""
+    system = ProbKB(paper_kb(), backend="single")
+    first = system.grounder.ground_atoms_iteration(1)
+    second = system.grounder.ground_atoms_iteration(2)
+    assert first.new_facts == 5
+    assert second.new_facts == 0
+    # iteration 2 re-derives located_in via live_in but it is guarded out
+    assert second.derived_rows <= first.derived_rows

@@ -1,0 +1,110 @@
+"""Class hierarchy (Remark 1): the paper's Kale example."""
+
+import pytest
+
+from repro import Atom, Fact, HornClause, KnowledgeBase, ProbKB, Relation
+from repro.core.hierarchy import broaden_facts, generalizations, subclass_map
+
+
+def kale_kb():
+    """Kale (a Vegetable ⊆ Food) is rich in calcium; a rule typed over
+    Food says calcium-rich foods help prevent osteoporosis."""
+    classes = {
+        "Vegetable": {"Kale"},
+        "Food": {"Kale", "Cheese"},
+        "Nutrient": {"calcium"},
+        "Disease": {"osteoporosis"},
+    }
+    relations = [
+        Relation("rich_in", "Food", "Nutrient"),
+        Relation("helps_prevent", "Nutrient", "Disease"),
+        Relation("prevents", "Food", "Disease"),
+    ]
+    facts = [
+        Fact("rich_in", "Kale", "Vegetable", "calcium", "Nutrient", 0.9),
+        Fact("helps_prevent", "calcium", "Nutrient", "osteoporosis", "Disease", 0.8),
+    ]
+    rules = [
+        # prevents(x, y) <- rich_in(x, z) ∧ helps_prevent(z, y), x: Food
+        HornClause.make(
+            Atom("prevents", ("x", "y")),
+            [Atom("rich_in", ("x", "z")), Atom("helps_prevent", ("z", "y"))],
+            weight=1.0,
+            var_classes={"x": "Food", "y": "Disease", "z": "Nutrient"},
+        )
+    ]
+    return KnowledgeBase(
+        classes=classes, relations=relations, facts=facts, rules=rules
+    )
+
+
+def test_subclass_map():
+    kb = kale_kb()
+    ancestors = subclass_map(kb)
+    assert ancestors["Vegetable"] == {"Food"}
+    assert ancestors["Food"] == set()
+    assert ancestors["Nutrient"] == set()
+
+
+def test_subclass_map_is_transitive():
+    kb = KnowledgeBase(
+        classes={"A": {"x"}, "B": {"x", "y"}, "C": {"x", "y", "z"}},
+        relations=[],
+    )
+    ancestors = subclass_map(kb)
+    assert ancestors["A"] == {"B", "C"}
+    assert ancestors["B"] == {"C"}
+
+
+def test_equal_classes_are_not_hierarchy():
+    kb = KnowledgeBase(
+        classes={"A": {"x"}, "Alias": {"x"}},
+        relations=[],
+    )
+    ancestors = subclass_map(kb)
+    assert ancestors["A"] == set() and ancestors["Alias"] == set()
+
+
+def test_generalizations():
+    kb = kale_kb()
+    ancestors = subclass_map(kb)
+    fact = kb.facts[0]
+    copies = generalizations(fact, ancestors)
+    assert len(copies) == 1
+    assert copies[0].subject_class == "Food"
+    assert copies[0].weight is None
+
+
+def test_without_broadening_rule_does_not_fire():
+    system = ProbKB(kale_kb(), backend="single")
+    system.ground()
+    triples = {(f.relation, f.subject, f.object) for f in system.all_facts()}
+    assert ("prevents", "Kale", "osteoporosis") not in triples
+
+
+def test_kale_example_with_broadening():
+    """The paper's motivating inference: Kale is rich in calcium, and
+    calcium helps prevent osteoporosis, so Kale helps prevent
+    osteoporosis — enabled by Vegetable ⊆ Food."""
+    system = ProbKB(broaden_facts(kale_kb()), backend="single")
+    system.ground()
+    triples = {(f.relation, f.subject, f.object) for f in system.all_facts()}
+    assert ("prevents", "Kale", "osteoporosis") in triples
+
+
+def test_broadening_adds_only_rule_relevant_signatures():
+    kb = kale_kb()
+    broadened = broaden_facts(kb)
+    extra = [f for f in broadened.facts if f not in kb.facts]
+    assert len(extra) == 1  # only the rich_in(Food, Nutrient) copy
+    # the generalized copy is weightless: no extra singleton factor
+    system = ProbKB(broadened, backend="single")
+    system.ground()
+    singletons = [row for row in system.factor_rows() if row[1] is None and row[2] is None]
+    assert len(singletons) == 2  # only the two original extractions
+
+
+def test_broadening_idempotent():
+    once = broaden_facts(kale_kb())
+    twice = broaden_facts(once)
+    assert len(twice.facts) == len(once.facts)

@@ -1,0 +1,99 @@
+"""Incremental knowledge expansion: add_evidence + delta re-grounding."""
+
+import pytest
+
+from repro import Fact, ProbKB
+
+from .paper_example import EXPECTED_CLOSURE, paper_kb
+
+
+def triples(system):
+    return {(f.relation, f.subject, f.object) for f in system.all_facts()}
+
+
+def batch_system(extra_fact=None):
+    """Ground everything at once (the reference outcome)."""
+    kb = paper_kb()
+    if extra_fact is not None:
+        kb.add_fact(extra_fact)
+    system = ProbKB(kb, backend="single")
+    system.ground()
+    return system
+
+
+def test_incremental_matches_batch():
+    """Grounding facts incrementally reaches the same closure as
+    grounding everything at once."""
+    kb = paper_kb()
+    held_out = kb.facts[1]  # born_in(Ruth Gruber, Brooklyn)
+    kb.facts = [kb.facts[0]]
+    kb._fact_keys = {kb.facts[0].key}
+    incremental = ProbKB(kb, backend="single")
+    incremental.ground()
+    assert ("located_in", "Brooklyn", "New York City") not in triples(incremental)
+
+    outcome = incremental.add_evidence([held_out])
+    assert triples(incremental) == EXPECTED_CLOSURE
+    assert outcome.converged
+    assert incremental.factor_count() == batch_system().factor_count()
+
+
+def test_evidence_keeps_weight():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    new_fact = Fact("born_in", "Ruth Gruber", "Writer", "Brooklyn", "Place", 0.5)
+    # duplicate evidence is ignored (set semantics)
+    before = system.fact_count()
+    system.add_evidence([new_fact])
+    assert system.fact_count() == before
+
+
+def test_new_entity_evidence_expands():
+    kb = paper_kb()
+    kb.classes["Writer"].add("Saul Bellow")
+    system = ProbKB(kb, backend="single")
+    system.ground()
+    before = system.fact_count()
+    evidence = Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.9)
+    outcome = system.add_evidence([evidence])
+    assert system.fact_count() > before + 1  # evidence + its consequences
+    derived = triples(system)
+    assert ("live_in", "Saul Bellow", "Brooklyn") in derived
+    assert ("grow_up_in", "Saul Bellow", "Brooklyn") in derived
+    # the stored evidence kept its extraction weight
+    weighted = [
+        f for f in system.all_facts()
+        if f.subject == "Saul Bellow" and f.weight is not None
+    ]
+    assert len(weighted) == 1 and weighted[0].weight == 0.9
+
+
+def test_incremental_factor_rebuild_matches_batch():
+    kb = paper_kb()
+    kb.classes["Writer"].add("Saul Bellow")
+    incremental = ProbKB(kb, backend="single")
+    incremental.ground()
+    evidence = Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.9)
+    incremental.add_evidence([evidence])
+
+    reference = batch_system(None)
+    batch_kb = paper_kb()
+    batch_kb.classes["Writer"].add("Saul Bellow")
+    batch_kb.add_fact(evidence)
+    reference = ProbKB(batch_kb, backend="single")
+    reference.ground()
+    assert triples(incremental) == triples(reference)
+    assert incremental.factor_count() == reference.factor_count()
+
+
+def test_add_evidence_on_mpp():
+    from repro.core import MPPBackend
+
+    kb = paper_kb()
+    kb.classes["Writer"].add("Saul Bellow")
+    system = ProbKB(kb, backend=MPPBackend(nseg=3))
+    system.ground()
+    system.add_evidence(
+        [Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.9)]
+    )
+    assert ("live_in", "Saul Bellow", "Brooklyn") in triples(system)

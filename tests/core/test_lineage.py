@@ -1,0 +1,81 @@
+"""Lineage queries over TΦ (Section 4.2.3)."""
+
+import pytest
+
+from repro.core import LineageIndex
+
+
+@pytest.fixture
+def index():
+    # 1, 2 are extracted facts; 3 <- 1; 4 <- 1,2; 5 <- 4; 5 <- 3 (two ways)
+    rows = [
+        (1, None, None, 0.9),
+        (2, None, None, 0.8),
+        (3, 1, None, 1.2),
+        (4, 1, 2, 0.5),
+        (5, 4, None, 0.7),
+        (5, 3, None, 0.6),
+    ]
+    return LineageIndex(rows)
+
+
+def test_base_facts(index):
+    assert index.is_base(1) and index.is_base(2)
+    assert not index.is_base(4)
+    assert index.base_facts == {1, 2}
+
+
+def test_derivations_of(index):
+    assert len(index.derivations_of(5)) == 2
+    assert index.derivations_of(4)[0].body == (1, 2)
+    assert index.derivations_of(1) == []
+
+
+def test_derived_facts(index):
+    assert index.derived_facts() == {3, 4, 5}
+
+
+def test_base_support_transitive(index):
+    assert index.base_support(5) == {1, 2}
+    assert index.base_support(3) == {1}
+    assert index.base_support(1) == {1}
+
+
+def test_affected_by_forward_propagation(index):
+    assert index.affected_by(1) == {3, 4, 5}
+    assert index.affected_by(2) == {4, 5}
+    assert index.affected_by(5) == frozenset()
+
+
+def test_derivation_tree_depth(index):
+    tree = index.derivation_tree(5, max_depth=1)
+    assert len(tree.derivations) == 2
+    # depth 1: premises are not expanded further
+    for step in tree.derivations:
+        for premise in step.premises:
+            assert premise.derivations == []
+    deep = index.derivation_tree(5, max_depth=3)
+    rendering = deep.render()
+    assert "fact 5" in rendering and "(base)" in rendering
+
+
+def test_credibility(index):
+    assert index.credibility(1) == 1.0  # base
+    assert index.credibility(3) == pytest.approx(0.5)  # one derivation
+    assert index.credibility(5) == pytest.approx(0.75)  # two derivations
+    assert index.credibility(99) == 0.0  # unknown fact
+
+
+def test_facts_using(index):
+    uses_of_1 = index.facts_using(1)
+    assert {d.head for d in uses_of_1} == {3, 4}
+
+
+def test_cycle_safety():
+    """Cyclic derivations (a <- b, b <- a) must not hang."""
+    rows = [(1, 2, None, 0.5), (2, 1, None, 0.5), (1, None, None, 0.9)]
+    index = LineageIndex(rows)
+    assert index.base_support(2) == {1}
+    assert 2 in index.affected_by(1)
+    tree = index.derivation_tree(1, max_depth=4)
+    assert tree.fact == 1

@@ -1,0 +1,105 @@
+"""KnowledgeBase model tests (Definition 1)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Atom,
+    Fact,
+    FunctionalConstraint,
+    HornClause,
+    KnowledgeBase,
+    KnowledgeBaseError,
+    Relation,
+    TYPE_I,
+    TYPE_II,
+)
+
+
+def small_kb():
+    return KnowledgeBase(
+        classes={"Person": {"ann", "bob"}, "City": {"paris"}},
+        relations=[Relation("born_in", "Person", "City")],
+        facts=[Fact("born_in", "ann", "Person", "paris", "City", 0.9)],
+    )
+
+
+def test_entities_union_of_classes():
+    kb = small_kb()
+    assert kb.entities == {"ann", "bob", "paris"}
+
+
+def test_fact_set_semantics():
+    kb = small_kb()
+    duplicate = Fact("born_in", "ann", "Person", "paris", "City", 0.5)
+    assert not kb.add_fact(duplicate)  # same key, different weight
+    assert len(kb.facts) == 1
+
+
+def test_fact_validation():
+    kb = small_kb()
+    with pytest.raises(KnowledgeBaseError):
+        kb.add_fact(Fact("born_in", "zoe", "Person", "paris", "City", 0.9))
+    with pytest.raises(KnowledgeBaseError):
+        kb.add_fact(Fact("born_in", "ann", "Nation", "paris", "City", 0.9))
+
+
+def test_validation_can_be_disabled():
+    kb = KnowledgeBase(
+        classes={"Person": set()},
+        relations=[],
+        facts=[Fact("r", "nobody", "Ghost", "nothing", "Ghost", 1.0)],
+        validate=False,
+    )
+    assert len(kb.facts) == 1
+
+
+def test_hard_rule_rejected_from_h():
+    kb = small_kb()
+    rule = HornClause.make(
+        Atom("live_in", ("x", "y")),
+        [Atom("born_in", ("x", "y"))],
+        math.inf,
+        {"x": "Person", "y": "City"},
+    )
+    with pytest.raises(KnowledgeBaseError):
+        kb.add_rule(rule)
+
+
+def test_constraint_validation():
+    with pytest.raises(ValueError):
+        FunctionalConstraint("born_in", arg=3)
+    with pytest.raises(ValueError):
+        FunctionalConstraint("born_in", degree=0)
+    assert FunctionalConstraint("capital_of", arg=TYPE_II).arg == TYPE_II
+
+
+def test_stats():
+    kb = small_kb()
+    stats = kb.stats()
+    assert stats == {
+        "relations": 1,
+        "rules": 0,
+        "entities": 3,
+        "facts": 1,
+        "classes": 2,
+        "constraints": 0,
+    }
+
+
+def test_subclass_pairs():
+    kb = KnowledgeBase(
+        classes={"City": {"paris"}, "Place": {"paris", "alps"}},
+        relations=[],
+    )
+    assert ("City", "Place") in kb.subclass_pairs()
+    assert ("Place", "City") not in kb.subclass_pairs()
+
+
+def test_fact_str_and_key():
+    fact = Fact("born_in", "ann", "Person", "paris", "City", 0.9)
+    assert "born_in(ann, paris)" in str(fact)
+    assert fact.key == ("born_in", "ann", "Person", "paris", "City")
+    inferred = Fact("born_in", "ann", "Person", "paris", "City")
+    assert inferred.key == fact.key  # weight not part of identity

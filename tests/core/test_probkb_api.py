@@ -1,0 +1,95 @@
+"""The ProbKB facade: backends, inference plumbing, results access."""
+
+import pytest
+
+from repro import ProbKB
+from repro.core import MPPBackend, SingleNodeBackend, make_backend
+
+from .paper_example import paper_kb
+
+
+def test_make_backend_resolution():
+    assert isinstance(make_backend("single"), SingleNodeBackend)
+    mpp = make_backend("mpp", nseg=3, use_matviews=False)
+    assert isinstance(mpp, MPPBackend)
+    assert mpp.nseg == 3 and not mpp.use_matviews
+    existing = SingleNodeBackend()
+    assert make_backend(existing) is existing
+    with pytest.raises(ValueError):
+        make_backend("oracle")
+
+
+def test_all_vs_inferred_facts():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    all_facts = system.all_facts()
+    inferred = system.inferred_facts()
+    assert len(all_facts) == 7
+    assert len(inferred) == 5
+    assert all(fact.weight is None for fact in inferred)
+    extracted = [f for f in all_facts if f.weight is not None]
+    assert len(extracted) == 2
+
+
+def test_new_facts_without_marginals():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    results = system.new_facts()
+    assert len(results) == 5
+    assert all(probability is None for _, probability in results)
+
+
+def test_new_facts_with_threshold():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    marginals = system.infer(num_sweeps=600, seed=1)
+    accepted = system.new_facts(marginals, min_probability=0.5)
+    everything = system.new_facts(marginals, min_probability=0.0)
+    assert len(accepted) <= len(everything) == 5
+    for _, probability in accepted:
+        assert probability >= 0.5
+
+
+def test_bp_inference_method():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    gibbs = system.infer(method="gibbs", num_sweeps=3000, seed=2)
+    bp = system.infer(method="bp")
+    assert set(f.key for f in gibbs) == set(f.key for f in bp)
+    for fact, probability in bp.items():
+        assert gibbs[fact] == pytest.approx(probability, abs=0.12)
+
+
+def test_unknown_inference_method():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    with pytest.raises(ValueError):
+        system.infer(method="magic")
+
+
+def test_counts_and_clock():
+    system = ProbKB(paper_kb(), backend="single")
+    before = system.elapsed_seconds
+    system.ground()
+    assert system.fact_count() == 7
+    assert system.factor_count() == 8
+    assert system.elapsed_seconds > before
+    assert system.load_seconds > 0
+
+
+def test_lineage_accessor():
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    lineage = system.lineage()
+    assert len(lineage.base_facts) == 2
+    assert len(lineage.derived_facts()) == 5
+
+
+def test_grounding_result_aggregates():
+    system = ProbKB(paper_kb(), backend="single")
+    result = system.ground()
+    assert result.total_new_facts == 5
+    assert result.total_seconds == pytest.approx(
+        result.atoms_seconds + result.factor_seconds
+    )
+    assert result.load_seconds == system.load_seconds

@@ -1,0 +1,75 @@
+"""Materialized marginals and the query-time interface."""
+
+import pytest
+
+from repro import ProbKB
+
+from .paper_example import paper_kb
+
+
+@pytest.fixture(scope="module")
+def system():
+    probkb = ProbKB(paper_kb(), backend="single")
+    probkb.ground()
+    probkb.materialize_marginals(num_sweeps=800, seed=5)
+    return probkb
+
+
+def test_materialize_covers_all_facts(system):
+    assert system.backend.table_size("TProb") == system.fact_count()
+
+
+def test_query_by_relation(system):
+    results = system.query_facts(relation="live_in")
+    assert len(results) == 2
+    for fact, probability in results:
+        assert fact.relation == "live_in"
+        assert probability is not None
+
+
+def test_query_by_subject_and_object(system):
+    results = system.query_facts(subject="Brooklyn", relation="located_in")
+    assert len(results) == 1
+    fact, probability = results[0]
+    assert fact.object == "New York City"
+    assert 0.0 < probability < 1.0
+    assert system.query_facts(object="Brooklyn", relation="located_in") == []
+
+
+def test_query_unknown_names(system):
+    assert system.query_facts(relation="owns") == []
+    assert system.query_facts(subject="Nobody") == []
+
+
+def test_probability_threshold(system):
+    everything = system.query_facts()
+    confident = system.query_facts(min_probability=0.55)
+    assert len(confident) < len(everything) == system.fact_count()
+    for _, probability in confident:
+        assert probability >= 0.55
+
+
+def test_rematerialization_replaces(system):
+    first = system.backend.table_size("TProb")
+    system.materialize_marginals(num_sweeps=200, seed=9)
+    assert system.backend.table_size("TProb") == first
+
+
+def test_query_before_materialization():
+    fresh = ProbKB(paper_kb(), backend="single")
+    fresh.ground()
+    results = fresh.query_facts(relation="born_in")
+    assert len(results) == 2
+    assert all(probability is None for _, probability in results)
+    # thresholds exclude un-scored facts
+    assert fresh.query_facts(relation="born_in", min_probability=0.1) == []
+
+
+def test_works_on_mpp_backend():
+    from repro.core import MPPBackend
+
+    probkb = ProbKB(paper_kb(), backend=MPPBackend(nseg=3))
+    probkb.ground()
+    probkb.materialize_marginals(num_sweeps=300, seed=2)
+    results = probkb.query_facts(relation="grow_up_in")
+    assert len(results) == 2

@@ -1,0 +1,129 @@
+"""Relational model tests: dictionaries, table loading, encoding."""
+
+import pytest
+
+from repro.core import Dictionary, MPPBackend, RelationalKB, SingleNodeBackend
+from repro.core.backends import TPI_VIEWS
+from repro.relational import Scan
+
+from .paper_example import paper_kb
+
+
+class TestDictionary:
+    def test_dense_ids(self):
+        d = Dictionary()
+        assert d.id("a") == 0
+        assert d.id("b") == 1
+        assert d.id("a") == 0  # stable
+        assert len(d) == 2
+
+    def test_name_roundtrip(self):
+        d = Dictionary()
+        for name in ("x", "y", "z"):
+            d.id(name)
+        assert [d.name(d.id(n)) for n in ("x", "y", "z")] == ["x", "y", "z"]
+
+    def test_lookup_missing(self):
+        d = Dictionary()
+        assert d.lookup("ghost") is None
+
+    def test_rows(self):
+        d = Dictionary()
+        d.id("a")
+        d.id("b")
+        assert d.rows() == [(0, "a"), (1, "b")]
+
+
+@pytest.fixture(scope="module")
+def rkb():
+    return RelationalKB(paper_kb(), SingleNodeBackend())
+
+
+class TestLoad:
+    def test_load_report(self, rkb):
+        report = rkb.load_report
+        assert report.facts == 2
+        assert report.entities == 3
+        assert report.classes == 3
+        assert sum(report.rules_by_partition.values()) == 6
+        assert report.rules_by_partition[1] == 4
+        assert report.rules_by_partition[3] == 2
+
+    def test_nonempty_partitions(self, rkb):
+        assert rkb.nonempty_partitions == [1, 3]
+
+    def test_dictionary_tables_loaded(self, rkb):
+        backend = rkb.backend
+        assert backend.table_size("DE") == 3
+        assert backend.table_size("DC") == 3
+        assert backend.table_size("DR") == 4  # distinct relation names
+
+    def test_tc_holds_memberships(self, rkb):
+        assert rkb.backend.table_size("TC") == 3
+
+    def test_staging_tables_exist(self, rkb):
+        for table in ("TNew", "TDel", "TDelta"):
+            assert rkb.backend.has_table(table)
+        # TDelta primed with the base facts for semi-naive iteration 1
+        assert rkb.backend.table_size("TDelta") == 2
+
+    def test_duplicate_facts_deduped_on_load(self):
+        kb = paper_kb()
+        before = len(kb.facts)
+        loaded = RelationalKB(kb, SingleNodeBackend())
+        assert loaded.fact_count() == before
+
+    def test_mln_rows_shape(self, rkb):
+        m1 = rkb.backend.query(Scan("M1"))
+        assert m1.columns == ["M1.R1", "M1.R2", "M1.C1", "M1.C2", "M1.w"]
+        assert len(m1) == 4
+
+
+class TestEncodeDecode:
+    def test_fact_roundtrip(self, rkb):
+        fact = paper_kb().facts[0]
+        key = rkb.encode_fact_key(fact)
+        row = (99,) + key + (fact.weight,)
+        decoded = rkb.decode_fact(row)
+        assert decoded.key == fact.key
+        assert decoded.weight == fact.weight
+
+    def test_insert_new_facts_row_api(self):
+        local = RelationalKB(paper_kb(), SingleNodeBackend())
+        fact = paper_kb().facts[0]
+        key = local.encode_fact_key(fact)
+        assert local.insert_new_facts([key]) == 0  # already present
+        fresh = (key[0], key[1], key[2], key[1], key[2])  # a new combination
+        assert local.insert_new_facts([fresh, fresh]) == 1  # deduped batch
+
+
+class TestMPPLoad:
+    def test_views_created_and_registered(self):
+        backend = MPPBackend(nseg=3, use_matviews=True)
+        RelationalKB(paper_kb(), backend)
+        for view in TPI_VIEWS:
+            assert backend.has_table(view)
+            assert backend.table_size(view) == backend.table_size("TP")
+        assert set(backend.db._mirrors["TP"]) == set(TPI_VIEWS)
+
+    def test_no_views_without_matviews(self):
+        backend = MPPBackend(nseg=3, use_matviews=False)
+        RelationalKB(paper_kb(), backend)
+        for view in TPI_VIEWS:
+            assert not backend.has_table(view)
+
+    def test_tpi_scan_selection(self):
+        backend = MPPBackend(nseg=3, use_matviews=True)
+        RelationalKB(paper_kb(), backend)
+        assert backend.tpi_scan("T", []).table_name == "T0"
+        assert backend.tpi_scan("T", ["x"]).table_name == "Tx"
+        assert backend.tpi_scan("T", ["y"]).table_name == "Ty"
+        assert backend.tpi_scan("T", ["x", "y"]).table_name == "Txy"
+
+    def test_tpi_scan_falls_back_to_tp(self):
+        backend = MPPBackend(nseg=3, use_matviews=False)
+        RelationalKB(paper_kb(), backend)
+        assert backend.tpi_scan("T", ["x"]).table_name == "TP"
+        single = SingleNodeBackend()
+        RelationalKB(paper_kb(), single)
+        assert single.tpi_scan("T", ["x", "y"]).table_name == "TP"

@@ -1,0 +1,77 @@
+"""Tuffy-T internals: per-relation tables, per-rule plans, loading."""
+
+import pytest
+
+from repro import TuffyT
+
+from .paper_example import paper_kb
+
+
+@pytest.fixture
+def tuffy():
+    return TuffyT(paper_kb())
+
+
+def test_one_table_per_relation(tuffy):
+    predicate_tables = [
+        name for name in tuffy.db.tables if name.startswith("pred_")
+    ]
+    # born_in, live_in, grow_up_in, located_in
+    assert len(predicate_tables) == 4
+
+
+def test_facts_loaded_into_their_tables(tuffy):
+    born_in = tuffy.relations.id("born_in")
+    assert len(tuffy.db.table(f"pred_{born_in}")) == 2
+    live_in = tuffy.relations.id("live_in")
+    assert len(tuffy.db.table(f"pred_{live_in}")) == 0
+
+
+def test_rule_specs_classified(tuffy):
+    partitions = sorted({spec.partition for spec in tuffy.rules})
+    assert partitions == [1, 3]
+    assert len(tuffy.rules) == 6
+
+
+def test_rule_atoms_plan_shape(tuffy):
+    spec = next(s for s in tuffy.rules if s.partition == 3)
+    plan = tuffy.rule_atoms_plan(spec)
+    assert plan.output_columns == ["x", "y"]
+    from repro.relational.plan import HashJoin, scans_of
+
+    assert len(scans_of(plan)) == 2  # body tables only
+
+
+def test_rule_factors_plan_includes_head(tuffy):
+    spec = next(s for s in tuffy.rules if s.partition == 1)
+    plan = tuffy.rule_factors_plan(spec)
+    assert plan.output_columns == ["I1", "I2", "I3", "w"]
+
+
+def test_statement_count_scales_with_rules(tuffy):
+    before = tuffy.db.clock.queries
+    tuffy.ground_atoms_iteration(1)
+    per_iteration = tuffy.db.clock.queries - before
+    assert per_iteration >= len(tuffy.rules)
+
+
+def test_convergence_and_idempotence(tuffy):
+    iterations, converged = tuffy.ground_atoms(max_iterations=10)
+    assert converged
+    final = tuffy.fact_count()
+    more, _ = tuffy.ground_atoms(max_iterations=2)
+    assert tuffy.fact_count() == final
+
+
+def test_all_facts_decodes_everything(tuffy):
+    tuffy.run(max_iterations=5)
+    facts = tuffy.all_facts()
+    assert len(facts) == tuffy.fact_count() == 7
+    inferred = [f for f in facts if f.weight is None]
+    assert len(inferred) == 5
+
+
+def test_elapsed_seconds_accumulates(tuffy):
+    before = tuffy.elapsed_seconds
+    tuffy.ground_atoms_iteration(1)
+    assert tuffy.elapsed_seconds > before

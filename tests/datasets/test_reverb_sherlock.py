@@ -1,0 +1,100 @@
+"""Generator tests: the noisy KB, its error injections, and the oracle."""
+
+import pytest
+
+from repro.datasets import GeneratedKB, ReVerbSherlockConfig, generate
+from repro.datasets.world import WorldConfig
+
+
+@pytest.fixture(scope="module")
+def generated() -> GeneratedKB:
+    return generate(ReVerbSherlockConfig(seed=5))
+
+
+def test_kb_is_valid_and_nonempty(generated):
+    stats = generated.stats()
+    assert stats["facts"] > 500
+    assert stats["rules"] > 20
+    assert stats["entities"] > 200
+    assert stats["constraints"] == 6
+
+
+def test_ambiguous_surfaces_map_to_multiple_reals(generated):
+    assert generated.ambiguous_surfaces
+    for surface in generated.ambiguous_surfaces:
+        assert len(generated.surface_to_reals[surface]) >= 2
+
+
+def test_synonyms_map_to_existing_entities(generated):
+    for alias, primary in generated.synonym_surfaces.items():
+        assert primary in generated.surface_to_reals[alias]
+
+
+def test_rules_have_scores_and_labels(generated):
+    labels = generated.rule_is_correct
+    assert set(labels) == set(generated.kb.rules)
+    assert any(labels.values()) and not all(labels.values())
+    for rule in generated.kb.rules:
+        assert 0.0 < rule.score <= 1.0
+        assert rule.weight > 0
+
+
+def test_correct_rules_score_higher_on_average(generated):
+    correct = [r.score for r, ok in generated.rule_is_correct.items() if ok]
+    wrong = [r.score for r, ok in generated.rule_is_correct.items() if not ok]
+    assert sum(correct) / len(correct) > sum(wrong) / len(wrong)
+
+
+def test_injected_errors_are_judged_incorrect(generated):
+    by_key = {fact.key: fact for fact in generated.kb.facts}
+    errors = [by_key[k] for k in generated.injected_error_keys if k in by_key]
+    assert errors
+    judged_incorrect = sum(
+        1 for fact in errors if generated.judge.judge(fact) == "incorrect"
+    )
+    assert judged_incorrect / len(errors) > 0.9
+
+
+def test_most_clean_extractions_are_acceptable(generated):
+    clean = [
+        fact
+        for fact in generated.kb.facts
+        if fact.key not in generated.injected_error_keys
+        and not fact.relation.startswith("bulk_")
+    ]
+    acceptable = sum(1 for fact in clean if generated.judge.is_acceptable(fact))
+    assert acceptable / len(clean) > 0.95
+
+
+def test_judge_resolves_ambiguity_generously(generated):
+    """A fact about an ambiguous name is correct if it holds for ANY of
+    the real entities behind the name (both of the paper's born_in
+    Mandel facts are individually correct)."""
+    surface = next(iter(generated.ambiguous_surfaces))
+    reals = generated.surface_to_reals[surface]
+    facts = [
+        f for f in generated.kb.facts
+        if f.subject == surface and f.relation == "born_in"
+        and f.key not in generated.injected_error_keys
+    ]
+    for fact in facts:
+        assert generated.judge.is_acceptable(fact)
+
+
+def test_bulk_relations_present(generated):
+    bulk = [r for r in generated.kb.relations if r.startswith("bulk_rel_")]
+    assert len(bulk) >= generated.config.n_bulk_relations // 2
+
+
+def test_deterministic_generation():
+    first = generate(ReVerbSherlockConfig(seed=9))
+    second = generate(ReVerbSherlockConfig(seed=9))
+    assert [f.key for f in first.kb.facts] == [f.key for f in second.kb.facts]
+    assert len(first.kb.rules) == len(second.kb.rules)
+
+
+def test_scaling_with_world_config():
+    small = generate(ReVerbSherlockConfig(world=WorldConfig(n_people=50), seed=1))
+    large = generate(ReVerbSherlockConfig(world=WorldConfig(n_people=400), seed=1))
+    assert large.stats()["facts"] > small.stats()["facts"]
+    assert large.stats()["entities"] > small.stats()["entities"]

@@ -1,0 +1,94 @@
+"""S1/S2 synthetic KB generators and TSV round-trips."""
+
+import pytest
+
+from repro.datasets import (
+    ReVerbSherlockConfig,
+    generate,
+    load_kb,
+    s1_kb,
+    s2_kb,
+    save_kb,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate(ReVerbSherlockConfig(seed=2))
+
+
+def test_s1_rule_count_exact(base):
+    for n_rules in (10, len(base.kb.rules) + 50):
+        kb = s1_kb(base, n_rules, seed=1)
+        assert len(kb.rules) == n_rules
+        assert len(kb.facts) == len(base.kb.facts)
+
+
+def test_s1_synthetic_rules_are_classifiable(base):
+    from repro.core import classify_clause
+
+    kb = s1_kb(base, len(base.kb.rules) + 30, seed=1)
+    for rule in kb.rules:
+        classify_clause(rule)  # must not raise
+
+
+def test_s1_deterministic(base):
+    first = s1_kb(base, 100, seed=7)
+    second = s1_kb(base, 100, seed=7)
+    assert [str(r) for r in first.rules] == [str(r) for r in second.rules]
+
+
+def test_s2_fact_count_exact(base):
+    for n_facts in (100, len(base.kb.facts) + 500):
+        kb = s2_kb(base, n_facts, seed=1)
+        assert len(kb.facts) == n_facts
+        assert len(kb.rules) == len(base.kb.rules)
+
+
+def test_s2_random_edges_follow_fact_signatures(base):
+    kb = s2_kb(base, len(base.kb.facts) + 200, seed=1)
+    extra = kb.facts[len(base.kb.facts):]
+    base_signatures = {
+        (f.relation, f.subject_class, f.object_class) for f in base.kb.facts
+    }
+    assert all(
+        (f.relation, f.subject_class, f.object_class) in base_signatures
+        for f in extra
+    )
+
+
+def test_s2_grows_entity_pool(base):
+    kb = s2_kb(base, len(base.kb.facts) + 2000, seed=1)
+    assert len(kb.entities) > len(base.kb.entities)
+
+
+def test_s2_truncates(base):
+    kb = s2_kb(base, 50, seed=1)
+    assert len(kb.facts) == 50
+
+
+def test_tsv_roundtrip(base, tmp_path):
+    directory = str(tmp_path / "kb")
+    save_kb(base.kb, directory)
+    loaded = load_kb(directory)
+    assert loaded.stats() == base.kb.stats()
+    assert {f.key for f in loaded.facts} == {f.key for f in base.kb.facts}
+    assert sorted(str(r) for r in loaded.rules) == sorted(
+        str(r) for r in base.kb.rules
+    )
+    assert {(c.relation, c.arg, c.degree) for c in loaded.constraints} == {
+        (c.relation, c.arg, c.degree) for c in base.kb.constraints
+    }
+
+
+def test_roundtrip_grounds_identically(base, tmp_path):
+    from repro import ProbKB
+
+    directory = str(tmp_path / "kb2")
+    save_kb(base.kb, directory)
+    loaded = load_kb(directory)
+    original = ProbKB(base.kb, backend="single", apply_constraints=False)
+    reloaded = ProbKB(loaded, backend="single", apply_constraints=False)
+    res_a = original.ground(max_iterations=2)
+    res_b = reloaded.ground(max_iterations=2)
+    assert res_a.total_new_facts == res_b.total_new_facts

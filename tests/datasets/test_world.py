@@ -1,0 +1,142 @@
+"""Ground-truth world tests: construction invariants, closures, judging."""
+
+import pytest
+
+from repro.datasets import World, WorldConfig, WorldRule, apply_rules
+from repro.datasets.world import PLAUSIBLE, SOUND
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(WorldConfig(seed=3))
+
+
+def test_sizes_match_config(world):
+    cfg = world.config
+    assert len(world.countries) == cfg.n_countries
+    assert len(world.cities) == cfg.n_countries * cfg.n_cities_per_country
+    assert len(world.people) == cfg.n_people
+
+
+def test_every_city_in_exactly_one_country(world):
+    placements = [t for t in world.true_facts if t[0] == "located_in" and t[1].startswith("city")]
+    by_city = {}
+    for _, city, country in placements:
+        assert city not in by_city
+        by_city[city] = country
+    assert set(by_city) == set(world.cities)
+
+
+def test_every_person_born_once(world):
+    births = [t for t in world.true_facts if t[0] == "born_in"]
+    assert len(births) == len({t[1] for t in births}) == len(world.people)
+
+
+def test_one_capital_per_country(world):
+    capitals = [t for t in world.true_facts if t[0] == "capital_of"]
+    assert len(capitals) == len(world.countries)
+    assert len({t[2] for t in capitals}) == len(world.countries)
+
+
+def test_sound_closure_contains_transitive_locations(world):
+    closure = world.sound_closure()
+    district = world.districts[0]
+    city = world.parent[district]
+    country = world.parent[city]
+    assert ("located_in", district, city) in closure
+    assert ("located_in", district, country) in closure  # derived
+
+
+def test_sound_closure_lifts_birthplaces(world):
+    closure = world.sound_closure()
+    births = [t for t in world.true_facts if t[0] == "born_in"]
+    _, person, place = births[0]
+    if place.startswith("district"):
+        city = world.parent[place]
+        assert ("born_in", person, city) in closure
+        assert ("born_in", person, world.parent[city]) in closure
+
+
+def test_plausible_closure_is_superset(world):
+    assert world.sound_closure() <= world.plausible_closure()
+    # born -> live is plausible but not sound
+    extra = world.plausible_closure() - world.sound_closure()
+    assert any(t[0] == "live_in" for t in extra)
+
+
+def test_judge_levels(world):
+    district = world.districts[0]
+    city = world.parent[district]
+    assert world.judge_triple(("located_in", district, city)) == "correct"
+    births = [t for t in world.true_facts if t[0] == "born_in"]
+    _, person, place = births[0]
+    birth_city = world._city_of(place)
+    assert world.judge_triple(("live_in", person, birth_city)) in ("correct", "probable")
+    home = place
+    while home not in world.countries:
+        home = world.parent[home]
+    other_country = next(c for c in world.countries if c != home)
+    assert world.judge_triple(("capital_of", place, other_country)) == "incorrect"
+
+
+def test_deterministic_for_seed():
+    first = World(WorldConfig(seed=11))
+    second = World(WorldConfig(seed=11))
+    assert first.true_facts == second.true_facts
+    assert World(WorldConfig(seed=12)).true_facts != first.true_facts
+
+
+def test_classes_of(world):
+    assert world.classes_of(world.cities[0]) == ("City", "Place")
+    assert world.classes_of(world.countries[0]) == ("Country", "Place")
+    assert world.classes_of(world.people[0]) == ("Person",)
+
+
+def test_class_map_covers_all_entities(world):
+    members = world.class_map()
+    total = set()
+    for values in members.values():
+        total.update(values)
+    assert set(world.people) <= total
+    assert set(world.cities) <= set(members["City"])
+    assert set(world.cities) <= set(members["Place"])
+
+
+def test_apply_rules_fixpoint():
+    base = {("r", "a", "b"), ("r", "b", "c"), ("r", "c", "d")}
+    transitive = WorldRule("r", ("r", "r"), pattern=4, kind=SOUND)
+    closure = apply_rules(base, [transitive])
+    assert ("r", "a", "d") in closure
+    assert ("r", "a", "c") in closure
+    assert len(closure) == 6
+
+
+def test_apply_rules_excludes_reflexive():
+    base = {("r", "a", "b"), ("r", "b", "a")}
+    transitive = WorldRule("r", ("r", "r"), pattern=4)
+    closure = apply_rules(base, [transitive])
+    assert ("r", "a", "a") not in closure
+
+
+@pytest.mark.parametrize(
+    "pattern,expected",
+    [
+        (1, ("head", "s", "a")),  # q(x, y)
+        (2, ("head", "a", "s")),  # q(y, x)
+        (3, ("head", "a", "b")),  # q(z,x)=q(s,a), r(z,y)=r(s,b)
+        (4, ("head", "s", "b")),  # q(x,z)=q(s,a), r(z,y)=r(a,b)
+        (5, ("head", "a", "b")),  # q(z,x)=q(s,a), r(y,z)=r(b,s)
+        (6, ("head", "s", "c")),  # q(x,z)=q(s,a), r(y,z)=r(c,a)
+    ],
+)
+def test_apply_rules_every_pattern(pattern, expected):
+    base = {
+        ("q", "s", "a"),
+        ("r", "s", "b"),
+        ("r", "a", "b"),
+        ("r", "b", "s"),
+        ("r", "c", "a"),
+    }
+    rule = WorldRule("head", ("q",) if pattern in (1, 2) else ("q", "r"), pattern=pattern)
+    closure = apply_rules(base, [rule])
+    assert expected in closure

@@ -1,0 +1,175 @@
+"""Inference engine tests: Gibbs and BP validated against exact
+enumeration on small graphs, plus structural/diagnostic checks."""
+
+import math
+
+import pytest
+
+from repro.infer import (
+    FactorGraph,
+    GibbsSampler,
+    bp_marginals,
+    exact_map,
+    exact_marginals,
+    gibbs_marginals,
+)
+
+
+def single_fact_graph(weight=1.0):
+    graph = FactorGraph()
+    graph.add_clause(1, [], weight)
+    return graph
+
+
+def chain_graph():
+    """The paper's Figure 2 shape: facts 1,2 with priors; rules derive 3,4,5."""
+    graph = FactorGraph()
+    graph.add_clause(1, [], 0.96)
+    graph.add_clause(2, [], 0.93)
+    graph.add_clause(3, [1], 1.53)  # live_in <- born_in
+    graph.add_clause(4, [2], 1.40)
+    graph.add_clause(5, [2, 1], 0.52)  # located_in <- born_in, born_in
+    graph.add_clause(5, [4, 3], 0.32)
+    return graph
+
+
+def test_singleton_marginal_matches_logistic():
+    # one variable, factor e^w if true: P(true) = e^w / (1 + e^w)
+    weight = 0.96
+    marginals = exact_marginals(single_fact_graph(weight))
+    expected = math.exp(weight) / (1 + math.exp(weight))
+    assert marginals[1] == pytest.approx(expected)
+
+
+def test_clause_factor_semantics():
+    graph = FactorGraph()
+    factor = graph.add_clause(10, [11, 12], 0.5)
+    # body true, head false -> violated
+    assert not factor.satisfied([0, 1, 1])
+    # body true, head true -> satisfied
+    assert factor.satisfied([1, 1, 1])
+    # body false -> vacuously satisfied regardless of head
+    assert factor.satisfied([0, 0, 1])
+    assert factor.satisfied([1, 1, 0])
+
+
+def test_infinite_weight_rejected():
+    graph = FactorGraph()
+    with pytest.raises(ValueError):
+        graph.add_clause(1, [2], math.inf)
+
+
+def test_rule_raises_head_probability():
+    """A derived fact should be more probable when its body is likely."""
+    weak = FactorGraph()
+    weak.add_clause(1, [], -2.0)  # body unlikely
+    weak.add_clause(2, [1], 2.0)
+    strong = FactorGraph()
+    strong.add_clause(1, [], 2.0)  # body likely
+    strong.add_clause(2, [1], 2.0)
+    assert exact_marginals(strong)[2] > exact_marginals(weak)[2]
+
+
+def test_gibbs_matches_exact_on_chain():
+    graph = chain_graph()
+    exact = exact_marginals(graph)
+    approx = gibbs_marginals(graph, num_sweeps=4000, seed=7)
+    for var, p in exact.items():
+        assert approx[var] == pytest.approx(p, abs=0.05)
+
+
+def test_bp_matches_exact_on_tree():
+    graph = FactorGraph()
+    graph.add_clause(1, [], 0.8)
+    graph.add_clause(2, [1], 1.2)
+    graph.add_clause(3, [2], 0.5)
+    exact = exact_marginals(graph)
+    result = bp_marginals(graph, max_iterations=200)
+    assert result.converged
+    for var, p in exact.items():
+        assert result.marginals[var] == pytest.approx(p, abs=0.02)
+
+
+def test_bp_close_on_loopy_graph():
+    graph = chain_graph()
+    exact = exact_marginals(graph)
+    result = bp_marginals(graph, max_iterations=300)
+    for var, p in exact.items():
+        assert result.marginals[var] == pytest.approx(p, abs=0.08)
+
+
+def test_chromatic_coloring_is_valid():
+    graph = chain_graph()
+    sampler = GibbsSampler(graph, seed=0)
+    neighbors = graph.neighbors()
+    for color_class in sampler._colors:
+        class_set = set(color_class)
+        for var in color_class:
+            assert class_set.isdisjoint(neighbors[var])
+
+
+def test_gibbs_deterministic_for_seed():
+    graph = chain_graph()
+    first = gibbs_marginals(graph, num_sweeps=100, seed=42)
+    second = gibbs_marginals(graph, num_sweeps=100, seed=42)
+    assert first == second
+
+
+def test_exact_map_prefers_satisfying_world():
+    graph = FactorGraph()
+    graph.add_clause(1, [], 3.0)
+    graph.add_clause(2, [1], 3.0)
+    assignment = exact_map(graph)
+    assert assignment == {1: 1, 2: 1}
+
+
+def test_exact_rejects_large_graphs():
+    graph = FactorGraph()
+    for i in range(30):
+        graph.add_clause(i, [], 0.1)
+    with pytest.raises(ValueError):
+        exact_marginals(graph)
+
+
+def test_empty_graph():
+    graph = FactorGraph()
+    assert exact_marginals(graph) == {}
+    assert gibbs_marginals(graph) == {}
+    assert bp_marginals(graph).marginals == {}
+
+
+def test_from_factor_rows_with_nulls():
+    rows = [(1, None, None, 0.9), (2, 1, None, 1.1), (3, 1, 2, 0.3)]
+    graph = FactorGraph.from_factor_rows(rows)
+    assert graph.num_variables == 3
+    assert graph.num_factors == 3
+    assert graph.factors[0].body == ()
+    assert len(graph.factors[2].body) == 2
+
+
+def test_multichain_diagnostics_converge_on_chain_graph():
+    from repro.infer import exact_marginals, gibbs_with_diagnostics
+
+    graph = chain_graph()
+    diagnostics = gibbs_with_diagnostics(graph, num_chains=4, num_sweeps=1500, seed=2)
+    assert diagnostics.converged(threshold=1.1)
+    exact = exact_marginals(graph)
+    for var, p in exact.items():
+        assert diagnostics.marginals[var] == pytest.approx(p, abs=0.06)
+
+
+def test_multichain_diagnostics_shapes():
+    from repro.infer import gibbs_with_diagnostics
+
+    graph = chain_graph()
+    diagnostics = gibbs_with_diagnostics(graph, num_chains=3, num_sweeps=50, seed=0)
+    assert set(diagnostics.marginals) == set(diagnostics.r_hat)
+    assert diagnostics.num_chains == 3
+    assert diagnostics.max_r_hat >= 1.0
+
+
+def test_multichain_empty_graph():
+    from repro.infer import FactorGraph, gibbs_with_diagnostics
+
+    diagnostics = gibbs_with_diagnostics(FactorGraph())
+    assert diagnostics.marginals == {} and diagnostics.converged()

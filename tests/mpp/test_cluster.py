@@ -1,0 +1,241 @@
+"""MPP simulator tests: result parity with the single-node engine,
+motion planning, matviews, and simulated-time accounting."""
+
+import pytest
+
+from repro.mpp import (
+    HashDistribution,
+    MPPDatabase,
+    RandomDistribution,
+    ReplicatedDistribution,
+)
+from repro.relational import (
+    Aggregate,
+    Database,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Project,
+    Scan,
+    UnionAll,
+    Values,
+    col,
+    const,
+    eq_const,
+    schema,
+)
+from repro.relational.expr import Compare
+
+PEOPLE = [(i, f"p{i}", (i % 7) * 10) for i in range(60)]
+CITIES = [(c * 10, f"city{c}", c * 1000) for c in range(7)]
+
+
+def make_pair(nseg=4, city_policy=None):
+    """Build equivalent single-node and MPP databases."""
+    single = Database()
+    cluster = MPPDatabase(nseg=nseg)
+    person_schema = schema("person", "id:int", "name:text", "city:int")
+    city_schema = schema("city", "id:int", "name:text", "pop:int")
+    single.create_table(person_schema)
+    single.create_table(city_schema)
+    cluster.create_table(person_schema, HashDistribution(["id"]))
+    cluster.create_table(city_schema, city_policy or HashDistribution(["id"]))
+    single.bulkload("person", PEOPLE)
+    single.bulkload("city", CITIES)
+    cluster.bulkload("person", PEOPLE)
+    cluster.bulkload("city", CITIES)
+    return single, cluster
+
+
+def assert_same(single, cluster, plan_factory):
+    ours = single.query(plan_factory()).sorted_rows()
+    theirs = cluster.query(plan_factory()).sorted_rows()
+    assert ours == theirs
+
+
+@pytest.mark.parametrize("nseg", [1, 3, 8])
+def test_scan_parity(nseg):
+    single, cluster = make_pair(nseg)
+    assert_same(single, cluster, lambda: Scan("person"))
+
+
+def test_filter_parity():
+    single, cluster = make_pair()
+    assert_same(
+        single, cluster, lambda: Filter(Scan("person"), eq_const("person.city", 10))
+    )
+
+
+def test_join_parity_not_collocated():
+    single, cluster = make_pair()
+    factory = lambda: HashJoin(
+        Scan("person", "p"), Scan("city", "c"), ["p.city"], ["c.id"]
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_join_collocated_when_distributed_on_keys():
+    # person distributed by city, city by id: join keys match distributions
+    cluster = MPPDatabase(nseg=4)
+    cluster.create_table(
+        schema("person", "id:int", "name:text", "city:int"),
+        HashDistribution(["city"]),
+    )
+    cluster.create_table(
+        schema("city", "id:int", "name:text", "pop:int"), HashDistribution(["id"])
+    )
+    cluster.bulkload("person", PEOPLE)
+    cluster.bulkload("city", CITIES)
+    result = cluster.query(
+        HashJoin(Scan("person", "p"), Scan("city", "c"), ["p.city"], ["c.id"])
+    )
+    assert len(result) == len(PEOPLE)
+    explain = cluster.explain_last()
+    assert "Motion" not in explain.replace("Gather Motion", "")
+
+
+def test_join_uncollocated_has_motion():
+    single, cluster = make_pair()
+    plan = HashJoin(Scan("person", "p"), Scan("city", "c"), ["p.city"], ["c.id"])
+    cluster.query(plan)
+    explain = cluster.explain_last()
+    assert "Redistribute Motion" in explain or "Broadcast Motion" in explain
+
+
+def test_replicated_join_needs_no_motion():
+    single, cluster = make_pair(city_policy=ReplicatedDistribution())
+    plan_factory = lambda: HashJoin(
+        Scan("person", "p"), Scan("city", "c"), ["p.city"], ["c.id"]
+    )
+    assert_same(single, cluster, plan_factory)
+    explain = cluster.explain_last()
+    assert "Redistribute Motion" not in explain
+    assert "Broadcast Motion" not in explain
+
+
+def test_aggregate_parity():
+    single, cluster = make_pair()
+    factory = lambda: Aggregate(
+        Scan("person", "p"),
+        group_by=["p.city"],
+        aggregates=[("count", None, "n"), ("min", "p.id", "min_id")],
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_aggregate_having_parity():
+    single, cluster = make_pair()
+    factory = lambda: Aggregate(
+        Scan("person", "p"),
+        group_by=["p.city"],
+        aggregates=[("count", None, "n")],
+        having=Compare(">", col("n"), const(8)),
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_global_aggregate_parity():
+    single, cluster = make_pair()
+    factory = lambda: Aggregate(
+        Scan("person"), group_by=[], aggregates=[("count", None, "n")]
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_distinct_parity():
+    single, cluster = make_pair()
+    factory = lambda: Distinct(
+        Project(Scan("person"), [(col("person.city"), "c")])
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_union_parity():
+    single, cluster = make_pair()
+    factory = lambda: UnionAll(
+        [
+            Project(Scan("person"), [(col("person.city"), "c")]),
+            Project(Scan("city"), [(col("city.id"), "c")]),
+        ]
+    )
+    assert_same(single, cluster, factory)
+
+
+def test_limit():
+    _, cluster = make_pair()
+    result = cluster.query(Limit(Scan("person"), 5))
+    assert len(result) == 5
+
+
+def test_insert_from_dedups_across_segments():
+    cluster = MPPDatabase(nseg=4)
+    cluster.create_table(
+        schema("t", "a:int", "b:int", unique_key=["a", "b"]),
+        HashDistribution(["a"]),
+    )
+    cluster.bulkload("t", [(1, 1), (2, 2)])
+    inserted = cluster.insert_from("t", Values(["a", "b"], [(1, 1), (3, 3), (3, 3)]))
+    assert inserted == 1  # (1,1) already present; (3,3) stored exactly once
+    assert len(cluster.table("t")) == 3
+
+
+def test_delete_in():
+    _, cluster = make_pair()
+    removed = cluster.delete_in("person", ["city"], Values(["k"], [(10,), (20,)]))
+    assert removed == sum(1 for p in PEOPLE if p[2] in (10, 20))
+
+
+def test_redistributed_matview():
+    _, cluster = make_pair()
+    cluster.create_redistributed_matview("person_by_city", "person", ["city"])
+    view = cluster.table("person_by_city")
+    assert len(view) == len(PEOPLE)
+    # all rows with the same city on the same segment
+    for part in view.parts:
+        pass
+    plan = HashJoin(
+        Scan("person_by_city", "p"), Scan("city", "c"), ["p.city"], ["c.id"]
+    )
+    cluster.query(plan)
+    explain = cluster.explain_last()
+    # collocated: no motion below the final gather
+    assert explain.count("Motion") == 1  # only the Gather
+
+
+def test_matview_refresh_picks_up_new_rows():
+    _, cluster = make_pair()
+    cluster.create_redistributed_matview("v", "person", ["city"])
+    cluster.bulkload("person", [(999, "new", 30)])
+    cluster.refresh_all_matviews()
+    assert len(cluster.table("v")) == len(PEOPLE) + 1
+
+
+def test_elapsed_time_accumulates():
+    _, cluster = make_pair()
+    before = cluster.elapsed_seconds
+    cluster.query(Scan("person"))
+    assert cluster.elapsed_seconds > before
+
+
+def test_unique_key_requires_distkey_subset():
+    cluster = MPPDatabase(nseg=2)
+    with pytest.raises(Exception):
+        cluster.create_table(
+            schema("t", "a:int", "b:int", unique_key=["a"]),
+            HashDistribution(["b"]),
+        )
+
+
+def test_more_segments_less_elapsed():
+    """Parallel (modelled) time should shrink with more segments."""
+    times = {}
+    for nseg in (1, 8):
+        cluster = MPPDatabase(nseg=nseg)
+        cluster.create_table(
+            schema("big", "a:int", "b:int"), HashDistribution(["a"])
+        )
+        cluster.bulkload("big", [(i, i % 100) for i in range(20000)])
+        cluster.query(Filter(Scan("big"), eq_const("big.b", 5)))
+        times[nseg] = cluster.elapsed_seconds
+    assert times[8] < times[1]

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PARTITION_BODY_PATTERNS,
+    classify_clause,
+    clause_from_identifier,
+)
+from repro.infer import FactorGraph, exact_marginals, gibbs_marginals
+from repro.mpp import HashDistribution, MPPDatabase, partition_rows, stable_hash
+from repro.relational import (
+    Database,
+    Distinct,
+    HashJoin,
+    Project,
+    Scan,
+    col,
+    schema,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.text(alphabet="abcdefg", min_size=1, max_size=4)
+small_int = st.integers(min_value=0, max_value=6)
+rows2 = st.lists(st.tuples(small_int, small_int), max_size=40)
+
+
+# -- relational engine ----------------------------------------------------------
+
+
+@given(left=rows2, right=rows2)
+@settings(max_examples=60, deadline=None)
+def test_hash_join_matches_nested_loop(left, right):
+    db = Database()
+    db.create_table(schema("l", "a:int", "b:int"))
+    db.create_table(schema("r", "c:int", "d:int"))
+    db.bulkload("l", left)
+    db.bulkload("r", right)
+    plan = HashJoin(Scan("l"), Scan("r"), ["l.b"], ["r.c"])
+    got = Counter(db.query(plan).rows)
+    expected = Counter(
+        lrow + rrow for lrow in left for rrow in right if lrow[1] == rrow[0]
+    )
+    assert got == expected
+
+
+@given(rows=rows2)
+@settings(max_examples=40, deadline=None)
+def test_distinct_is_set_semantics(rows):
+    db = Database()
+    db.create_table(schema("t", "a:int", "b:int"))
+    db.bulkload("t", rows)
+    result = db.query(Distinct(Scan("t")))
+    assert sorted(result.rows) == sorted(set(map(tuple, rows)))
+
+
+@given(rows=rows2)
+@settings(max_examples=40, deadline=None)
+def test_unique_key_inserts_are_idempotent(rows):
+    db = Database()
+    db.create_table(schema("t", "a:int", "b:int", unique_key=["a", "b"]))
+    db.bulkload("t", rows)
+    before = len(db.table("t"))
+    db.bulkload("t", rows)  # inserting the same rows again adds nothing
+    assert len(db.table("t")) == before == len(set(map(tuple, rows)))
+
+
+@given(rows=rows2, nseg=st.integers(min_value=1, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_mpp_scan_preserves_multiset(rows, nseg):
+    cluster = MPPDatabase(nseg=nseg)
+    cluster.create_table(schema("t", "a:int", "b:int"), HashDistribution(["a"]))
+    cluster.bulkload("t", rows)
+    result = cluster.query(Scan("t"))
+    assert Counter(result.rows) == Counter(map(tuple, rows))
+
+
+@given(left=rows2, right=rows2, nseg=st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mpp_join_matches_single_node(left, right, nseg):
+    single = Database()
+    cluster = MPPDatabase(nseg=nseg)
+    for engine in (single, cluster):
+        if isinstance(engine, Database):
+            engine.create_table(schema("l", "a:int", "b:int"))
+            engine.create_table(schema("r", "c:int", "d:int"))
+        else:
+            engine.create_table(schema("l", "a:int", "b:int"), HashDistribution(["b"]))
+            engine.create_table(schema("r", "c:int", "d:int"), HashDistribution(["d"]))
+        engine.bulkload("l", left)
+        engine.bulkload("r", right)
+    plan = lambda: HashJoin(Scan("l"), Scan("r"), ["l.b"], ["r.c"])
+    assert Counter(single.query(plan()).rows) == Counter(cluster.query(plan()).rows)
+
+
+@given(rows=rows2, nseg=st.integers(min_value=1, max_value=7))
+@settings(max_examples=40, deadline=None)
+def test_partition_rows_is_a_partition(rows, nseg):
+    policy = HashDistribution(["a"])
+    shards = partition_rows(rows, policy, (0,), nseg)
+    assert sum(len(s) for s in shards) == len(rows)
+    recombined = Counter(row for shard in shards for row in shard)
+    assert recombined == Counter(map(tuple, rows))
+    # deterministic placement: same key -> same shard
+    for seg, shard in enumerate(shards):
+        for row in shard:
+            assert stable_hash((row[0],)) % nseg == seg
+
+
+@given(values=st.lists(st.one_of(small_int, names), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_stable_hash_deterministic_and_type_sensitive(values):
+    assert stable_hash(values) == stable_hash(list(values))
+    # "1" and 1 must hash differently (strings vs ints never join)
+    assert stable_hash(["1"]) != stable_hash([1])
+
+
+# -- clauses ----------------------------------------------------------------------
+
+
+@st.composite
+def identifier_tuples(draw):
+    partition = draw(st.sampled_from(sorted(PARTITION_BODY_PATTERNS)))
+    body = len(PARTITION_BODY_PATTERNS[partition])
+    relations = tuple(draw(names) for _ in range(body + 1))
+    classes = tuple(draw(names) for _ in range(2 if body == 1 else 3))
+    weight = draw(
+        st.floats(min_value=0.01, max_value=10, allow_nan=False, allow_infinity=False)
+    )
+    return partition, relations, classes, weight
+
+
+@given(identifier=identifier_tuples())
+@settings(max_examples=100, deadline=None)
+def test_clause_identifier_roundtrip(identifier):
+    partition, relations, classes, weight = identifier
+    clause = clause_from_identifier(partition, relations, classes, weight)
+    classified = classify_clause(clause)
+    assert classified.partition == partition
+    assert classified.relations == relations
+    assert classified.classes == classes
+    assert classified.weight == pytest.approx(weight)
+
+
+# -- inference ----------------------------------------------------------------------
+
+
+@st.composite
+def small_factor_graphs(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=6))
+    n_factors = draw(st.integers(min_value=1, max_value=8))
+    graph = FactorGraph()
+    var_ids = list(range(n_vars))
+    for _ in range(n_factors):
+        head = draw(st.sampled_from(var_ids))
+        body_size = draw(st.integers(min_value=0, max_value=2))
+        body = [draw(st.sampled_from(var_ids)) for _ in range(body_size)]
+        weight = draw(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False))
+        graph.add_clause(head, body, weight)
+    return graph
+
+
+@given(graph=small_factor_graphs())
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_exact_marginals_are_probabilities(graph):
+    marginals = exact_marginals(graph)
+    assert set(marginals) == set(graph.external_ids())
+    for probability in marginals.values():
+        assert 0.0 <= probability <= 1.0
+
+
+@given(graph=small_factor_graphs())
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_gibbs_tracks_exact(graph):
+    exact = exact_marginals(graph)
+    approx = gibbs_marginals(graph, num_sweeps=2500, seed=1)
+    for var, probability in exact.items():
+        assert approx[var] == pytest.approx(probability, abs=0.12)
+
+
+@given(
+    weight=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_singleton_marginal_is_logistic(weight):
+    graph = FactorGraph()
+    graph.add_clause(0, [], weight)
+    expected = 1.0 / (1.0 + math.exp(-weight))
+    assert exact_marginals(graph)[0] == pytest.approx(expected)

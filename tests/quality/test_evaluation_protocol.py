@@ -1,0 +1,105 @@
+"""The Section 6.2 evaluation protocol's mechanics."""
+
+import pytest
+
+from repro.datasets import ReVerbSherlockConfig, generate
+from repro.datasets.world import WorldConfig
+from repro.quality import (
+    CurvePoint,
+    QualityConfig,
+    QualityRunResult,
+    precleaned_kb,
+    run_quality_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate(ReVerbSherlockConfig(world=WorldConfig(n_people=80), seed=11))
+
+
+class TestQualityConfig:
+    def test_describe_variants(self):
+        assert QualityConfig(False, 1.0).describe() == "no-SC no-RC"
+        assert QualityConfig(True, 0.2).describe() == "SC RC top 20%"
+        assert QualityConfig(True, 1.0, label="custom").describe() == "custom"
+
+
+class TestRunResult:
+    def make_result(self):
+        result = QualityRunResult(config=QualityConfig(True, 1.0))
+        result.points = [
+            CurvePoint(1, 100, 100, 0.8, 80.0),
+            CurvePoint(2, 50, 50, 0.6, 110.0),
+        ]
+        result.total_new_facts = 150
+        return result
+
+    def test_estimated_correct_is_cumulative(self):
+        assert self.make_result().estimated_correct == 110.0
+
+    def test_overall_precision(self):
+        assert self.make_result().overall_precision == pytest.approx(110 / 150)
+
+    def test_series(self):
+        assert self.make_result().series() == [(80.0, 0.8), (110.0, 0.6)]
+
+    def test_empty(self):
+        empty = QualityRunResult(config=QualityConfig(False, 1.0))
+        assert empty.estimated_correct == 0.0
+        assert empty.overall_precision == 0.0
+
+
+class TestProtocol:
+    def test_sampled_estimation_close_to_exact(self, generated):
+        config = QualityConfig(use_constraints=True, theta=0.5)
+        exact = run_quality_experiment(generated, config, max_iterations=6)
+        sampled = run_quality_experiment(
+            generated, config, max_iterations=6, sample_size=25, seed=1
+        )
+        assert sampled.total_new_facts == exact.total_new_facts
+        # 25-sample estimate is noisy but in the same region
+        assert sampled.overall_precision == pytest.approx(
+            exact.overall_precision, abs=0.25
+        )
+
+    def test_explosion_cap_stops_early(self, generated):
+        config = QualityConfig(use_constraints=False, theta=1.0)
+        capped = run_quality_experiment(
+            generated, config, max_iterations=12, explosion_cap=100
+        )
+        assert capped.exploded
+
+    def test_deterministic(self, generated):
+        config = QualityConfig(use_constraints=True, theta=0.5)
+        first = run_quality_experiment(generated, config, max_iterations=5)
+        second = run_quality_experiment(generated, config, max_iterations=5)
+        assert first.series() == second.series()
+
+
+class TestPrecleanedKb:
+    def test_removes_violating_facts(self, generated):
+        cleaned = precleaned_kb(generated.kb)
+        assert len(cleaned.facts) < len(generated.kb.facts)
+        assert len(cleaned.rules) == len(generated.kb.rules)
+
+    def test_noop_without_constraints(self, generated):
+        from repro.core import KnowledgeBase
+
+        bare = KnowledgeBase(
+            classes=generated.kb.classes,
+            relations=generated.kb.relations.values(),
+            facts=generated.kb.facts,
+            rules=generated.kb.rules,
+            constraints=[],
+            validate=False,
+        )
+        assert precleaned_kb(bare) is bare
+
+    def test_cleaned_kb_has_no_initial_violations(self, generated):
+        from repro import ProbKB
+        from repro.quality import find_violations
+
+        cleaned = precleaned_kb(generated.kb)
+        system = ProbKB(cleaned, backend="single", apply_constraints=False)
+        assert find_violations(system) == []

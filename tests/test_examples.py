@@ -1,0 +1,51 @@
+"""The shipped examples must at least compile; the fast ones also run."""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def example_files():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_all_examples_present():
+    assert len(example_files()) >= 5
+    assert "quickstart.py" in example_files()
+
+
+@pytest.mark.parametrize("name", example_files())
+def test_example_compiles(name):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, name), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart.py", "lineage_exploration.py", "incremental_expansion.py"]
+)
+def test_fast_examples_run(name):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()
+
+
+def test_quickstart_output_mentions_inferred_fact():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "located_in(Brooklyn, New York City)" in completed.stdout
+    assert "INFERRED" in completed.stdout
