@@ -10,12 +10,7 @@ Run:  python examples/incremental_expansion.py
 """
 
 from repro import Fact, ProbKB
-
-import os
-import sys
-
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests", "core"))
-from paper_example import paper_kb  # noqa: E402
+from repro.datasets import paper_kb
 
 
 def main() -> None:

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli ground   --kb kb/ --backend mpp --nseg 8 --out expanded/
     python -m repro.cli infer    --kb kb/ --method gibbs --top 20
     python -m repro.cli evaluate --seed 7 --theta 0.5 --constraints
+    python -m repro.cli serve    --kb kb/ --port 8080 --snapshot kb.snapshot.json
 
 ``generate`` writes the synthetic ReVerb-Sherlock KB as TSV files;
 ``ground``/``infer`` run the expansion pipeline on any TSV KB;
@@ -77,6 +78,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--constraints", action="store_true", help="apply semantic constraints"
     )
     evaluate_cmd.add_argument("--iterations", type=int, default=10)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="ground a KB and serve it over HTTP (repro.serve)"
+    )
+    serve_cmd.add_argument("--kb", help="KB directory (TSV) to load and ground")
+    serve_cmd.add_argument(
+        "--snapshot",
+        help="snapshot path: warm-start from it when present, write it "
+        "after grounding and on shutdown (POST /snapshot refreshes it)",
+    )
+    serve_cmd.add_argument("--backend", choices=("single", "mpp"), default="single")
+    serve_cmd.add_argument("--nseg", type=int, default=8)
+    serve_cmd.add_argument("--iterations", type=int, default=None)
+    serve_cmd.add_argument(
+        "--no-constraints", action="store_true", help="skip quality control"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    serve_cmd.add_argument(
+        "--materialize",
+        action="store_true",
+        help="run marginal inference and store TProb before serving",
+    )
+    serve_cmd.add_argument("--sweeps", type=int, default=200)
+    serve_cmd.add_argument("--cache-size", type=int, default=256)
+    serve_cmd.add_argument("--flush-size", type=int, default=64)
+    serve_cmd.add_argument("--flush-interval", type=float, default=0.2)
+    serve_cmd.add_argument("--max-queue", type=int, default=4096)
+    serve_cmd.add_argument(
+        "--infer-on-flush",
+        action="store_true",
+        help="re-materialize marginals after every ingest flush",
+    )
+    serve_cmd.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
     return parser
 
 
@@ -200,6 +239,79 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def build_serve_service(args):
+    """Build the KBService for ``serve`` (separate for testability)."""
+    import os
+
+    from .serve import IngestConfig, KBService, ServiceConfig, load_snapshot
+
+    if args.snapshot and os.path.exists(args.snapshot):
+        system = load_snapshot(args.snapshot, backend=args.backend, nseg=args.nseg)
+        print(f"warm start: {system.fact_count()} facts from {args.snapshot}")
+    elif args.kb:
+        kb = load_kb(args.kb)
+        system = ProbKB(
+            kb,
+            backend=args.backend,
+            nseg=args.nseg,
+            apply_constraints=not args.no_constraints,
+        )
+        result = system.ground(args.iterations)
+        print(
+            f"grounded {args.kb}: {system.fact_count()} facts "
+            f"({result.total_new_facts} inferred)"
+        )
+        if args.materialize:
+            stored = system.materialize_marginals(num_sweeps=args.sweeps)
+            print(f"materialized {stored} marginals ({args.sweeps} sweeps)")
+        if args.snapshot:
+            from .serve import save_snapshot
+
+            save_snapshot(system, args.snapshot)
+            print(f"snapshot written to {args.snapshot}")
+    else:
+        raise SystemExit("serve: need --kb, or --snapshot pointing at a file")
+
+    config = ServiceConfig(
+        cache_size=args.cache_size,
+        ingest=IngestConfig(
+            max_queue=args.max_queue,
+            flush_size=args.flush_size,
+            flush_interval=args.flush_interval,
+        ),
+        infer_on_flush=args.infer_on_flush,
+        num_sweeps=args.sweeps,
+    )
+    return KBService(system, config)
+
+
+def cmd_serve(args) -> int:
+    from .serve import make_server, save_snapshot
+
+    service = build_serve_service(args)
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    service.start()
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.stop()
+        if args.snapshot:
+            save_snapshot(service.probkb, args.snapshot)
+            print(f"snapshot written to {args.snapshot}")
+    return 0
+
+
 _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
@@ -207,6 +319,7 @@ _HANDLERS = {
     "ground": cmd_ground,
     "infer": cmd_infer,
     "evaluate": cmd_evaluate,
+    "serve": cmd_serve,
 }
 
 

@@ -74,6 +74,15 @@ class Backend:
     def has_table(self, table_name: str) -> bool:
         raise NotImplementedError
 
+    def project(self, table_name: str, column_names: Sequence[str]) -> List[Row]:
+        """Project a stored table onto named columns (schema-resolved).
+
+        Callers that need specific columns of a physical table use this
+        instead of slicing raw rows by position, so a schema change
+        cannot silently misalign them.
+        """
+        raise NotImplementedError
+
     @property
     def elapsed_seconds(self) -> float:
         raise NotImplementedError
@@ -128,6 +137,9 @@ class SingleNodeBackend(Backend):
 
     def has_table(self, table_name) -> bool:
         return self.db.has_table(table_name)
+
+    def project(self, table_name, column_names) -> List[Row]:
+        return self.db.table(table_name).project(column_names)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -189,6 +201,13 @@ class MPPBackend(Backend):
 
     def has_table(self, table_name) -> bool:
         return self.db.has_table(table_name)
+
+    def project(self, table_name, column_names) -> List[Row]:
+        table = self.db.table(table_name)
+        positions = table.schema.positions(column_names)
+        return [
+            tuple(row[pos] for pos in positions) for row in table.all_rows()
+        ]
 
     @property
     def elapsed_seconds(self) -> float:

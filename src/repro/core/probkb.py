@@ -24,7 +24,7 @@ from .backends import Backend, MPPBackend, SingleNodeBackend
 from .grounding import Grounder, GroundingResult
 from .lineage import LineageIndex
 from .model import Fact, KnowledgeBase
-from .relmodel import RelationalKB
+from .relmodel import FACT_KEY_COLUMNS, RelationalKB
 from .sqlgen import (
     apply_constraints_key_plan,
     ground_atoms_plan,
@@ -49,7 +49,17 @@ def make_backend(
 
 
 class ProbKB:
-    """A probabilistic knowledge base loaded and ready for expansion."""
+    """A probabilistic knowledge base loaded and ready for expansion.
+
+    Thread-safety: a ProbKB instance is **not** safe for concurrent use.
+    Mutating entry points (:meth:`ground`, :meth:`add_evidence`,
+    :meth:`apply_constraints`, :meth:`materialize_marginals`) update the
+    backend tables and the dictionaries in place; readers that interleave
+    with them can observe partially merged state.  ``repro.serve``
+    wraps an instance in a readers-writer lock for concurrent serving.
+    Every mutation bumps :attr:`generation`, so callers holding results
+    can detect that the KB has changed underneath them.
+    """
 
     def __init__(
         self,
@@ -71,6 +81,8 @@ class ProbKB:
             semi_naive=semi_naive,
         )
         self.grounding: Optional[GroundingResult] = None
+        #: monotone counter, bumped every time stored state mutates
+        self.generation = 0
 
     # -- pipeline ------------------------------------------------------------------
 
@@ -78,12 +90,14 @@ class ProbKB:
         """Run Query 3 once (e.g. up-front cleaning as in Section 6.1.1)."""
         removed = self.grounder.apply_constraints()
         self.backend.after_facts_changed()
+        self.generation += 1
         return removed
 
     def ground(self, max_iterations: Optional[int] = None) -> GroundingResult:
         """Run Algorithm 1; returns per-iteration statistics."""
         self.grounding = self.grounder.run(max_iterations)
         self.grounding.load_seconds = self.load_seconds
+        self.generation += 1
         return self.grounding
 
     def add_evidence(
@@ -114,6 +128,7 @@ class ProbKB:
             outcome.factors, outcome.factor_seconds = incremental.ground_factors()
         self.grounding = outcome
         outcome.load_seconds = self.load_seconds
+        self.generation += 1
         # the evidence itself counts as new knowledge in the report
         if outcome.iterations:
             outcome.iterations[0].new_facts += added
@@ -166,9 +181,10 @@ class ProbKB:
         inferred = self.inferred_facts()
         if marginals is None:
             return [(fact, None) for fact in inferred]
+        by_key = _marginals_by_key(marginals)
         results = []
         for fact in inferred:
-            probability = _lookup_marginal(marginals, fact)
+            probability = by_key.get(fact.key)
             if probability is not None and probability >= min_probability:
                 results.append((fact, probability))
         return results
@@ -204,15 +220,17 @@ class ProbKB:
         else:
             self.backend.truncate("TProb")
         key_to_id = {
-            tuple(row[1:6]): row[0]
-            for row in self.backend.query(Scan("TP")).rows
+            row[1:]: row[0]
+            for row in self.backend.project("TP", ("I",) + FACT_KEY_COLUMNS)
         }
         rows = []
         for fact, probability in marginals.items():
             fact_id = key_to_id.get(self.rkb.encode_fact_key(fact))
             if fact_id is not None:
                 rows.append((fact_id, probability))
-        return self.backend.insert_rows("TProb", rows)
+        inserted = self.backend.insert_rows("TProb", rows)
+        self.generation += 1
+        return inserted
 
     def query_facts(
         self,
@@ -298,12 +316,10 @@ class ProbKB:
         return self.backend.elapsed_seconds
 
 
-def _lookup_marginal(marginals: Dict[Fact, float], fact: Fact) -> Optional[float]:
-    """Marginals are keyed by Fact; weights differ, so match on key."""
-    probability = marginals.get(fact)
-    if probability is not None:
-        return probability
-    for candidate, value in marginals.items():
-        if candidate.key == fact.key:
-            return value
-    return None
+def _marginals_by_key(
+    marginals: Dict[Fact, float]
+) -> Dict[Tuple[str, str, str, str, str], float]:
+    """Re-key marginals by semantic fact key (weights differ between the
+    Fact a caller holds and the Fact inference returned, so the dataclass
+    hash cannot be used directly)."""
+    return {fact.key: probability for fact, probability in marginals.items()}

@@ -2,6 +2,7 @@
 world and oracle judge, and the S1/S2 synthetic scale-out KBs."""
 
 from .io import load_kb, save_kb
+from .paper_example import paper_kb
 from .reverb_sherlock import (
     GeneratedKB,
     OracleJudge,
@@ -30,6 +31,7 @@ __all__ = [
     "apply_rules",
     "generate",
     "load_kb",
+    "paper_kb",
     "s1_kb",
     "s2_kb",
     "save_kb",

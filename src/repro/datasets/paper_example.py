@@ -1,0 +1,67 @@
+"""The paper's running example (Table 1): the Ruth Gruber KB.
+
+Grounding it must reproduce the TΠ and TΦ contents of Figure 3 exactly
+(the test suite asserts that); examples and the serving-layer demos use
+it as the smallest end-to-end KB.
+"""
+
+from ..core import Atom, Fact, FunctionalConstraint, HornClause, KnowledgeBase, Relation
+
+RG, NYC, BR = "Ruth Gruber", "New York City", "Brooklyn"
+
+
+def paper_kb(with_constraints: bool = False) -> KnowledgeBase:
+    classes = {
+        "Writer": {RG},
+        "City": {NYC},
+        "Place": {BR},
+    }
+    relations = [
+        Relation("born_in", "Writer", "Place"),
+        Relation("born_in", "Writer", "City"),
+        Relation("live_in", "Writer", "Place"),
+        Relation("live_in", "Writer", "City"),
+        Relation("grow_up_in", "Writer", "Place"),
+        Relation("grow_up_in", "Writer", "City"),
+        Relation("located_in", "Place", "City"),
+    ]
+    facts = [
+        Fact("born_in", RG, "Writer", NYC, "City", weight=0.96),
+        Fact("born_in", RG, "Writer", BR, "Place", weight=0.93),
+    ]
+
+    def rule1(head_rel, body_rel, c1, c2, w):
+        return HornClause.make(
+            Atom(head_rel, ("x", "y")),
+            [Atom(body_rel, ("x", "y"))],
+            w,
+            {"x": c1, "y": c2},
+        )
+
+    def rule3(head_rel, q_rel, r_rel, w):
+        # located_in(x, y) <- q(z, x), r(z, y);  x: Place, y: City, z: Writer
+        return HornClause.make(
+            Atom(head_rel, ("x", "y")),
+            [Atom(q_rel, ("z", "x")), Atom(r_rel, ("z", "y"))],
+            w,
+            {"x": "Place", "y": "City", "z": "Writer"},
+        )
+
+    rules = [
+        rule1("live_in", "born_in", "Writer", "Place", 1.40),
+        rule1("live_in", "born_in", "Writer", "City", 1.53),
+        rule1("grow_up_in", "born_in", "Writer", "Place", 2.68),
+        rule1("grow_up_in", "born_in", "Writer", "City", 0.74),
+        rule3("located_in", "live_in", "live_in", 0.32),
+        rule3("located_in", "born_in", "born_in", 0.52),
+    ]
+    constraints = []
+    if with_constraints:
+        constraints = [FunctionalConstraint("born_in", arg=1, degree=1)]
+    return KnowledgeBase(
+        classes=classes,
+        relations=relations,
+        facts=facts,
+        rules=rules,
+        constraints=constraints,
+    )

@@ -1,9 +1,11 @@
 """Conformance bridge to stdlib sqlite3.
 
 Loads the contents of a :class:`~repro.relational.database.Database` into
-an in-memory sqlite3 database and runs SQL text there.  Tests use this to
-verify that our executor and the SQL renderer agree with a real RDBMS on
-the exact queries ProbKB generates.
+a sqlite3 database and runs SQL text there.  Tests use this to verify
+that our executor and the SQL renderer agree with a real RDBMS on the
+exact queries ProbKB generates.  By default the mirror lives in memory;
+given a ``path`` it persists to disk — the serving layer's sqlite
+snapshot export (``repro.serve.snapshot.export_sqlite``) rides on that.
 """
 
 from __future__ import annotations
@@ -19,10 +21,16 @@ _SQLITE_TYPES = {INT: "INTEGER", FLOAT: "REAL", TEXT: "TEXT"}
 
 
 class SqliteMirror:
-    """An in-memory sqlite3 copy of a Database's tables."""
+    """A sqlite3 copy of a Database's tables (in memory, or on disk)."""
 
-    def __init__(self, db: Database, tables: Optional[List[str]] = None) -> None:
-        self.conn = sqlite3.connect(":memory:")
+    def __init__(
+        self,
+        db: Database,
+        tables: Optional[List[str]] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.conn = sqlite3.connect(path if path is not None else ":memory:")
         names = tables if tables is not None else list(db.tables)
         for name in names:
             self._load_table(db, name)

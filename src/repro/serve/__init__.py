@@ -1,0 +1,46 @@
+"""repro.serve — the concurrent KB serving layer.
+
+Wraps a :class:`~repro.ProbKB` in a long-lived, concurrency-safe
+service: readers-writer locking for pattern queries vs evidence ingest,
+micro-batched ingest with backpressure, an LRU query cache invalidated
+by KB generation, warm-restart snapshots, and a stdlib JSON HTTP API.
+
+Typical embedding::
+
+    from repro.serve import KBService, ServiceConfig
+
+    service = KBService(probkb).start()
+    result = service.query(relation="born_in")
+    service.ingest([fact], flush=True)
+    service.stop()
+
+``python -m repro.cli serve --kb <dir>`` runs the HTTP front end.
+"""
+
+from .cache import QueryCache
+from .engine import KBService, QueryResult, RWLock, ServiceConfig
+from .http import KBServer, make_server
+from .ingest import EvidenceQueue, IngestConfig, IngestOverflow, IngestWorker, coalesce
+from .metrics import LatencyRing, ServiceMetrics
+from .snapshot import export_sqlite, load_snapshot, save_snapshot, snapshot_dict
+
+__all__ = [
+    "EvidenceQueue",
+    "IngestConfig",
+    "IngestOverflow",
+    "IngestWorker",
+    "KBServer",
+    "KBService",
+    "LatencyRing",
+    "QueryCache",
+    "QueryResult",
+    "RWLock",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "coalesce",
+    "export_sqlite",
+    "load_snapshot",
+    "make_server",
+    "save_snapshot",
+    "snapshot_dict",
+]

@@ -1,0 +1,109 @@
+"""An LRU query-result cache with generation-based invalidation.
+
+Every ingest flush bumps the KB generation; cached entries are tagged
+with the generation they were computed under and a lookup only returns
+entries from the *current* generation.  Stale entries are dropped lazily
+on access (and wholesale on :meth:`bump`), so invalidation is O(1) per
+flush no matter how large the cache is.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class QueryCache:
+    """A thread-safe LRU cache keyed by query pattern.
+
+    Keys are whatever tuple the caller builds — the serving layer uses
+    ``(relation, subject, object, min_probability)``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._generation = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def bump(self, generation: Optional[int] = None) -> None:
+        """Invalidate everything cached so far.
+
+        With an explicit ``generation`` the cache tracks the KB's own
+        counter; without one it self-increments.  Entries written under
+        older generations become unreachable either way.
+        """
+        with self._lock:
+            if generation is None:
+                self._generation += 1
+            elif generation < self._generation:
+                raise ValueError(
+                    f"generation moved backwards: {generation} < {self._generation}"
+                )
+            else:
+                self._generation = generation
+            self._entries.clear()
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; only current-generation entries hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != self._generation:
+                if entry is not None:
+                    del self._entries[key]
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, entry[1]
+
+    def put(self, key: Hashable, value: Any, generation: Optional[int] = None) -> None:
+        """Store a result computed under ``generation`` (default: current).
+
+        A result computed under an older generation is silently dropped —
+        it was already stale when the computation finished.
+        """
+        with self._lock:
+            if generation is None:
+                generation = self._generation
+            if generation != self._generation:
+                return
+            self._entries[key] = (generation, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "generation": self._generation,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -1,0 +1,243 @@
+"""The concurrency-safe serving engine around a :class:`~repro.ProbKB`.
+
+A :class:`KBService` gives many reader threads pattern-query access to
+the expanded KB while a single ingest worker streams new evidence in.
+Consistency model: a readers-writer lock serializes ingest flushes
+against queries, so every query observes one KB generation — never a
+half-merged delta.  Each result carries the generation it was computed
+under, which is what the torn-read assertions in the concurrency tests
+(and downstream caches) key on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.model import Fact
+from ..core.probkb import ProbKB
+from .cache import QueryCache
+from .ingest import EvidenceQueue, IngestConfig, IngestWorker
+from .metrics import ServiceMetrics
+
+
+class RWLock:
+    """A readers-writer lock with writer preference.
+
+    Queries are plentiful and cheap; flushes are rare and must not
+    starve, so arriving readers queue behind a waiting writer.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        with self._lock:
+            while self._writer_active or self._waiting_writers:
+                self._readers_ok.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._lock:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify()
+
+    def acquire_write(self) -> None:
+        with self._lock:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._writers_ok.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._lock:
+            self._writer_active = False
+            if self._waiting_writers:
+                self._writers_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass
+class ServiceConfig:
+    """Serving-layer tuning, independent of the wrapped KB's own config."""
+
+    cache_size: int = 256
+    ingest: IngestConfig = field(default_factory=IngestConfig)
+    #: rerun marginal inference + TProb after each flush; costly, so off
+    #: by default — queries then report None for fresh inferred facts
+    #: until the operator materializes.
+    infer_on_flush: bool = False
+    num_sweeps: int = 200
+    seed: int = 0
+    latency_window: int = 1024
+
+
+class QueryResult(NamedTuple):
+    """A query answer pinned to the generation it was computed under."""
+
+    generation: int
+    facts: List[Tuple[Fact, Optional[float]]]
+    cache_hit: bool
+
+
+class KBService:
+    """A long-lived, concurrency-safe front end over one ProbKB."""
+
+    def __init__(self, probkb: ProbKB, config: Optional[ServiceConfig] = None) -> None:
+        self.probkb = probkb
+        self.config = config or ServiceConfig()
+        self.lock = RWLock()
+        self.cache = QueryCache(self.config.cache_size)
+        self.cache.bump(probkb.generation)
+        self.metrics = ServiceMetrics(self.config.latency_window)
+        self.queue = EvidenceQueue(self.config.ingest)
+        self.worker = IngestWorker(self.queue, self._apply_batch)
+        self.started_at = time.time()
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "KBService":
+        if not self._running:
+            self.worker.start()
+            self._running = True
+        return self
+
+    def stop(self) -> None:
+        if self._running:
+            self.worker.stop(drain=True)
+            self._running = False
+
+    def __enter__(self) -> "KBService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- read side ---------------------------------------------------------
+
+    def query(
+        self,
+        relation: Optional[str] = None,
+        subject: Optional[str] = None,
+        object: Optional[str] = None,
+        min_probability: float = 0.0,
+    ) -> QueryResult:
+        """Pattern-query the expanded KB, through the generation cache."""
+        started = time.perf_counter()
+        key = (relation, subject, object, min_probability)
+        hit, cached = self.cache.get(key)
+        if hit:
+            generation, facts = cached
+            self.metrics.record_query(time.perf_counter() - started, cache_hit=True)
+            return QueryResult(generation, facts, True)
+        with self.lock.read_locked():
+            generation = self.probkb.generation
+            facts = self.probkb.query_facts(
+                relation=relation,
+                subject=subject,
+                object=object,
+                min_probability=min_probability,
+            )
+        self.cache.put(key, (generation, facts), generation=generation)
+        self.metrics.record_query(time.perf_counter() - started, cache_hit=False)
+        return QueryResult(generation, facts, False)
+
+    def fact_count(self) -> int:
+        with self.lock.read_locked():
+            return self.probkb.fact_count()
+
+    @property
+    def generation(self) -> int:
+        with self.lock.read_locked():
+            return self.probkb.generation
+
+    # -- write side ----------------------------------------------------------
+
+    def ingest(self, facts: Sequence[Fact], flush: bool = False) -> int:
+        """Queue evidence for the next micro-batch flush.
+
+        Returns the queue depth after enqueueing.  ``flush=True`` applies
+        everything pending before returning (synchronous ingest).
+        """
+        depth = self.queue.put(facts)
+        if flush:
+            self.flush()
+            depth = self.queue.depth
+        return depth
+
+    def flush(self) -> int:
+        """Apply all pending evidence now; returns facts applied."""
+        return self.worker.flush()
+
+    def _apply_batch(self, batch: List[Fact]) -> None:
+        """The single writer: evidence -> delta regrounding -> new generation."""
+        with self.lock.write_locked():
+            self.probkb.add_evidence(batch)
+            if self.config.infer_on_flush:
+                self.probkb.materialize_marginals(
+                    num_sweeps=self.config.num_sweeps, seed=self.config.seed
+                )
+            self.cache.bump(self.probkb.generation)
+        self.metrics.record_ingest(len(batch))
+
+    def materialize(self, num_sweeps: Optional[int] = None) -> int:
+        """Recompute + store marginals under the write lock."""
+        with self.lock.write_locked():
+            stored = self.probkb.materialize_marginals(
+                num_sweeps=num_sweeps or self.config.num_sweeps,
+                seed=self.config.seed,
+            )
+            self.cache.bump(self.probkb.generation)
+        return stored
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self.lock.read_locked():
+            generation = self.probkb.generation
+            facts = self.probkb.fact_count()
+            factors = self.probkb.factor_count()
+        report = {
+            "generation": generation,
+            "facts": facts,
+            "factors": factors,
+            "queue_depth": self.queue.depth,
+            "ingest_flushes": self.worker.flushes,
+            "uptime_seconds": time.time() - self.started_at,
+            "backend": self.probkb.backend.name,
+            "cache": self.cache.stats(),
+        }
+        if self.worker.last_error is not None:
+            report["last_ingest_error"] = repr(self.worker.last_error)
+        report.update(self.metrics.snapshot())
+        return report

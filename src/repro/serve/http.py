@@ -1,0 +1,242 @@
+"""A stdlib JSON HTTP API over :class:`~repro.serve.engine.KBService`.
+
+Endpoints::
+
+    GET  /healthz              liveness + current generation
+    GET  /stats                service metrics (counters, cache, latency)
+    GET  /facts?relation=&subject=&object=&min_probability=
+    POST /evidence             {"facts": [...], "flush": false}
+    POST /snapshot             write the configured snapshot file
+
+``ThreadingHTTPServer`` gives one thread per request, which is exactly
+the concurrency shape KBService is built for: many readers on the read
+lock, ingest serialized through the micro-batch queue.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..core.model import Fact
+from .engine import KBService
+from .ingest import IngestOverflow
+from .snapshot import save_snapshot
+
+FACT_FIELDS = ("relation", "subject", "subject_class", "object", "object_class")
+
+
+class BadRequest(ValueError):
+    """Client error carrying the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def fact_to_dict(fact: Fact, probability: Optional[float]) -> dict:
+    return {
+        "relation": fact.relation,
+        "subject": fact.subject,
+        "subject_class": fact.subject_class,
+        "object": fact.object,
+        "object_class": fact.object_class,
+        "weight": fact.weight,
+        "probability": probability,
+    }
+
+
+def fact_from_dict(payload: dict) -> Fact:
+    if not isinstance(payload, dict):
+        raise BadRequest(f"each fact must be an object, got {type(payload).__name__}")
+    missing = [name for name in FACT_FIELDS if name not in payload]
+    if missing:
+        raise BadRequest(f"fact missing fields: {', '.join(missing)}")
+    empty = [name for name in FACT_FIELDS if str(payload[name]).strip() == ""]
+    if empty:
+        raise BadRequest(f"fact fields must be non-empty: {', '.join(empty)}")
+    weight = payload.get("weight")
+    if weight is not None:
+        try:
+            weight = float(weight)
+        except (TypeError, ValueError):
+            raise BadRequest(f"weight must be a number, got {weight!r}")
+    return Fact(
+        relation=str(payload["relation"]),
+        subject=str(payload["subject"]),
+        subject_class=str(payload["subject_class"]),
+        object=str(payload["object"]),
+        object_class=str(payload["object_class"]),
+        weight=weight,
+    )
+
+
+class KBServer(ThreadingHTTPServer):
+    """The HTTP front end; owns nothing but references to the service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: KBService,
+        snapshot_path: Optional[str] = None,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, KBRequestHandler)
+        self.service = service
+        self.snapshot_path = snapshot_path
+        self.quiet = quiet
+
+
+class KBRequestHandler(BaseHTTPRequestHandler):
+    server: KBServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._respond(status, {"error": message})
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequest("empty request body")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"invalid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        url = urlparse(self.path)
+        try:
+            if url.path == "/healthz":
+                self._get_healthz()
+            elif url.path == "/stats":
+                self._respond(200, self.server.service.stats())
+            elif url.path == "/facts":
+                self._get_facts(parse_qs(url.query))
+            else:
+                self._error(404, f"unknown path {url.path!r}")
+        except BadRequest as error:
+            self._error(error.status, str(error))
+
+    def do_POST(self) -> None:
+        url = urlparse(self.path)
+        try:
+            if url.path == "/evidence":
+                self._post_evidence()
+            elif url.path == "/snapshot":
+                self._post_snapshot()
+            else:
+                self._error(404, f"unknown path {url.path!r}")
+        except BadRequest as error:
+            self._error(error.status, str(error))
+
+    def _get_healthz(self) -> None:
+        service = self.server.service
+        self._respond(
+            200, {"status": "ok", "generation": service.generation}
+        )
+
+    def _get_facts(self, params: dict) -> None:
+        def single(name: str) -> Optional[str]:
+            values = params.get(name)
+            if not values:
+                return None
+            if len(values) > 1:
+                raise BadRequest(f"parameter {name!r} given more than once")
+            return values[0]
+
+        min_probability = 0.0
+        raw = single("min_probability")
+        if raw is not None:
+            try:
+                min_probability = float(raw)
+            except ValueError:
+                raise BadRequest(f"min_probability must be a number, got {raw!r}")
+        unknown = set(params) - {
+            "relation", "subject", "object", "min_probability"
+        }
+        if unknown:
+            raise BadRequest(f"unknown parameters: {', '.join(sorted(unknown))}")
+        result = self.server.service.query(
+            relation=single("relation"),
+            subject=single("subject"),
+            object=single("object"),
+            min_probability=min_probability,
+        )
+        self._respond(
+            200,
+            {
+                "generation": result.generation,
+                "cache_hit": result.cache_hit,
+                "count": len(result.facts),
+                "facts": [
+                    fact_to_dict(fact, probability)
+                    for fact, probability in result.facts
+                ],
+            },
+        )
+
+    def _post_evidence(self) -> None:
+        payload = self._read_json()
+        raw_facts = payload.get("facts")
+        if not isinstance(raw_facts, list) or not raw_facts:
+            raise BadRequest("'facts' must be a non-empty list")
+        facts = [fact_from_dict(item) for item in raw_facts]
+        flush = bool(payload.get("flush", False))
+        service = self.server.service
+        try:
+            depth = service.ingest(facts, flush=flush)
+        except IngestOverflow as error:
+            raise BadRequest(str(error), status=503) from None
+        self._respond(
+            202,
+            {
+                "accepted": len(facts),
+                "queue_depth": depth,
+                "flushed": flush,
+                "generation": service.generation,
+            },
+        )
+
+    def _post_snapshot(self) -> None:
+        server = self.server
+        if server.snapshot_path is None:
+            raise BadRequest("no snapshot path configured", status=409)
+        server.service.flush()
+        with server.service.lock.read_locked():
+            path = save_snapshot(server.service.probkb, server.snapshot_path)
+        server.service.metrics.record_snapshot()
+        self._respond(200, {"path": path})
+
+
+def make_server(
+    service: KBService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    snapshot_path: Optional[str] = None,
+    quiet: bool = True,
+) -> KBServer:
+    """Bind (but do not start) the HTTP server; port 0 picks a free port."""
+    return KBServer((host, port), service, snapshot_path=snapshot_path, quiet=quiet)

@@ -1,0 +1,206 @@
+"""Bounded evidence ingest with micro-batching and backpressure.
+
+Regrounding cost is dominated by per-flush overhead, not batch size —
+the same observation that drives the paper's batch rule application.  So
+the serving layer never applies evidence one fact at a time: producers
+enqueue into a bounded queue and a single worker drains it in batches,
+flushing when either ``flush_size`` facts are pending or the oldest
+pending fact has waited ``flush_interval`` seconds.
+
+Backpressure: when the queue is full, ``put`` blocks the producer (up to
+``put_timeout``) instead of buffering unboundedly; a timeout raises
+:class:`IngestOverflow`, which the HTTP layer maps to 503.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.model import Fact
+
+
+class IngestOverflow(RuntimeError):
+    """The evidence queue stayed full past the producer's timeout."""
+
+
+@dataclass
+class IngestConfig:
+    """Tuning knobs for the micro-batching ingest path."""
+
+    max_queue: int = 4096
+    flush_size: int = 64
+    flush_interval: float = 0.2
+    put_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.flush_size < 1:
+            raise ValueError(f"flush_size must be >= 1, got {self.flush_size}")
+        if self.flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
+
+
+def coalesce(facts: Sequence[Fact]) -> List[Fact]:
+    """Collapse duplicate fact keys within one batch (last write wins).
+
+    Re-extractions of the same triple arrive often in streaming ingest;
+    applying them once per batch keeps the anti-join guard's work
+    proportional to *distinct* new knowledge.
+    """
+    by_key = {}
+    for fact in facts:
+        by_key[fact.key] = fact
+    return list(by_key.values())
+
+
+class EvidenceQueue:
+    """A bounded FIFO of pending evidence facts."""
+
+    def __init__(self, config: IngestConfig) -> None:
+        self.config = config
+        self._items: List[Fact] = []
+        self._oldest_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+
+    def put(self, facts: Sequence[Fact], timeout: Optional[float] = None) -> int:
+        """Enqueue facts, blocking while the queue is full.
+
+        Returns the queue depth after the enqueue.  Raises
+        :class:`IngestOverflow` if room does not open up in time.
+        """
+        if timeout is None:
+            timeout = self.config.put_timeout
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            for fact in facts:
+                while len(self._items) >= self.config.max_queue:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_full.wait(remaining):
+                        raise IngestOverflow(
+                            f"evidence queue full ({self.config.max_queue}) "
+                            f"for {timeout:.1f}s"
+                        )
+                if self._oldest_at is None:
+                    self._oldest_at = time.monotonic()
+                self._items.append(fact)
+                self._not_empty.notify_all()
+            return len(self._items)
+
+    def drain(self, max_items: Optional[int] = None) -> List[Fact]:
+        """Dequeue up to ``max_items`` facts (all, if None)."""
+        with self._lock:
+            if max_items is None or max_items >= len(self._items):
+                batch, self._items = self._items, []
+            else:
+                batch = self._items[:max_items]
+                self._items = self._items[max_items:]
+            self._oldest_at = time.monotonic() if self._items else None
+            if batch:
+                self._not_full.notify_all()
+            return batch
+
+    def wait_ready(self, stop: threading.Event) -> bool:
+        """Block until a flush is due (size or age trigger) or ``stop``.
+
+        Returns True when there is something to flush.
+        """
+        config = self.config
+        with self._lock:
+            while not stop.is_set():
+                if len(self._items) >= config.flush_size:
+                    return True
+                if self._items:
+                    age = time.monotonic() - (self._oldest_at or 0.0)
+                    if age >= config.flush_interval:
+                        return True
+                    self._not_empty.wait(config.flush_interval - age)
+                else:
+                    self._not_empty.wait(0.5)
+            return bool(self._items)
+
+    def wake(self) -> None:
+        """Wake any thread blocked in :meth:`wait_ready` (shutdown path)."""
+        with self._lock:
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class IngestWorker:
+    """The single consumer thread that turns queued facts into flushes.
+
+    ``apply`` receives a coalesced batch and is the only place evidence
+    enters the KB — one writer means flushes are naturally serialized.
+    """
+
+    def __init__(
+        self,
+        queue: EvidenceQueue,
+        apply: Callable[[List[Fact]], None],
+    ) -> None:
+        self.queue = queue
+        self.apply = apply
+        self.flushes = 0
+        self.last_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._flush_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, name="probkb-ingest", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` flush whatever is still queued."""
+        self._stop.set()
+        self.queue.wake()
+        if self._thread.is_alive():
+            self._thread.join()
+        if drain:
+            self.flush()
+
+    def _run(self) -> None:
+        while self.queue.wait_ready(self._stop):
+            self._flush_once(self.queue.config.flush_size)
+        # shutdown: leave leftovers for stop(drain=True)
+
+    def _flush_once(self, max_items: Optional[int]) -> int:
+        with self._flush_lock:
+            batch = coalesce(self.queue.drain(max_items))
+            if not batch:
+                return 0
+            self._idle.clear()
+            try:
+                self.apply(batch)
+                self.flushes += 1
+            except BaseException as error:  # keep serving; surface via stats
+                self.last_error = error
+            finally:
+                self._idle.set()
+            return len(batch)
+
+    def flush(self) -> int:
+        """Synchronously apply everything queued right now (caller thread).
+
+        Used by tests, shutdown, and ``POST /evidence?flush=1``.
+        """
+        applied = 0
+        while True:
+            flushed = self._flush_once(None)
+            if not flushed:
+                break
+            applied += flushed
+        return applied

@@ -1,0 +1,112 @@
+"""Service metrics: counters plus a fixed-size latency ring buffer.
+
+Everything here is updated from request threads and the ingest worker
+concurrently, so each structure carries its own lock.  Reads produce a
+plain dict snapshot (what ``GET /stats`` returns).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class LatencyRing:
+    """The last N observed latencies, with percentile queries.
+
+    A bounded ring keeps the percentile computation O(N log N) for a
+    constant N regardless of how long the service has been up — the
+    standard tradeoff for cheap online p50/p99.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._next = 0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            if len(self._samples) < self.capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self.capacity
+            self._count += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (0 <= q <= 100) of the retained window."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = max(0, min(len(samples) - 1, round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "p50_seconds": self.percentile(50),
+            "p99_seconds": self.percentile(99),
+        }
+
+
+class ServiceMetrics:
+    """Counters for the serving layer, safe for concurrent updates."""
+
+    def __init__(self, latency_window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.ingested_facts = 0
+        self.ingest_batches = 0
+        self.snapshots_saved = 0
+        self.query_latency = LatencyRing(latency_window)
+
+    def record_query(self, seconds: float, cache_hit: bool) -> None:
+        with self._lock:
+            self.queries += 1
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        self.query_latency.observe(seconds)
+
+    def record_ingest(self, facts: int) -> None:
+        with self._lock:
+            self.ingest_batches += 1
+            self.ingested_facts += facts
+
+    def record_snapshot(self) -> None:
+        with self._lock:
+            self.snapshots_saved += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counters = {
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "ingested_facts": self.ingested_facts,
+                "ingest_batches": self.ingest_batches,
+                "snapshots_saved": self.snapshots_saved,
+            }
+        total = counters["cache_hits"] + counters["cache_misses"]
+        counters["cache_hit_rate"] = counters["cache_hits"] / total if total else 0.0
+        counters["query_latency"] = self.query_latency.snapshot()
+        return counters

@@ -1,0 +1,168 @@
+"""Snapshots: persist an expanded KB + marginals, restart warm.
+
+Grounding a large KB to closure is the expensive step; a server that
+just restarted should not redo it.  A snapshot stores the *expanded*
+fact set (extraction weights kept, inferred facts NULL-weight, exactly
+as TΠ holds them), the rules/classes/constraints needed to keep
+ingesting, and the materialized marginals (TProb).  Loading bulk-loads
+all of it back and skips grounding entirely — the closure is already
+present, and incremental ingest picks up from there.
+
+The format is a single JSON document (stable, diffable, backend
+agnostic).  For ad-hoc inspection with sqlite tooling there is also
+:func:`export_sqlite`, which mirrors the backing tables to a ``.db``
+file via the relational layer's sqlite bridge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..core.model import Fact, FunctionalConstraint, KnowledgeBase, Relation
+from ..core.probkb import ProbKB, make_backend
+from ..core.relmodel import FACT_KEY_COLUMNS
+from ..datasets.io import _parse_rule_line, _rule_line
+
+SNAPSHOT_FORMAT = "probkb-snapshot"
+SNAPSHOT_VERSION = 1
+
+FactKeyNames = Tuple[str, str, str, str, str]
+
+
+def snapshot_dict(probkb: ProbKB) -> dict:
+    """The JSON-ready snapshot of a (typically expanded) ProbKB."""
+    kb = probkb.kb
+    facts = [
+        [f.relation, f.subject, f.subject_class, f.object, f.object_class, f.weight]
+        for f in probkb.all_facts()
+    ]
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "generation": probkb.generation,
+        "classes": {name: sorted(members) for name, members in kb.classes.items()},
+        "relations": sorted(
+            [r.name, r.domain, r.range] for r in kb.relations.values()
+        ),
+        "facts": facts,
+        "rules": [_rule_line(rule) for rule in kb.rules],
+        "constraints": [
+            [c.relation, c.arg, c.degree] for c in kb.constraints
+        ],
+        "marginals": [
+            list(key) + [probability]
+            for key, probability in sorted(_stored_marginals(probkb).items())
+        ],
+    }
+
+
+def _stored_marginals(probkb: ProbKB) -> Dict[FactKeyNames, float]:
+    """TProb decoded back to name-keyed marginals."""
+    if not probkb.backend.has_table("TProb"):
+        return {}
+    rkb = probkb.rkb
+    key_by_id = {
+        row[0]: row[1:]
+        for row in probkb.backend.project("TP", ("I",) + FACT_KEY_COLUMNS)
+    }
+    marginals: Dict[FactKeyNames, float] = {}
+    for fact_id, probability in probkb.backend.project("TProb", ("I", "p")):
+        key = key_by_id.get(fact_id)
+        if key is None:
+            continue
+        relation, x, c1, y, c2 = key
+        marginals[
+            (
+                rkb.relations.name(relation),
+                rkb.entities.name(x),
+                rkb.classes.name(c1),
+                rkb.entities.name(y),
+                rkb.classes.name(c2),
+            )
+        ] = probability
+    return marginals
+
+
+def save_snapshot(probkb: ProbKB, path: str) -> str:
+    """Write the snapshot JSON (atomically: temp file + rename)."""
+    payload = snapshot_dict(probkb)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temp_path = path + ".tmp"
+    with open(temp_path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return path
+
+
+def load_snapshot(
+    path: str,
+    backend: str = "single",
+    nseg: int = 8,
+) -> ProbKB:
+    """Rebuild a warm ProbKB from a snapshot — no grounding run.
+
+    The expanded fact set is bulk-loaded as-is (the closure is already
+    in it), TProb is refilled from the stored marginals, and the
+    generation counter resumes where the snapshot left off.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(f"{path!r} is not a {SNAPSHOT_FORMAT} file")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {payload.get('version')!r} not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+
+    kb = KnowledgeBase(
+        classes={name: set(members) for name, members in payload["classes"].items()},
+        relations=[Relation(*triple) for triple in payload["relations"]],
+        facts=[
+            Fact(relation, subject, subject_class, obj, object_class, weight)
+            for relation, subject, subject_class, obj, object_class, weight
+            in payload["facts"]
+        ],
+        rules=[_parse_rule_line(line) for line in payload["rules"]],
+        constraints=[
+            FunctionalConstraint(relation, arg=arg, degree=degree)
+            for relation, arg, degree in payload["constraints"]
+        ],
+        validate=False,
+    )
+    probkb = ProbKB(kb, backend=make_backend(backend, nseg=nseg))
+    _restore_marginals(probkb, payload["marginals"])
+    probkb.generation = int(payload.get("generation", 0))
+    return probkb
+
+
+def _restore_marginals(probkb: ProbKB, rows: List[list]) -> int:
+    if not rows:
+        return 0
+    marginals = {
+        Fact(relation, subject, subject_class, obj, object_class): probability
+        for relation, subject, subject_class, obj, object_class, probability
+        in rows
+    }
+    return probkb.materialize_marginals(marginals)
+
+
+def export_sqlite(probkb: ProbKB, path: str) -> str:
+    """Mirror the backing tables to an on-disk sqlite file.
+
+    Single-node backends only (the MPP simulator's tables are sharded);
+    handy for inspecting a serving KB with standard sqlite tooling.
+    """
+    from ..core.backends import SingleNodeBackend
+    from ..relational.sqlite_bridge import SqliteMirror
+
+    if not isinstance(probkb.backend, SingleNodeBackend):
+        raise ValueError("sqlite export requires the single-node backend")
+    if os.path.exists(path):
+        os.remove(path)
+    SqliteMirror(probkb.backend.db, path=path).close()
+    return path

@@ -15,9 +15,7 @@ from repro.learn import (
     reweighted_rules,
 )
 
-import sys, os
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "core"))
-from paper_example import paper_kb  # noqa: E402
+from repro.datasets import paper_kb
 
 
 class TestTiedGrounding:

@@ -214,9 +214,7 @@ class TestPaperQueriesRoundTrip:
     """The actual grounding SQL parses and executes identically."""
 
     def test_grounding_queries(self):
-        import sys, os
-        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "core"))
-        from paper_example import paper_kb
+        from repro.datasets import paper_kb
 
         from repro import ProbKB
         from repro.core import ground_atoms_plan, ground_factors_plan
@@ -231,9 +229,7 @@ class TestPaperQueriesRoundTrip:
                 assert reparsed == original
 
     def test_constraint_query_round_trip(self):
-        import sys, os
-        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "core"))
-        from paper_example import paper_kb
+        from repro.datasets import paper_kb
 
         from repro import ProbKB
         from repro.core import apply_constraints_key_plan

@@ -1,0 +1,74 @@
+"""QueryCache: LRU behavior and generation-based invalidation."""
+
+import pytest
+
+from repro.serve import QueryCache
+
+
+def test_miss_then_hit():
+    cache = QueryCache(capacity=4)
+    hit, value = cache.get(("born_in", None, None, 0.0))
+    assert not hit and value is None
+    cache.put(("born_in", None, None, 0.0), [1, 2, 3])
+    hit, value = cache.get(("born_in", None, None, 0.0))
+    assert hit and value == [1, 2, 3]
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = QueryCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == (True, 1)  # refresh a; b is now LRU
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert cache.get("b") == (False, None)
+    assert cache.get("a") == (True, 1)
+    assert cache.get("c") == (True, 3)
+    assert cache.evictions == 1
+
+
+def test_bump_invalidates_everything():
+    cache = QueryCache(capacity=8)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.bump()
+    assert cache.get("a") == (False, None)
+    assert cache.get("b") == (False, None)
+    assert len(cache) == 0
+
+
+def test_stale_put_is_dropped():
+    """A result computed under an old generation must not be cached."""
+    cache = QueryCache(capacity=8)
+    observed = cache.generation
+    cache.bump()  # a flush lands between compute and put
+    cache.put("a", 1, generation=observed)
+    assert cache.get("a") == (False, None)
+
+
+def test_bump_tracks_external_generation():
+    cache = QueryCache(capacity=8)
+    cache.bump(7)
+    assert cache.generation == 7
+    cache.put("a", 1)
+    assert cache.get("a") == (True, 1)
+    with pytest.raises(ValueError):
+        cache.bump(3)
+
+
+def test_stats_and_hit_rate():
+    cache = QueryCache(capacity=4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("missing")
+    stats = cache.stats()
+    assert stats["size"] == 1
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        QueryCache(capacity=0)

@@ -1,0 +1,158 @@
+"""The concurrent smoke test: N readers query while a writer ingests.
+
+Correctness bar (mirrors the serving layer's consistency model):
+
+* no torn reads — two observations of the same pattern under the same
+  generation are identical, across all threads;
+* generations and fact counts are monotone within each reader thread;
+* the final KB equals a sequential run of the same evidence stream
+  (micro-batching must not change the fixpoint);
+* repeat queries hit the cache (hit rate > 0).
+
+Runs in tier-1 with 4 readers x 200 queries and 3 evidence batches;
+export REPRO_STRESS=1 to scale up.
+"""
+
+import os
+import threading
+import time
+from collections import defaultdict
+
+from repro import Fact, ProbKB
+from repro.datasets import paper_kb
+from repro.serve import IngestConfig, KBService, ServiceConfig
+
+STRESS = os.environ.get("REPRO_STRESS") == "1"
+READERS = 8 if STRESS else 4
+QUERIES_PER_READER = 1000 if STRESS else 200
+
+WRITERS = ["Saul Bellow", "Grace Paley", "Bernard Malamud"]
+BATCHES = [
+    [Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.88)],
+    [
+        Fact("born_in", "Grace Paley", "Writer", "New York City", "City", 0.93),
+        Fact("live_in", "Grace Paley", "Writer", "Brooklyn", "Place", 0.81),
+    ],
+    [Fact("born_in", "Bernard Malamud", "Writer", "Brooklyn", "Place", 0.9)],
+]
+if STRESS:
+    BATCHES = BATCHES * 2  # six batches; set semantics keep the fixpoint
+
+PATTERNS = [
+    {"relation": "born_in"},
+    {"relation": "live_in"},
+    {"subject": "Ruth Gruber"},
+    {"subject": "Grace Paley"},
+    {},  # all facts: used for the monotone fact-count assertion
+]
+
+
+def expandable_kb():
+    kb = paper_kb()
+    kb.classes["Writer"].update(WRITERS)
+    return kb
+
+
+def sequential_fixpoint():
+    """The same workload with no service, no threads, no batching."""
+    system = ProbKB(expandable_kb(), backend="single")
+    system.ground()
+    for batch in BATCHES:
+        system.add_evidence(batch)
+    return system
+
+
+def test_concurrent_readers_and_ingest():
+    system = ProbKB(expandable_kb(), backend="single")
+    system.ground()
+    service = KBService(
+        system,
+        ServiceConfig(
+            cache_size=64,
+            ingest=IngestConfig(flush_size=2, flush_interval=0.005),
+        ),
+    )
+
+    observations = [[] for _ in range(READERS)]
+    errors = []
+    writer_done = threading.Event()
+
+    def reader(slot):
+        try:
+            for i in range(QUERIES_PER_READER):
+                pattern = PATTERNS[i % len(PATTERNS)]
+                result = service.query(**pattern)
+                keys = tuple(sorted(fact.key for fact, _ in result.facts))
+                observations[slot].append(
+                    (result.generation, i % len(PATTERNS), keys)
+                )
+        except BaseException as error:  # propagate to the main thread
+            errors.append(error)
+
+    def writer():
+        try:
+            for batch in BATCHES:
+                service.ingest(batch)
+                time.sleep(0.01)  # let size/interval triggers interleave
+            service.flush()
+        except BaseException as error:
+            errors.append(error)
+        finally:
+            writer_done.set()
+
+    with service:
+        threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(READERS)
+        ]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        writer_thread.join(timeout=120)
+        assert writer_done.is_set()
+        assert not errors, errors
+
+        # every queued batch was applied before we compare final states
+        final_count = service.fact_count()
+        final_keys = {fact.key for fact in service.probkb.all_facts()}
+        stats = service.stats()
+
+    # 1. no torn reads: same (generation, pattern) -> same result set
+    by_observation = defaultdict(set)
+    for slot in range(READERS):
+        for generation, pattern, keys in observations[slot]:
+            by_observation[(generation, pattern)].add(keys)
+    torn = {
+        key: len(values)
+        for key, values in by_observation.items()
+        if len(values) > 1
+    }
+    assert not torn, f"inconsistent reads within one generation: {torn}"
+
+    # 2. generations and fact counts are monotone within each thread
+    for slot in range(READERS):
+        generations = [generation for generation, _, _ in observations[slot]]
+        assert generations == sorted(generations), f"reader {slot} went back in time"
+        counts = [
+            (generation, len(keys))
+            for generation, pattern, keys in observations[slot]
+            if pattern == PATTERNS.index({})
+        ]
+        assert counts == sorted(counts), f"reader {slot} saw facts disappear"
+
+    # 3. the concurrent fixpoint equals the sequential one
+    sequential = sequential_fixpoint()
+    assert final_count == sequential.fact_count()
+    assert final_keys == {fact.key for fact in sequential.all_facts()}
+    assert all(
+        any(fact.subject == name for fact in sequential.all_facts())
+        for name in WRITERS
+    )
+
+    # 4. repeat queries actually hit the cache
+    assert stats["cache_hit_rate"] > 0
+    assert stats["queries"] == READERS * QUERIES_PER_READER
+    assert stats["ingest_batches"] >= 1

@@ -1,0 +1,152 @@
+"""Micro-batching ingest: queue, coalescing, triggers, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Fact
+from repro.serve import (
+    EvidenceQueue,
+    IngestConfig,
+    IngestOverflow,
+    IngestWorker,
+    coalesce,
+)
+
+
+def fact(i, weight=0.9):
+    return Fact("likes", f"p{i}", "Person", f"q{i}", "Person", weight)
+
+
+class TestCoalesce:
+    def test_last_write_wins_per_key(self):
+        first = Fact("likes", "a", "Person", "b", "Person", 0.5)
+        second = Fact("likes", "a", "Person", "b", "Person", 0.9)
+        other = fact(1)
+        batch = coalesce([first, other, second])
+        assert len(batch) == 2
+        kept = {f.key: f.weight for f in batch}
+        assert kept[first.key] == 0.9
+
+    def test_order_of_first_appearance_kept(self):
+        batch = coalesce([fact(3), fact(1), fact(3)])
+        assert [f.subject for f in batch] == ["p3", "p1"]
+
+
+class TestEvidenceQueue:
+    def test_put_and_drain_fifo(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=10))
+        assert queue.put([fact(1), fact(2)]) == 2
+        assert queue.depth == 2
+        batch = queue.drain()
+        assert [f.subject for f in batch] == ["p1", "p2"]
+        assert queue.depth == 0
+
+    def test_drain_respects_max_items(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=10))
+        queue.put([fact(i) for i in range(5)])
+        assert len(queue.drain(max_items=3)) == 3
+        assert queue.depth == 2
+
+    def test_backpressure_raises_after_timeout(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=2, put_timeout=0.05))
+        queue.put([fact(1), fact(2)])
+        with pytest.raises(IngestOverflow):
+            queue.put([fact(3)])
+        assert queue.depth == 2
+
+    def test_backpressure_unblocks_when_drained(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=2, put_timeout=5.0))
+        queue.put([fact(1), fact(2)])
+        done = []
+
+        def producer():
+            queue.put([fact(3)])
+            done.append(True)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not done  # still blocked
+        queue.drain(max_items=1)
+        thread.join(timeout=5)
+        assert done and queue.depth == 2
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            IngestConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            IngestConfig(flush_size=0)
+        with pytest.raises(ValueError):
+            IngestConfig(flush_interval=-1)
+
+
+class TestIngestWorker:
+    def _worker(self, config, applied):
+        queue = EvidenceQueue(config)
+        worker = IngestWorker(queue, lambda batch: applied.append(list(batch)))
+        return queue, worker
+
+    def test_flush_by_size(self):
+        applied = []
+        queue, worker = self._worker(
+            IngestConfig(flush_size=3, flush_interval=30.0), applied
+        )
+        worker.start()
+        try:
+            queue.put([fact(i) for i in range(3)])
+            deadline = time.monotonic() + 5
+            while not applied and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert applied and len(applied[0]) == 3
+        finally:
+            worker.stop()
+
+    def test_flush_by_interval(self):
+        applied = []
+        queue, worker = self._worker(
+            IngestConfig(flush_size=1000, flush_interval=0.05), applied
+        )
+        worker.start()
+        try:
+            queue.put([fact(1)])  # far below flush_size
+            deadline = time.monotonic() + 5
+            while not applied and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert applied == [[fact(1)]]
+        finally:
+            worker.stop()
+
+    def test_synchronous_flush_applies_everything(self):
+        applied = []
+        queue, worker = self._worker(
+            IngestConfig(flush_size=2, flush_interval=30.0), applied
+        )
+        # worker not started: flush() runs in the caller's thread
+        queue.put([fact(i) for i in range(5)])
+        assert worker.flush() == 5
+        assert sum(len(batch) for batch in applied) == 5
+        assert queue.depth == 0
+
+    def test_stop_drains_leftovers(self):
+        applied = []
+        queue, worker = self._worker(
+            IngestConfig(flush_size=1000, flush_interval=30.0), applied
+        )
+        worker.start()
+        queue.put([fact(1), fact(2)])
+        worker.stop(drain=True)
+        assert sum(len(batch) for batch in applied) == 2
+
+    def test_apply_error_is_captured_not_raised(self):
+        queue = EvidenceQueue(IngestConfig())
+
+        def explode(batch):
+            raise RuntimeError("backend down")
+
+        worker = IngestWorker(queue, explode)
+        queue.put([fact(1)])
+        worker.flush()
+        assert isinstance(worker.last_error, RuntimeError)
+        assert queue.depth == 0

@@ -1,0 +1,62 @@
+"""LatencyRing percentiles and ServiceMetrics counters."""
+
+import pytest
+
+from repro.serve import LatencyRing, ServiceMetrics
+
+
+class TestLatencyRing:
+    def test_empty_ring_has_no_percentiles(self):
+        ring = LatencyRing(capacity=8)
+        assert ring.percentile(50) is None
+        assert ring.count == 0
+
+    def test_percentiles(self):
+        ring = LatencyRing(capacity=100)
+        for ms in range(1, 101):
+            ring.observe(ms / 1000.0)
+        assert ring.percentile(50) == pytest.approx(0.050, abs=0.002)
+        assert ring.percentile(99) == pytest.approx(0.099, abs=0.002)
+        assert ring.percentile(0) == pytest.approx(0.001)
+        assert ring.percentile(100) == pytest.approx(0.100)
+
+    def test_window_wraps_but_count_does_not(self):
+        ring = LatencyRing(capacity=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
+            ring.observe(value)
+        assert ring.count == 8
+        # the window only retains the last 4 observations
+        assert ring.percentile(50) == pytest.approx(9.0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LatencyRing(capacity=0)
+
+
+class TestServiceMetrics:
+    def test_query_counters_and_hit_rate(self):
+        metrics = ServiceMetrics()
+        metrics.record_query(0.001, cache_hit=False)
+        metrics.record_query(0.002, cache_hit=True)
+        metrics.record_query(0.003, cache_hit=True)
+        assert metrics.queries == 3
+        assert metrics.cache_hit_rate == pytest.approx(2 / 3)
+        report = metrics.snapshot()
+        assert report["queries"] == 3
+        assert report["cache_hit_rate"] == pytest.approx(2 / 3)
+        assert report["query_latency"]["count"] == 3
+        assert report["query_latency"]["p50_seconds"] is not None
+
+    def test_ingest_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_ingest(5)
+        metrics.record_ingest(3)
+        metrics.record_snapshot()
+        report = metrics.snapshot()
+        assert report["ingest_batches"] == 2
+        assert report["ingested_facts"] == 8
+        assert report["snapshots_saved"] == 1
+
+    def test_zero_division_guard(self):
+        assert ServiceMetrics().cache_hit_rate == 0.0
+        assert ServiceMetrics().snapshot()["cache_hit_rate"] == 0.0

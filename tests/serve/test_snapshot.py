@@ -1,0 +1,134 @@
+"""Snapshots: fact-level round trip, warm restart, sqlite export."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro import Fact, ProbKB
+from repro.datasets import paper_kb
+from repro.serve import export_sqlite, load_snapshot, save_snapshot, snapshot_dict
+
+
+def expanded_system():
+    kb = paper_kb()
+    kb.classes["Writer"].add("Saul Bellow")
+    system = ProbKB(kb, backend="single")
+    system.ground()
+    system.materialize_marginals(num_sweeps=200, seed=3)
+    return system
+
+
+def fact_level(probkb):
+    """The full fact-level content: key and stored weight."""
+    return sorted((fact.key, fact.weight) for fact in probkb.all_facts())
+
+
+class TestRoundTrip:
+    def test_facts_round_trip_exactly(self, tmp_path):
+        system = expanded_system()
+        path = save_snapshot(system, str(tmp_path / "kb.json"))
+        warm = load_snapshot(path)
+        assert fact_level(warm) == fact_level(system)
+        assert warm.fact_count() == system.fact_count()
+        assert warm.generation == system.generation
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        """Snapshot of a loaded snapshot is byte-identical."""
+        system = expanded_system()
+        first = str(tmp_path / "one.json")
+        second = str(tmp_path / "two.json")
+        save_snapshot(system, first)
+        save_snapshot(load_snapshot(first), second)
+        assert open(first).read() == open(second).read()
+
+    def test_marginals_round_trip(self, tmp_path):
+        system = expanded_system()
+        warm = load_snapshot(save_snapshot(system, str(tmp_path / "kb.json")))
+        original = dict(system.query_facts(min_probability=0.0))
+        restored = dict(warm.query_facts(min_probability=0.0))
+        assert {f.key for f in restored} == {f.key for f in original}
+        by_key = {fact.key: p for fact, p in original.items()}
+        for fact, probability in restored.items():
+            assert probability == pytest.approx(by_key[fact.key])
+
+    def test_warm_load_skips_grounding_but_keeps_ingest_working(self, tmp_path):
+        system = expanded_system()
+        warm = load_snapshot(save_snapshot(system, str(tmp_path / "kb.json")))
+        assert warm.grounding is None  # no grounding run happened
+        before = warm.fact_count()
+        warm.add_evidence(
+            [Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.88)]
+        )
+        assert warm.fact_count() > before + 1  # delta inference fired
+
+    def test_snapshot_without_marginals(self, tmp_path):
+        kb = paper_kb()
+        system = ProbKB(kb, backend="single")
+        system.ground()
+        warm = load_snapshot(save_snapshot(system, str(tmp_path / "kb.json")))
+        assert fact_level(warm) == fact_level(system)
+        assert all(p is None for _, p in warm.query_facts())
+
+
+class TestFormat:
+    def test_snapshot_dict_is_json_clean(self):
+        payload = snapshot_dict(expanded_system())
+        json.dumps(payload)  # no unserializable leftovers
+        assert payload["format"] == "probkb-snapshot"
+        assert payload["version"] == 1
+        assert payload["facts"] and payload["rules"] and payload["marginals"]
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ValueError, match="not a probkb-snapshot"):
+            load_snapshot(str(path))
+
+    def test_rejects_unknown_version(self, tmp_path):
+        system = expanded_system()
+        path = save_snapshot(system, str(tmp_path / "kb.json"))
+        payload = json.load(open(path))
+        payload["version"] = 99
+        open(path, "w").write(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_snapshot(path)
+
+    def test_save_is_atomic(self, tmp_path):
+        system = expanded_system()
+        path = save_snapshot(system, str(tmp_path / "kb.json"))
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestSqliteExport:
+    def test_tables_mirrored_to_disk(self, tmp_path):
+        system = expanded_system()
+        path = export_sqlite(system, str(tmp_path / "kb.db"))
+        conn = sqlite3.connect(path)
+        try:
+            tp_rows = conn.execute("SELECT COUNT(*) FROM TP").fetchone()[0]
+            assert tp_rows == system.fact_count()
+            tprob = conn.execute("SELECT COUNT(*) FROM TProb").fetchone()[0]
+            assert tprob == system.fact_count()
+            names = {
+                row[0]
+                for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table'"
+                )
+            }
+            assert {"TP", "TF", "DE", "DR", "TProb"} <= names
+        finally:
+            conn.close()
+
+    def test_export_overwrites_stale_file(self, tmp_path):
+        system = expanded_system()
+        path = str(tmp_path / "kb.db")
+        export_sqlite(system, path)
+        export_sqlite(system, path)  # second run must not fail on CREATE
+
+    def test_mpp_backend_rejected(self, tmp_path):
+        system = ProbKB(paper_kb(), backend="mpp", nseg=2)
+        system.ground()
+        with pytest.raises(ValueError, match="single-node"):
+            export_sqlite(system, str(tmp_path / "kb.db"))
