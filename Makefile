@@ -1,0 +1,22 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test test-mpp bench bench-mpp
+
+# Tier-1 suite: serial executors only (the `mpp` marker is excluded
+# via addopts in pyproject.toml).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Multi-process executor tests: spawn real worker processes.
+test-mpp:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/mpp -m mpp -q
+
+# Modelled-cost paper figures (benchmarks/results/*.txt).
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -m "not mpp" -q
+
+# Real wall-clock of serial vs pooled grounding; needs >=2 cores for
+# the speedup target, always checks bit-identical output.
+bench-mpp:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_mpp_wallclock.py -m mpp -q

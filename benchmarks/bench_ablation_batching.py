@@ -9,7 +9,7 @@ the statements each strategy issues.
 
 import pytest
 
-from repro import ProbKB, TuffyT
+from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_table, scaled, write_result
 from repro.datasets import s1_kb
 
@@ -24,7 +24,7 @@ def test_ablation_batching(reverb_kb, benchmark):
         for n_rules in counts:
             kb = s1_kb(reverb_kb, n_rules, seed=2)
 
-            system = ProbKB(kb, backend="single", apply_constraints=False)
+            system = ProbKB(kb, grounding=GroundingConfig(apply_constraints=False))
             queries_before = system.backend.db.clock.queries
             system.grounder.ground_atoms_iteration(1)
             batch_queries = system.backend.db.clock.queries - queries_before

@@ -10,7 +10,7 @@ set's precision against top-θ score cleaning.
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, scaled, write_result
 from repro.core import KnowledgeBase
 from repro.datasets import ReVerbSherlockConfig, generate
@@ -28,7 +28,9 @@ def test_ablation_learned_weights(benchmark):
 
     def workload():
         # train on a constrained snapshot labelled by the oracle
-        trainer = ProbKB(generated.kb, backend="single", apply_constraints=True)
+        trainer = ProbKB(
+            generated.kb, grounding=GroundingConfig(apply_constraints=True)
+        )
         trainer.ground(max_iterations=5)
         tied = build_tied_graph(trainer)
         observed = observed_from_judge(trainer, generated.judge)

@@ -9,7 +9,7 @@ beyond the paper (its future-work discussion of incremental grounding).
 
 import pytest
 
-from repro import Fact, KnowledgeBase, ProbKB, Relation
+from repro import Fact, GroundingConfig, KnowledgeBase, ProbKB, Relation
 from repro.bench import format_table, scaled, write_result
 from repro.core import Atom, HornClause
 
@@ -41,7 +41,7 @@ def test_ablation_semi_naive(benchmark):
     kb = chain_kb(scaled(220))
 
     def run(semi_naive):
-        system = ProbKB(kb, backend="single", semi_naive=semi_naive)
+        system = ProbKB(kb, grounding=GroundingConfig(semi_naive=semi_naive))
         result = system.ground(max_iterations=30)
         clock = system.backend.db.clock
         return {

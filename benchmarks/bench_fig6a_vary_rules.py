@@ -9,7 +9,7 @@ while both ProbKB variants stay nearly flat (six batch queries).
 
 import pytest
 
-from repro import ProbKB, TuffyT
+from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_series, format_table, scaled, write_result
 from repro.core import MPPBackend
 from repro.datasets import s1_kb
@@ -18,7 +18,9 @@ RULE_COUNTS = [200, 1000, 3000, 8000]
 
 
 def ground_once_probkb(kb, backend):
-    system = ProbKB(kb, backend=backend, apply_constraints=False)
+    system = ProbKB(
+        kb, backend=backend, grounding=GroundingConfig(apply_constraints=False)
+    )
     start = system.backend.elapsed_seconds
     system.grounder.ground_atoms_iteration(1)
     factors, _ = system.grounder.ground_factors()

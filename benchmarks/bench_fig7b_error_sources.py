@@ -9,7 +9,7 @@ hand-audit of 100 sampled violations.
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, write_result
 from repro.quality import CATEGORY_LABELS, categorize_violations
 
@@ -26,7 +26,9 @@ PAPER_DISTRIBUTION = {
 
 def test_fig7b_error_sources(reverb_kb, benchmark):
     def workload():
-        system = ProbKB(reverb_kb.kb, backend="single", apply_constraints=False)
+        system = ProbKB(
+            reverb_kb.kb, grounding=GroundingConfig(apply_constraints=False)
+        )
         system.ground(max_iterations=2)
         return categorize_violations(system, reverb_kb)
 

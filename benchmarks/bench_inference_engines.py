@@ -9,7 +9,7 @@ chromatic structure that yields parallel speedup.
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, scaled, write_result
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
@@ -20,7 +20,9 @@ def test_inference_engines(benchmark):
     generated = generate(
         ReVerbSherlockConfig(world=WorldConfig(n_people=scaled(150)), seed=5)
     )
-    system = ProbKB(generated.kb, backend="single", apply_constraints=True)
+    system = ProbKB(
+        generated.kb, grounding=GroundingConfig(apply_constraints=True)
+    )
     system.ground(max_iterations=6)
     graph = system.factor_graph()
 

@@ -12,7 +12,7 @@ query-count effects the paper measures visible inside one process.
 
 import pytest
 
-from repro import ProbKB, TuffyT
+from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_table, scaled, write_result
 from repro.core import MPPBackend
 from repro.datasets import ReVerbSherlockConfig, WorldConfig, generate
@@ -46,7 +46,9 @@ PAPER_ROWS = {
 
 
 def run_probkb(kb, backend):
-    system = ProbKB(kb, backend=backend, apply_constraints=False)
+    system = ProbKB(
+        kb, backend=backend, grounding=GroundingConfig(apply_constraints=False)
+    )
     load = system.load_seconds
     iteration_times = []
     for iteration in range(1, ITERATIONS + 1):

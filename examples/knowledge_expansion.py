@@ -9,7 +9,7 @@ judge, reproducing the Section 6.2 methodology at example scale.
 Run:  python examples/knowledge_expansion.py
 """
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
 from repro.quality import (
@@ -56,7 +56,9 @@ def main() -> None:
     # a peek at actual expanded knowledge under quality control
     from repro.quality import cleaned_kb
 
-    system = ProbKB(cleaned_kb(kb, 0.5), backend="single", apply_constraints=True)
+    system = ProbKB(
+        cleaned_kb(kb, 0.5), grounding=GroundingConfig(apply_constraints=True)
+    )
     system.ground(max_iterations=10)
     inferred = system.inferred_facts()
     precision, judged = judge_precision(inferred, generated.judge)

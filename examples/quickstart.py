@@ -6,7 +6,15 @@ algorithm, prints the generated SQL, and runs marginal inference.
 Run:  python examples/quickstart.py
 """
 
-from repro import Atom, Fact, HornClause, KnowledgeBase, ProbKB, Relation
+from repro import (
+    Atom,
+    ExpansionSession,
+    Fact,
+    HornClause,
+    InferenceConfig,
+    KnowledgeBase,
+    Relation,
+)
 
 
 def build_kb() -> KnowledgeBase:
@@ -59,24 +67,27 @@ def main() -> None:
     kb = build_kb()
     print("Input KB:", kb)
 
-    system = ProbKB(kb, backend="single")
-    print("\nGenerated grounding SQL (Query 1-3, exactly the paper's):\n")
-    print(system.generated_sql()["Query 1-3"])
+    with ExpansionSession(
+        kb, inference=InferenceConfig(num_sweeps=2000, seed=0)
+    ) as session:
+        print("\nGenerated grounding SQL (Query 1-3, exactly the paper's):\n")
+        print(session.probkb.generated_sql()["Query 1-3"])
 
-    result = system.ground()
-    print(
-        f"\nGrounding: {result.total_new_facts} new facts in "
-        f"{len(result.iterations)} iterations, {result.factors} ground factors"
-    )
+        result = session.ground()
+        print(
+            f"\nGrounding: {result.total_new_facts} new facts in "
+            f"{len(result.iterations)} iterations, "
+            f"{result.factors} ground factors"
+        )
 
-    marginals = system.infer(num_sweeps=2000, seed=0)
-    print("\nKnowledge expansion results (marginal probabilities):")
-    for fact, probability in sorted(
-        marginals.items(), key=lambda item: -item[1]
-    ):
-        marker = "extracted" if fact.weight is not None else "INFERRED"
-        print(f"  P={probability:.2f}  [{marker}]  {fact.relation}"
-              f"({fact.subject}, {fact.object})")
+        marginals = session.infer()
+        print("\nKnowledge expansion results (marginal probabilities):")
+        for fact, probability in sorted(
+            marginals.items(), key=lambda item: -item[1]
+        ):
+            marker = "extracted" if fact.weight is not None else "INFERRED"
+            print(f"  P={probability:.2f}  [{marker}]  {fact.relation}"
+                  f"({fact.subject}, {fact.object})")
 
 
 if __name__ == "__main__":

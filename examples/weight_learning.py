@@ -10,7 +10,7 @@ score-threshold rule cleaning.
 Run:  python examples/weight_learning.py
 """
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
 from repro.learn import build_tied_graph, learn_weights, observed_from_judge
@@ -20,7 +20,9 @@ def main() -> None:
     generated = generate(
         ReVerbSherlockConfig(world=WorldConfig(n_people=120, seed=6), seed=6)
     )
-    system = ProbKB(generated.kb, backend="single", apply_constraints=True)
+    system = ProbKB(
+        generated.kb, grounding=GroundingConfig(apply_constraints=True)
+    )
     system.ground(max_iterations=6)
     print(f"grounded KB: {system.fact_count()} facts, "
           f"{system.factor_count()} factors")

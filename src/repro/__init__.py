@@ -6,19 +6,33 @@ execution backend, quality control, and marginal inference.
 
 Quickstart::
 
-    from repro import Fact, HornClause, Atom, KnowledgeBase, ProbKB
+    from repro import ExpansionSession, Fact, HornClause, Atom, KnowledgeBase
+    from repro.api import BackendConfig, MPPConfig
 
     kb = KnowledgeBase(classes=..., relations=..., facts=..., rules=...)
-    system = ProbKB(kb, backend="mpp")
-    system.ground()
-    marginals = system.infer()
+    with ExpansionSession(kb, backend=BackendConfig(kind="mpp")) as session:
+        session.ground()
+        marginals = session.infer()
+
+:mod:`repro.api` holds the full session API (config objects, typed
+results); :class:`ProbKB` remains the lower-level facade.
 """
 
+from .api import (
+    BackendConfig,
+    ExpansionSession,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+)
 from .core import (
     Atom,
+    ConstraintResult,
     Fact,
     FunctionalConstraint,
+    GroundingResult,
     HornClause,
+    InferenceResult,
     KnowledgeBase,
     MPPBackend,
     ProbKB,
@@ -33,11 +47,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "BackendConfig",
+    "ConstraintResult",
+    "ExpansionSession",
     "Fact",
     "FunctionalConstraint",
+    "GroundingConfig",
+    "GroundingResult",
     "HornClause",
+    "InferenceConfig",
+    "InferenceResult",
     "KnowledgeBase",
     "MPPBackend",
+    "MPPConfig",
     "ProbKB",
     "Relation",
     "SingleNodeBackend",

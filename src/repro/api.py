@@ -1,0 +1,216 @@
+"""The unified public API: one session object, explicit config objects.
+
+This module is the front door of the reproduction.  Everything a caller
+configures is a frozen dataclass, everything a pipeline step returns is
+a typed result, and the whole lifecycle — load, ground, infer, query,
+serve, shut down — hangs off one :class:`ExpansionSession`::
+
+    from repro.api import (
+        BackendConfig, ExpansionSession, GroundingConfig, MPPConfig,
+    )
+
+    config = BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=8,
+                                                     num_workers=4))
+    with ExpansionSession(kb, backend=config) as session:
+        grounding = session.ground()        # GroundingResult
+        marginals = session.infer()         # InferenceResult
+        facts = session.query(relation="bornIn", min_probability=0.5)
+
+Migration from the pre-config API (see ``docs/api.md`` for the full
+table): keyword sprawl like ``ProbKB(kb, backend="mpp", nseg=8,
+use_matviews=False)`` becomes ``backend=BackendConfig(kind="mpp",
+mpp=MPPConfig(num_segments=8, policy="naive"))``; the old spellings
+still work but emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .core.backends import Backend
+from .core.config import (
+    BackendConfig,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+    build_backend,
+)
+from .core.grounding import GroundingResult, IterationStats
+from .core.model import Fact, KnowledgeBase
+from .core.probkb import ProbKB
+from .core.results import ConstraintResult, InferenceResult
+
+__all__ = [
+    "BackendConfig",
+    "ConstraintResult",
+    "ExpansionSession",
+    "GroundingConfig",
+    "GroundingResult",
+    "InferenceConfig",
+    "InferenceResult",
+    "IterationStats",
+    "MPPConfig",
+    "build_backend",
+]
+
+
+class ExpansionSession:
+    """A knowledge-expansion session over one KB.
+
+    Thin, stateful facade over :class:`~repro.ProbKB`: construction
+    takes only config objects, pipeline steps return typed results, and
+    the session owns backend resources (MPP worker pools), released by
+    :meth:`close` or the context manager.
+
+    Not safe for concurrent use — wrap it with :meth:`serve` for a
+    thread-safe front end.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        *,
+        backend: Union[BackendConfig, Backend] = BackendConfig(),
+        grounding: GroundingConfig = GroundingConfig(),
+        inference: InferenceConfig = InferenceConfig(),
+    ) -> None:
+        self.probkb = ProbKB(
+            kb, backend=backend, grounding=grounding, inference=inference
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        *,
+        backend: Union[BackendConfig, Backend] = BackendConfig(),
+        inference: InferenceConfig = InferenceConfig(),
+    ) -> "ExpansionSession":
+        """Warm-start a session from a snapshot file (no grounding run)."""
+        from .serve.snapshot import load_snapshot
+
+        session = cls.__new__(cls)
+        session.probkb = load_snapshot(path, backend=backend)
+        session.probkb.inference_config = inference
+        return session
+
+    # -- config & lifecycle -------------------------------------------------
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        return self.probkb.kb
+
+    @property
+    def backend(self) -> Backend:
+        return self.probkb.backend
+
+    @property
+    def grounding_config(self) -> GroundingConfig:
+        return self.probkb.grounding_config
+
+    @property
+    def inference_config(self) -> InferenceConfig:
+        return self.probkb.inference_config
+
+    @property
+    def generation(self) -> int:
+        return self.probkb.generation
+
+    def executor_info(self) -> Dict[str, object]:
+        """How the backend executes work (serial / multiprocess, workers)."""
+        return self.probkb.backend.executor_info()
+
+    def close(self) -> None:
+        self.probkb.close()
+
+    def __enter__(self) -> "ExpansionSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- pipeline -----------------------------------------------------------
+
+    def apply_constraints(self) -> ConstraintResult:
+        """Run Query 3 once (up-front cleaning)."""
+        return self.probkb.apply_constraints()
+
+    def ground(self, max_iterations: Optional[int] = None) -> GroundingResult:
+        """Run Algorithm 1 to closure (bounded by the grounding config)."""
+        return self.probkb.ground(max_iterations)
+
+    def add_evidence(
+        self,
+        facts: Sequence[Fact],
+        max_iterations: Optional[int] = None,
+    ) -> GroundingResult:
+        """Incrementally expand with new extracted evidence."""
+        return self.probkb.add_evidence(facts, max_iterations=max_iterations)
+
+    def infer(self, config: Optional[InferenceConfig] = None) -> InferenceResult:
+        """Marginal inference with the session's (or the given) config."""
+        return self.probkb.infer(config)
+
+    def materialize_marginals(
+        self,
+        marginals: Optional[Dict[Fact, float]] = None,
+        config: Optional[InferenceConfig] = None,
+    ) -> int:
+        """Compute (if needed) and store marginals in table TProb."""
+        return self.probkb.materialize_marginals(marginals, config)
+
+    # -- results ------------------------------------------------------------
+
+    def query(
+        self,
+        relation: Optional[str] = None,
+        subject: Optional[str] = None,
+        object: Optional[str] = None,
+        min_probability: float = 0.0,
+    ) -> List[Tuple[Fact, Optional[float]]]:
+        """Pattern-query the expanded KB with stored probabilities."""
+        return self.probkb.query_facts(
+            relation=relation,
+            subject=subject,
+            object=object,
+            min_probability=min_probability,
+        )
+
+    def new_facts(
+        self,
+        marginals: Optional[Dict[Fact, float]] = None,
+        min_probability: float = 0.0,
+    ) -> List[Tuple[Fact, Optional[float]]]:
+        return self.probkb.new_facts(marginals, min_probability=min_probability)
+
+    def all_facts(self) -> List[Fact]:
+        return self.probkb.all_facts()
+
+    def fact_count(self) -> int:
+        return self.probkb.fact_count()
+
+    def factor_count(self) -> int:
+        return self.probkb.factor_count()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modelled engine time accumulated so far."""
+        return self.probkb.elapsed_seconds
+
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, config=None):
+        """Wrap this session in a concurrency-safe :class:`KBService`.
+
+        The service (and its ingest worker) takes over mutation; use its
+        lifecycle (``start``/``stop`` or context manager) from here on.
+        """
+        from .serve.engine import KBService
+
+        return KBService(self.probkb, config)
+
+    def save_snapshot(self, path: str) -> str:
+        """Persist the expanded KB + marginals for warm restarts."""
+        from .serve.snapshot import save_snapshot
+
+        return save_snapshot(self.probkb, path)

@@ -22,7 +22,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import ProbKB
+from .core import (
+    BackendConfig,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+    ProbKB,
+)
 from .datasets import (
     ReVerbSherlockConfig,
     WorldConfig,
@@ -90,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument("--backend", choices=("single", "mpp"), default="single")
     serve_cmd.add_argument("--nseg", type=int, default=8)
+    serve_cmd.add_argument(
+        "--mpp-workers",
+        type=int,
+        default=0,
+        help="worker processes for the MPP backend (0 = serial execution)",
+    )
     serve_cmd.add_argument("--iterations", type=int, default=None)
     serve_cmd.add_argument(
         "--no-constraints", action="store_true", help="skip quality control"
@@ -123,6 +135,12 @@ def _add_pipeline_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--kb", required=True, help="KB directory (TSV)")
     cmd.add_argument("--backend", choices=("single", "mpp"), default="single")
     cmd.add_argument("--nseg", type=int, default=8)
+    cmd.add_argument(
+        "--mpp-workers",
+        type=int,
+        default=0,
+        help="worker processes for the MPP backend (0 = serial execution)",
+    )
     cmd.add_argument("--iterations", type=int, default=None)
     cmd.add_argument(
         "--no-constraints", action="store_true", help="skip quality control"
@@ -132,14 +150,26 @@ def _add_pipeline_arguments(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _backend_config(args) -> BackendConfig:
+    return BackendConfig(
+        kind=args.backend,
+        mpp=MPPConfig(
+            num_segments=args.nseg,
+            num_workers=getattr(args, "mpp_workers", 0),
+        ),
+    )
+
+
 def _build_system(args) -> ProbKB:
     kb = load_kb(args.kb)
     return ProbKB(
         kb,
-        backend=args.backend,
-        nseg=args.nseg,
-        apply_constraints=not args.no_constraints,
-        semi_naive=args.semi_naive,
+        backend=_backend_config(args),
+        grounding=GroundingConfig(
+            max_iterations=args.iterations,
+            apply_constraints=not args.no_constraints,
+            semi_naive=getattr(args, "semi_naive", False),
+        ),
     )
 
 
@@ -175,6 +205,12 @@ def cmd_sql(args) -> int:
 
 def cmd_ground(args) -> int:
     system = _build_system(args)
+    executor = system.backend.executor_info()
+    if executor["workers"]:
+        print(
+            f"executor: {executor['mode']} "
+            f"({executor['workers']} workers, {executor['segments']} segments)"
+        )
     result = system.ground(args.iterations)
     for stats in result.iterations:
         print(
@@ -200,18 +236,22 @@ def cmd_ground(args) -> int:
         )
         save_kb(expanded, args.out)
         print(f"expanded KB written to {args.out}")
+    system.close()
     return 0
 
 
 def cmd_infer(args) -> int:
     system = _build_system(args)
     system.ground(args.iterations)
-    marginals = system.infer(method=args.method, num_sweeps=args.sweeps)
+    marginals = system.infer(
+        InferenceConfig(method=args.method, num_sweeps=args.sweeps)
+    )
     new = system.new_facts(marginals)
     new.sort(key=lambda item: -(item[1] or 0.0))
     print(f"{len(new)} inferred facts; top {min(args.top, len(new))}:")
     for fact, probability in new[: args.top]:
         print(f"  P={probability:.2f}  {fact.relation}({fact.subject}, {fact.object})")
+    system.close()
     return 0
 
 
@@ -246,15 +286,17 @@ def build_serve_service(args):
     from .serve import IngestConfig, KBService, ServiceConfig, load_snapshot
 
     if args.snapshot and os.path.exists(args.snapshot):
-        system = load_snapshot(args.snapshot, backend=args.backend, nseg=args.nseg)
+        system = load_snapshot(args.snapshot, backend=_backend_config(args))
         print(f"warm start: {system.fact_count()} facts from {args.snapshot}")
     elif args.kb:
         kb = load_kb(args.kb)
         system = ProbKB(
             kb,
-            backend=args.backend,
-            nseg=args.nseg,
-            apply_constraints=not args.no_constraints,
+            backend=_backend_config(args),
+            grounding=GroundingConfig(
+                max_iterations=args.iterations,
+                apply_constraints=not args.no_constraints,
+            ),
         )
         result = system.ground(args.iterations)
         print(
@@ -262,7 +304,9 @@ def build_serve_service(args):
             f"({result.total_new_facts} inferred)"
         )
         if args.materialize:
-            stored = system.materialize_marginals(num_sweeps=args.sweeps)
+            stored = system.materialize_marginals(
+                config=InferenceConfig(num_sweeps=args.sweeps)
+            )
             print(f"materialized {stored} marginals ({args.sweeps} sweeps)")
         if args.snapshot:
             from .serve import save_snapshot
@@ -280,7 +324,7 @@ def build_serve_service(args):
             flush_interval=args.flush_interval,
         ),
         infer_on_flush=args.infer_on_flush,
-        num_sweeps=args.sweeps,
+        inference=InferenceConfig(num_sweeps=args.sweeps),
     )
     return KBService(system, config)
 
@@ -309,6 +353,7 @@ def cmd_serve(args) -> int:
         if args.snapshot:
             save_snapshot(service.probkb, args.snapshot)
             print(f"snapshot written to {args.snapshot}")
+        service.probkb.close()
     return 0
 
 

@@ -12,6 +12,13 @@ from .clauses import (
     classify_clause,
     clause_from_identifier,
 )
+from .config import (
+    BackendConfig,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+    build_backend,
+)
 from .hierarchy import broaden_facts, generalizations, subclass_map
 from .grounding import (
     DEFAULT_MAX_ITERATIONS,
@@ -31,6 +38,7 @@ from .model import (
 )
 from .probkb import ProbKB, make_backend
 from .relmodel import Dictionary, LoadReport, RelationalKB
+from .results import ConstraintResult, InferenceResult
 from .sqlgen import (
     apply_constraints_key_plan,
     ground_atoms_plan,
@@ -42,8 +50,10 @@ from .tuffy import TuffyT
 __all__ = [
     "Atom",
     "Backend",
+    "BackendConfig",
     "ClassifiedClause",
     "ClauseError",
+    "ConstraintResult",
     "DEFAULT_MAX_ITERATIONS",
     "Derivation",
     "DerivationTree",
@@ -51,14 +61,18 @@ __all__ = [
     "Fact",
     "FunctionalConstraint",
     "Grounder",
+    "GroundingConfig",
     "GroundingResult",
     "HornClause",
+    "InferenceConfig",
+    "InferenceResult",
     "IterationStats",
     "KnowledgeBase",
     "KnowledgeBaseError",
     "LineageIndex",
     "LoadReport",
     "MPPBackend",
+    "MPPConfig",
     "PARTITION_BODY_PATTERNS",
     "PARTITION_INDEXES",
     "ProbKB",
@@ -71,6 +85,7 @@ __all__ = [
     "TuffyT",
     "apply_constraints_key_plan",
     "broaden_facts",
+    "build_backend",
     "classify_clause",
     "clause_from_identifier",
     "ground_atoms_plan",

@@ -87,6 +87,24 @@ class Backend:
     def elapsed_seconds(self) -> float:
         raise NotImplementedError
 
+    def executor_info(self) -> Dict[str, object]:
+        """How this backend executes work (reported by ``GET /stats``)."""
+        return {
+            "mode": "single-node",
+            "segments": 1,
+            "workers": 0,
+            "degraded": False,
+        }
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); no-op by default."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def tpi_scan(self, alias: str, entity_join_columns: Sequence[str]) -> Scan:
         """A scan of the facts table suitable for joining on
         (R, C1, C2) plus the given entity columns ('x' and/or 'y').
@@ -156,11 +174,19 @@ class MPPBackend(Backend):
         nseg: int = 8,
         use_matviews: bool = True,
         name: str = "probkb-p",
+        num_workers: int = 0,
+        worker_timeout: float = 60.0,
     ) -> None:
         self.name = name
         self.nseg = nseg
         self.use_matviews = use_matviews
-        self.db = MPPDatabase(nseg=nseg, name=name)
+        self.num_workers = num_workers
+        self.db = MPPDatabase(
+            nseg=nseg,
+            name=name,
+            num_workers=num_workers,
+            worker_timeout=worker_timeout,
+        )
         self._views_created = False
 
     # -- table management ------------------------------------------------------
@@ -212,6 +238,12 @@ class MPPBackend(Backend):
     @property
     def elapsed_seconds(self) -> float:
         return self.db.elapsed_seconds
+
+    def executor_info(self) -> Dict[str, object]:
+        return self.db.executor_info()
+
+    def close(self) -> None:
+        self.db.close()
 
     # -- redistributed materialized views ------------------------------------------
 

@@ -42,6 +42,8 @@ class IterationStats:
     removed_facts: int  # facts deleted by applyConstraints
     seconds: float  # modelled elapsed time of the iteration
     fact_count: int  # |TΠ| after the iteration
+    #: derived rows by MLN partition (Query 1-i), pre-merge
+    partition_rows: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -65,6 +67,27 @@ class GroundingResult:
     @property
     def total_seconds(self) -> float:
         return self.atoms_seconds + self.factor_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modelled time of the whole run (alias of :attr:`total_seconds`,
+        under the name every pipeline result shares)."""
+        return self.total_seconds
+
+    @property
+    def rows_touched(self) -> int:
+        """Rows the run produced: batch-join derivations plus factors."""
+        derived = sum(stats.derived_rows for stats in self.iterations)
+        return derived + self.factors
+
+    @property
+    def per_partition(self) -> Dict[int, int]:
+        """Derived rows by MLN partition, summed over all iterations."""
+        totals: Dict[int, int] = {}
+        for stats in self.iterations:
+            for partition, rows in stats.partition_rows.items():
+                totals[partition] = totals.get(partition, 0) + rows
+        return totals
 
 
 class Grounder:
@@ -102,14 +125,18 @@ class Grounder:
         start = backend.elapsed_seconds
         backend.truncate("TNew")
         derived = 0
+        partition_rows: Dict[int, int] = {}
         for partition in self.rkb.nonempty_partitions:
+            staged = 0
             if self.semi_naive:
                 for plan in ground_atoms_delta_plans(partition, backend):
-                    derived += self.rkb.stage_candidates(plan)
+                    staged += self.rkb.stage_candidates(plan)
             else:
-                derived += self.rkb.stage_candidates(
+                staged += self.rkb.stage_candidates(
                     ground_atoms_plan(partition, backend)
                 )
+            partition_rows[partition] = staged
+            derived += staged
         new_facts = self.rkb.merge_staged()
         removed = 0
         if self.apply_constraints_each_iteration:
@@ -122,6 +149,7 @@ class Grounder:
             removed_facts=removed,
             seconds=backend.elapsed_seconds - start,
             fact_count=self.rkb.fact_count(),
+            partition_rows=partition_rows,
         )
 
     def ground_atoms(
@@ -148,11 +176,18 @@ class Grounder:
         first, so the merge's anti-join never re-admits them (otherwise
         the same error would be re-derived every following iteration).
         """
+        removed, _ = self.apply_constraints_detailed()
+        return removed
+
+    def apply_constraints_detailed(self) -> Tuple[int, Dict[int, int]]:
+        """:meth:`apply_constraints`, also reporting removals by
+        constraint functionality type (Section 5's type I / type II)."""
         if not self.rkb.kb.constraints:
-            return 0
+            return 0, {}
         from ..relational import HashJoin, Project, Scan, col
 
         removed = 0
+        per_type: Dict[int, int] = {}
         for functionality_type, columns in CONSTRAINT_DELETE_COLUMNS.items():
             key_plan = apply_constraints_key_plan(functionality_type)
             doomed = Project(
@@ -175,8 +210,10 @@ class Grounder:
             # iteration's semi-naive joins; it must be purged BEFORE TΠ
             # (the violating-keys subquery reads TΠ)
             self.backend.delete_in("TDelta", list(columns), key_plan)
-            removed += self.backend.delete_in("TP", list(columns), key_plan)
-        return removed
+            deleted = self.backend.delete_in("TP", list(columns), key_plan)
+            per_type[functionality_type] = deleted
+            removed += deleted
+        return removed, per_type
 
     # -- ground factors (Lines 8-10) ----------------------------------------------------
 

@@ -4,15 +4,24 @@ Ties together the relational model, the batch grounding algorithm,
 quality control, and marginal inference:
 
     >>> from repro import ProbKB
-    >>> system = ProbKB(kb, backend="mpp", nseg=8)
+    >>> from repro.api import BackendConfig, MPPConfig
+    >>> system = ProbKB(kb, backend=BackendConfig(kind="mpp",
+    ...                                           mpp=MPPConfig(num_segments=8)))
     >>> grounding = system.ground()
-    >>> marginals = system.infer()          # {Fact: probability}
+    >>> marginals = system.infer()          # InferenceResult ({Fact: probability})
     >>> new = system.new_facts(marginals, min_probability=0.5)
+
+The pre-config keyword spellings (``nseg=``, ``use_matviews=``,
+``apply_constraints=``, ``infer(num_sweeps=...)``, ...) still work but
+emit :class:`DeprecationWarning`; :mod:`repro.api` documents the
+migration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..infer import FactorGraph, bp_marginals, gibbs_marginals
@@ -21,10 +30,18 @@ from ..relational.expr import IsNull, col
 from ..relational.plan import Filter
 from ..relational.types import Row
 from .backends import Backend, MPPBackend, SingleNodeBackend
+from .config import (
+    BackendConfig,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+    build_backend,
+)
 from .grounding import Grounder, GroundingResult
 from .lineage import LineageIndex
 from .model import Fact, KnowledgeBase
 from .relmodel import FACT_KEY_COLUMNS, RelationalKB
+from .results import ConstraintResult, InferenceResult
 from .sqlgen import (
     apply_constraints_key_plan,
     ground_atoms_plan,
@@ -32,20 +49,39 @@ from .sqlgen import (
     singleton_factors_plan,
 )
 
+#: Distinguishes "caller did not pass this" from any real value, so the
+#: deprecation shims only fire on explicit use of a legacy keyword.
+_UNSET = object()
+
 
 def make_backend(
     backend: Union[str, Backend],
     nseg: int = 8,
     use_matviews: bool = True,
 ) -> Backend:
-    """Resolve a backend spec: 'single' | 'mpp' | an existing Backend."""
+    """Resolve a backend spec: 'single' | 'mpp' | an existing Backend.
+
+    .. deprecated::
+        Use :func:`repro.api.build_backend` with a
+        :class:`~repro.api.BackendConfig` instead.
+    """
+    warnings.warn(
+        "make_backend() is deprecated; use repro.api.build_backend with "
+        "a BackendConfig",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if isinstance(backend, Backend):
         return backend
-    if backend == "single":
-        return SingleNodeBackend()
-    if backend == "mpp":
-        return MPPBackend(nseg=nseg, use_matviews=use_matviews)
-    raise ValueError(f"unknown backend {backend!r} (use 'single' or 'mpp')")
+    return build_backend(
+        BackendConfig(
+            kind=backend,
+            mpp=MPPConfig(
+                num_segments=nseg,
+                policy="matviews" if use_matviews else "naive",
+            ),
+        )
+    )
 
 
 class ProbKB:
@@ -64,37 +100,119 @@ class ProbKB:
     def __init__(
         self,
         kb: KnowledgeBase,
-        backend: Union[str, Backend] = "single",
-        nseg: int = 8,
-        use_matviews: bool = True,
-        apply_constraints: bool = True,
-        semi_naive: bool = False,
+        backend: Union[BackendConfig, Backend, str, None] = None,
+        *,
+        grounding: Optional[GroundingConfig] = None,
+        inference: Optional[InferenceConfig] = None,
+        nseg=_UNSET,
+        use_matviews=_UNSET,
+        apply_constraints=_UNSET,
+        semi_naive=_UNSET,
     ) -> None:
         self.kb = kb
-        self.backend = make_backend(backend, nseg=nseg, use_matviews=use_matviews)
+        self.backend_config: Optional[BackendConfig] = None
+        self.backend = self._resolve_backend(backend, nseg, use_matviews)
+        self.grounding_config = self._resolve_grounding(
+            grounding, apply_constraints, semi_naive
+        )
+        self.inference_config = inference or InferenceConfig()
         load_start = self.backend.elapsed_seconds
         self.rkb = RelationalKB(kb, self.backend)
         self.load_seconds = self.backend.elapsed_seconds - load_start
         self.grounder = Grounder(
             self.rkb,
-            apply_constraints=apply_constraints,
-            semi_naive=semi_naive,
+            apply_constraints=self.grounding_config.apply_constraints,
+            semi_naive=self.grounding_config.semi_naive,
         )
         self.grounding: Optional[GroundingResult] = None
         #: monotone counter, bumped every time stored state mutates
         self.generation = 0
 
+    def _resolve_backend(self, backend, nseg, use_matviews) -> Backend:
+        overrides = {}
+        if nseg is not _UNSET:
+            overrides["num_segments"] = nseg
+        if use_matviews is not _UNSET:
+            overrides["policy"] = "matviews" if use_matviews else "naive"
+        if overrides:
+            warnings.warn(
+                "ProbKB(nseg=..., use_matviews=...) is deprecated; pass "
+                "backend=BackendConfig(kind='mpp', mpp=MPPConfig(...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if isinstance(backend, Backend):
+            return backend
+        if backend is None:
+            config = BackendConfig()
+        elif isinstance(backend, str):
+            config = BackendConfig(kind=backend)
+        elif isinstance(backend, BackendConfig):
+            config = backend
+        else:
+            raise TypeError(
+                "backend must be a BackendConfig, a Backend, or "
+                f"'single'/'mpp'; got {backend!r}"
+            )
+        if overrides:
+            config = replace(config, mpp=replace(config.mpp, **overrides))
+        self.backend_config = config
+        return build_backend(config)
+
+    def _resolve_grounding(
+        self, grounding, apply_constraints, semi_naive
+    ) -> GroundingConfig:
+        overrides = {}
+        if apply_constraints is not _UNSET:
+            overrides["apply_constraints"] = apply_constraints
+        if semi_naive is not _UNSET:
+            overrides["semi_naive"] = semi_naive
+        if overrides:
+            warnings.warn(
+                "ProbKB(apply_constraints=..., semi_naive=...) is deprecated; "
+                "pass grounding=GroundingConfig(...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        config = grounding or GroundingConfig()
+        if overrides:
+            config = replace(config, **overrides)
+        return config
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (MPP worker pools); idempotent."""
+        self.backend.close()
+
+    def __enter__(self) -> "ProbKB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- pipeline ------------------------------------------------------------------
 
-    def apply_constraints(self) -> int:
-        """Run Query 3 once (e.g. up-front cleaning as in Section 6.1.1)."""
-        removed = self.grounder.apply_constraints()
+    def apply_constraints(self) -> ConstraintResult:
+        """Run Query 3 once (e.g. up-front cleaning as in Section 6.1.1).
+
+        Returns a :class:`ConstraintResult` — an ``int`` (facts removed)
+        that also carries the modelled time and per-type breakdown.
+        """
+        start = self.backend.elapsed_seconds
+        removed, per_type = self.grounder.apply_constraints_detailed()
         self.backend.after_facts_changed()
         self.generation += 1
-        return removed
+        return ConstraintResult(
+            removed,
+            elapsed_seconds=self.backend.elapsed_seconds - start,
+            per_type=per_type,
+        )
 
     def ground(self, max_iterations: Optional[int] = None) -> GroundingResult:
         """Run Algorithm 1; returns per-iteration statistics."""
+        if max_iterations is None:
+            max_iterations = self.grounding_config.max_iterations
         self.grounding = self.grounder.run(max_iterations)
         self.grounding.load_seconds = self.load_seconds
         self.generation += 1
@@ -143,24 +261,66 @@ class ProbKB:
 
     def infer(
         self,
-        method: str = "gibbs",
-        num_sweeps: int = 500,
-        seed: int = 0,
-    ) -> Dict[Fact, float]:
-        """Marginal probabilities of every fact (observed and inferred)."""
+        config: Optional[Union[InferenceConfig, str]] = None,
+        *,
+        method=_UNSET,
+        num_sweeps=_UNSET,
+        seed=_UNSET,
+    ) -> InferenceResult:
+        """Marginal probabilities of every fact (observed and inferred).
+
+        Returns an :class:`InferenceResult` — a ``{Fact: probability}``
+        dict that also records the method, parameters, wall-clock time,
+        and factor-graph size.
+        """
+        config = self._inference_config(config, method, num_sweeps, seed)
         graph = self.factor_graph()
-        if method == "gibbs":
-            marginals = gibbs_marginals(graph, num_sweeps=num_sweeps, seed=seed)
-        elif method == "bp":
-            marginals = bp_marginals(graph).marginals
+        started = time.perf_counter()
+        if config.method == "gibbs":
+            marginals = gibbs_marginals(
+                graph, num_sweeps=config.num_sweeps, seed=config.seed
+            )
         else:
-            raise ValueError(f"unknown inference method {method!r} (gibbs|bp)")
+            marginals = bp_marginals(graph).marginals
+        elapsed = time.perf_counter() - started
         by_id = self._facts_by_id()
-        return {
+        resolved = {
             by_id[fact_id]: probability
             for fact_id, probability in marginals.items()
             if fact_id in by_id
         }
+        return InferenceResult(
+            resolved,
+            method=config.method,
+            num_sweeps=config.num_sweeps,
+            seed=config.seed,
+            elapsed_seconds=elapsed,
+            num_variables=graph.num_variables,
+            num_factors=len(graph.factors),
+        )
+
+    def _inference_config(self, config, method, num_sweeps, seed) -> InferenceConfig:
+        """Fold legacy inference keywords into an :class:`InferenceConfig`."""
+        if isinstance(config, str):  # legacy positional: infer("bp")
+            method, config = config, None
+        overrides = {}
+        if method is not _UNSET:
+            overrides["method"] = method
+        if num_sweeps is not _UNSET:
+            overrides["num_sweeps"] = num_sweeps
+        if seed is not _UNSET:
+            overrides["seed"] = seed
+        if overrides:
+            warnings.warn(
+                "passing method=/num_sweeps=/seed= is deprecated; pass an "
+                "InferenceConfig",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        base = config if config is not None else self.inference_config
+        if overrides:
+            base = replace(base, **overrides)
+        return base
 
     # -- results ----------------------------------------------------------------------
 
@@ -197,9 +357,11 @@ class ProbKB:
     def materialize_marginals(
         self,
         marginals: Optional[Dict[Fact, float]] = None,
-        method: str = "gibbs",
-        num_sweeps: int = 500,
-        seed: int = 0,
+        config: Optional[InferenceConfig] = None,
+        *,
+        method=_UNSET,
+        num_sweeps=_UNSET,
+        seed=_UNSET,
     ) -> int:
         """Store marginal probabilities in the database (table TProb).
 
@@ -211,7 +373,9 @@ class ProbKB:
         from ..relational import schema as make_schema
 
         if marginals is None:
-            marginals = self.infer(method=method, num_sweeps=num_sweeps, seed=seed)
+            marginals = self.infer(
+                self._inference_config(config, method, num_sweeps, seed)
+            )
         if not self.backend.has_table("TProb"):
             self.backend.create_table(
                 make_schema("TProb", "I:int", "p:float", unique_key=["I"]),

@@ -10,6 +10,7 @@ from .distribution import (
     stable_hash,
 )
 from .plannodes import DistDesc, PhysicalNode
+from .workers import PooledOps, RemoteShards, WorkerCrashError, WorkerPool
 
 __all__ = [
     "DistDesc",
@@ -18,9 +19,13 @@ __all__ = [
     "MPPDatabase",
     "MPPTable",
     "PhysicalNode",
+    "PooledOps",
     "RandomDistribution",
+    "RemoteShards",
     "ReplicatedDistribution",
     "Shards",
+    "WorkerCrashError",
+    "WorkerPool",
     "partition_rows",
     "stable_hash",
 ]

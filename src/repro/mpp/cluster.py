@@ -13,15 +13,38 @@ Motion decisions are made adaptively from actual intermediate sizes,
 standing in for Greenplum's statistics-driven planner.  Every executed
 statement records its physical plan (:mod:`repro.mpp.plannodes`) for
 EXPLAIN ANALYZE output reproducing the paper's Figure 4.
+
+Execution modes
+---------------
+
+The planner (:class:`_MPPExecutor`) is split from the row-level work it
+schedules.  An *ops* object executes each physical operator across
+segments and comes in two flavors:
+
+* :class:`_SerialOps` (default, ``num_workers=0``) runs every segment's
+  share in the master process — deterministic, dependency-free, and what
+  tier-1 tests exercise.
+* ``PooledOps`` (:mod:`repro.mpp.workers`, ``num_workers>0``) pushes each
+  operator down into a persistent pool of worker processes, one command
+  per operator, with motions exchanged worker-to-worker over
+  ``multiprocessing`` queues.  Both modes share the row loops in
+  :mod:`repro.mpp.rowops`, so they produce bit-identical tables and cost
+  clocks.
+
+The master's table shards stay authoritative in both modes: DML is
+applied on the master and mirrored into the workers, while queries run
+in the workers and only result rows travel back.  If the pool dies
+mid-statement the database *degrades* — it re-runs the statement on the
+serial executor over its own intact shards and stays serial from then
+on.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..relational.cost import CostClock
-from ..relational.executor import Result, _aggregate
+from ..relational.executor import Result
 from ..relational.expr import resolve_column
 from ..relational.plan import (
     Aggregate,
@@ -41,13 +64,13 @@ from ..relational.plan import (
 from ..relational.schema import TableSchema
 from ..relational.table import Table
 from ..relational.types import ExecutionError, Row, ensure
+from . import rowops
 from .distribution import (
     DistributionPolicy,
     HashDistribution,
     RandomDistribution,
     ReplicatedDistribution,
     partition_rows,
-    stable_hash,
 )
 from .plannodes import DistDesc, PhysicalNode
 
@@ -96,7 +119,7 @@ class MPPTable:
 
 
 class Shards:
-    """A distributed intermediate result."""
+    """A distributed intermediate result held in the master process."""
 
     __slots__ = ("columns", "parts", "dist")
 
@@ -121,9 +144,21 @@ class Shards:
 
 
 class MPPDatabase:
-    """A simulated shared-nothing MPP cluster."""
+    """A simulated shared-nothing MPP cluster.
 
-    def __init__(self, nseg: int = 8, name: str = "mpp") -> None:
+    With ``num_workers=0`` (the default) all segments execute serially
+    in-process.  With ``num_workers=N`` a persistent pool of N worker
+    processes is spawned, segments are assigned round-robin to workers,
+    and every query plan runs inside the pool.
+    """
+
+    def __init__(
+        self,
+        nseg: int = 8,
+        name: str = "mpp",
+        num_workers: int = 0,
+        worker_timeout: float = 60.0,
+    ) -> None:
         ensure(nseg >= 1, ExecutionError, "need at least one segment")
         self.name = name
         self.nseg = nseg
@@ -137,6 +172,133 @@ class MPPDatabase:
         #: mirror tables kept in sync with a source table's DML —
         #: how redistributed matviews stay fresh incrementally
         self._mirrors: Dict[str, List[str]] = {}
+        self.pool = None
+        self.num_workers = 0
+        self.degraded_reason: Optional[str] = None
+        if num_workers:
+            from .workers import WorkerPool
+
+            self.pool = WorkerPool(
+                nseg, num_workers, reply_timeout=worker_timeout
+            )
+            self.num_workers = self.pool.num_workers
+
+    # ------------------------------------------------------------------ pool
+
+    @property
+    def degraded(self) -> bool:
+        """True if a worker pool was lost and the database fell back to
+        the serial executor."""
+        return self.degraded_reason is not None
+
+    def executor_info(self) -> Dict[str, object]:
+        return {
+            "mode": "multiprocess" if self.pool is not None else "serial",
+            "segments": self.nseg,
+            "workers": self.pool.num_workers if self.pool is not None else 0,
+            "degraded": self.degraded,
+        }
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op in serial mode)."""
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "MPPDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _degrade(self, error: BaseException) -> None:
+        """Lose the pool: record why, kill it, continue serially."""
+        import warnings
+
+        pool, self.pool = self.pool, None
+        self.degraded_reason = str(error) or type(error).__name__
+        if pool is not None:
+            pool.close(force=True)
+        warnings.warn(
+            "MPP worker pool lost "
+            f"({self.degraded_reason}); continuing with the serial executor",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _run_plan(self, plan: PlanNode) -> Tuple[Shards, PhysicalNode]:
+        """Execute a logical plan, returning master-local shards and the
+        recorded physical plan.
+
+        In pooled mode the plan runs inside the workers and only the
+        result rows come back.  Plan execution never mutates stored
+        tables, so if the pool dies mid-plan the statement simply
+        retries on the serial executor over the master's authoritative
+        shards (at worst the cost clocks double-count the aborted
+        attempt's operators)."""
+        if self.pool is not None:
+            from .workers import PooledOps, WorkerCrashError
+
+            ops = PooledOps(self)
+            try:
+                executor = _MPPExecutor(self, ops=ops)
+                shards, node = executor.exec_plan(plan)
+                return ops.localize(shards), node
+            except WorkerCrashError as error:
+                self._degrade(error)
+            finally:
+                self._reset_pool()
+        executor = _MPPExecutor(self)
+        return executor.exec_plan(plan)
+
+    def _reset_pool(self) -> None:
+        """Free worker-side intermediates after a statement."""
+        if self.pool is None:
+            return
+        from .workers import WorkerCrashError
+
+        try:
+            self.pool.reset_intermediates()
+        except WorkerCrashError as error:
+            self._degrade(error)
+
+    def _pool_send(self, command: Tuple) -> None:
+        """Mirror one DML effect into every worker (no-op without a pool)."""
+        if self.pool is None:
+            return
+        from .workers import WorkerCrashError
+
+        try:
+            self.pool.dispatch(command)
+        except WorkerCrashError as error:
+            self._degrade(error)
+
+    def _pool_send_shards(
+        self,
+        op: str,
+        name: str,
+        shards: List[List[Row]],
+        truncate_first: Optional[bool] = None,
+    ) -> None:
+        """Ship per-segment row lists to the workers owning them."""
+        if self.pool is None:
+            return
+        from .workers import WorkerCrashError
+
+        def build(worker_id: int, segments: List[int]) -> Tuple:
+            payload = {
+                seg: shards[seg]
+                for seg in segments
+                if shards[seg] or truncate_first
+            }
+            if truncate_first is None:
+                return (op, name, payload)
+            return (op, name, payload, truncate_first)
+
+        try:
+            self.pool.dispatch(per_worker=build)
+        except WorkerCrashError as error:
+            self._degrade(error)
 
     # ------------------------------------------------------------------ DDL
 
@@ -152,11 +314,13 @@ class MPPDatabase:
             policy = RandomDistribution()
         table = MPPTable(table_schema, policy, self.nseg)
         self.tables[table_schema.name] = table
+        self._pool_send(("create_table", table_schema))
         return table
 
     def drop_table(self, name: str) -> None:
         self.tables.pop(name, None)
         self._matview_sources.pop(name, None)
+        self._pool_send(("drop_table", name))
 
     def table(self, name: str) -> MPPTable:
         try:
@@ -196,6 +360,7 @@ class MPPDatabase:
         rows = self.table(source_name).all_rows()  # type: ignore[arg-type]
         for part in view.parts:
             part.truncate()
+        self._pool_send(("truncate", name))
         self._timed_statement(
             lambda: self._load_partitioned(view, rows, charge_ship=True)
         )
@@ -228,6 +393,7 @@ class MPPDatabase:
                 clock = self.segment_clocks[seg]
                 clock.rows_shipped += len(shard)
                 clock.rows_inserted += stored
+            self._pool_send_shards("insert_shards", mirror_name, shards)
 
     def _mirror_delete(
         self, source_table: str, column_names: Sequence[str], keys: Set[Row]
@@ -237,6 +403,9 @@ class MPPDatabase:
             for seg, part in enumerate(mirror.parts):
                 self.segment_clocks[seg].rows_broadcast += len(keys)
                 part.delete_in(column_names, keys)
+            self._pool_send(
+                ("delete_keys", mirror_name, tuple(column_names), list(keys))
+            )
 
     # ------------------------------------------------------------------ DML
 
@@ -260,8 +429,7 @@ class MPPDatabase:
         table = self.table(table_name)
 
         def work() -> int:
-            executor = _MPPExecutor(self)
-            shards, node = executor.exec_plan(plan)
+            shards, node = self._run_plan(plan)
             self.last_plan = node
             rows = shards.gathered() if shards.dist.kind == "replicated" else None
             if rows is not None:
@@ -281,6 +449,7 @@ class MPPDatabase:
                 stored = table.parts[seg].insert(part)
                 self.segment_clocks[seg].rows_inserted += stored
                 inserted += stored
+            self._pool_send_shards("insert_shards", table_name, incoming)
             self._mirror_insert(
                 table_name, [row for part in incoming for row in part]
             )
@@ -304,8 +473,7 @@ class MPPDatabase:
         padding: Row = (None,) * pad_nulls
 
         def work() -> Tuple[int, int]:
-            executor = _MPPExecutor(self)
-            shards, node = executor.exec_plan(plan)
+            shards, node = self._run_plan(plan)
             self.last_plan = node
             source_parts = (
                 [shards.gathered()]
@@ -327,6 +495,7 @@ class MPPDatabase:
                 stored = table.parts[seg].insert(part)
                 self.segment_clocks[seg].rows_inserted += stored
                 inserted += stored
+            self._pool_send_shards("insert_shards", table_name, incoming)
             self._mirror_insert(
                 table_name, [row for part in incoming for row in part]
             )
@@ -345,8 +514,7 @@ class MPPDatabase:
         table = self.table(table_name)
 
         def work() -> int:
-            executor = _MPPExecutor(self)
-            shards, node = executor.exec_plan(key_plan)
+            shards, node = self._run_plan(key_plan)
             self.last_plan = node
             keys: Set[Row] = set(shards.gathered())
             self.master_clock.rows_shipped += len(keys)
@@ -354,6 +522,9 @@ class MPPDatabase:
             for seg, part in enumerate(table.parts):
                 self.segment_clocks[seg].rows_broadcast += len(keys)
                 removed += part.delete_in(column_names, keys)
+            self._pool_send(
+                ("delete_keys", table_name, tuple(column_names), list(keys))
+            )
             self._mirror_delete(table_name, column_names, keys)
             return removed
 
@@ -363,6 +534,7 @@ class MPPDatabase:
         table = self.table(table_name)
         for part in table.parts:
             part.truncate()
+        self._pool_send(("truncate", table_name))
 
     # ------------------------------------------------------------------ query
 
@@ -370,8 +542,7 @@ class MPPDatabase:
         """Execute a logical plan; the result is gathered on the master."""
 
         def work() -> Result:
-            executor = _MPPExecutor(self)
-            shards, node = executor.exec_plan(plan)
+            shards, node = self._run_plan(plan)
             rows = shards.gathered()
             self.master_clock.rows_shipped += len(rows)
             gather = PhysicalNode("Gather Motion", rows=len(rows))
@@ -412,7 +583,8 @@ class MPPDatabase:
         self, table: MPPTable, rows: List[Row], charge_ship: bool
     ) -> int:
         shards = partition_rows(rows, table.policy, table.key_positions, self.nseg)
-        if isinstance(table.policy, ReplicatedDistribution):
+        replicated = isinstance(table.policy, ReplicatedDistribution)
+        if replicated:
             for part in table.parts:
                 part.truncate()
         inserted = 0
@@ -423,7 +595,10 @@ class MPPDatabase:
             if charge_ship:
                 clock.rows_shipped += len(shard)
             inserted += stored
-        if isinstance(table.policy, ReplicatedDistribution):
+        self._pool_send_shards(
+            "load_shards", table.name, shards, truncate_first=replicated
+        )
+        if replicated:
             return len(table.parts[0])
         return inserted
 
@@ -442,13 +617,220 @@ class MPPDatabase:
         return outcome
 
 
-class _MPPExecutor:
-    """Adaptive planner + executor over distributed shards."""
+class _SerialOps:
+    """Row-level operator execution, all segments in the master process.
+
+    Every method takes/returns :class:`Shards`; the row loops themselves
+    live in :mod:`repro.mpp.rowops`, shared with the worker processes.
+    """
+
+    remote = False
 
     def __init__(self, cluster: MPPDatabase) -> None:
         self.cluster = cluster
         self.nseg = cluster.nseg
         self.clocks = cluster.segment_clocks
+
+    def scan(self, table: MPPTable, columns: List[str], dist: DistDesc) -> Shards:
+        parts = [
+            rowops.scan_rows(part.rows, self.clocks[seg])
+            for seg, part in enumerate(table.parts)
+        ]
+        return Shards(columns, parts, dist)
+
+    def values(self, rows: List[Row], columns: List[str]) -> Shards:
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        parts[0] = list(rows)
+        return Shards(columns, parts, DistDesc.arbitrary())
+
+    def filter(self, child: Shards, predicate) -> Shards:
+        bound = predicate.bind(child.columns)
+        parts = [
+            rowops.filter_rows(part, bound, self.clocks[seg])
+            for seg, part in enumerate(child.parts)
+        ]
+        return Shards(child.columns, parts, child.dist)
+
+    def project(
+        self, child: Shards, outputs, out_columns: List[str], dist: DistDesc
+    ) -> Shards:
+        evaluators = [expr.bind(child.columns) for expr, _ in outputs]
+        parts = [
+            rowops.project_rows(part, evaluators, self.clocks[seg])
+            for seg, part in enumerate(child.parts)
+        ]
+        return Shards(out_columns, parts, dist)
+
+    def join(
+        self,
+        left: Shards,
+        right: Shards,
+        lpos: List[int],
+        rpos: List[int],
+        residual,
+        out_columns: List[str],
+        out_dist: DistDesc,
+    ) -> Shards:
+        bound = residual.bind(out_columns) if residual is not None else None
+        both_replicated = (
+            left.dist.kind == "replicated" and right.dist.kind == "replicated"
+        )
+        parts = []
+        for seg in range(self.nseg):
+            if both_replicated and seg != 0:
+                # both replicated: compute once on segment 0
+                parts.append([])
+                continue
+            left_part = (
+                left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
+            )
+            right_part = (
+                right.parts[0]
+                if right.dist.kind == "replicated"
+                else right.parts[seg]
+            )
+            parts.append(
+                rowops.hash_join_rows(
+                    left_part, right_part, lpos, rpos, bound, self.clocks[seg]
+                )
+            )
+        return Shards(out_columns, parts, out_dist)
+
+    def anti_join(
+        self,
+        left: Shards,
+        right: Shards,
+        lpos: List[int],
+        rpos: List[int],
+        out_dist: DistDesc,
+    ) -> Shards:
+        parts = []
+        for seg in range(self.nseg):
+            if left.dist.kind == "replicated" and seg != 0:
+                parts.append([])
+                continue
+            left_part = (
+                left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
+            )
+            right_part = (
+                right.parts[0]
+                if right.dist.kind == "replicated"
+                else right.parts[seg]
+            )
+            parts.append(
+                rowops.anti_join_rows(
+                    left_part, right_part, lpos, rpos, self.clocks[seg]
+                )
+            )
+        return Shards(left.columns, parts, out_dist)
+
+    def distinct(self, child: Shards) -> Shards:
+        parts = [
+            rowops.distinct_rows(part, self.clocks[seg])
+            for seg, part in enumerate(child.parts)
+        ]
+        return Shards(child.columns, parts, child.dist)
+
+    def aggregate(
+        self,
+        child: Shards,
+        group_pos: List[int],
+        aggregates,
+        agg_pos,
+        having,
+        out_columns: List[str],
+        global_agg: bool,
+        out_dist: DistDesc,
+    ) -> Shards:
+        bound = having.bind(out_columns) if having is not None else None
+        parts = []
+        for seg, part in enumerate(child.parts):
+            if global_agg and seg != 0:
+                parts.append([])
+                continue
+            parts.append(
+                rowops.aggregate_rows(
+                    part, group_pos, aggregates, agg_pos, bound,
+                    global_agg, self.clocks[seg],
+                )
+            )
+        return Shards(out_columns, parts, out_dist)
+
+    def union(
+        self, children: List[Shards], out_columns: List[str], dist: DistDesc
+    ) -> Shards:
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        for shards in children:
+            if shards.dist.kind == "replicated":
+                parts[0].extend(shards.parts[0])
+            else:
+                for seg, part in enumerate(shards.parts):
+                    parts[seg].extend(part)
+        return Shards(out_columns, parts, dist)
+
+    def redistribute(
+        self, shards: Shards, positions: List[int], keys: List[str]
+    ) -> Shards:
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        source_parts = (
+            [shards.parts[0]] if shards.dist.kind == "replicated" else shards.parts
+        )
+        for seg, part in enumerate(source_parts):
+            pieces = rowops.partition_by_hash(part, positions, self.nseg)
+            for target, piece in enumerate(pieces):
+                if target != seg:
+                    self.clocks[target].rows_shipped += len(piece)
+                parts[target].extend(piece)
+        return Shards(shards.columns, parts, DistDesc.hash_on(keys))
+
+    def broadcast(self, shards: Shards) -> Shards:
+        all_rows = shards.gathered()
+        for seg in range(self.nseg):
+            local = (
+                len(shards.parts[seg])
+                if shards.dist.kind != "replicated"
+                else len(all_rows)
+            )
+            self.clocks[seg].rows_broadcast += len(all_rows) - local
+        parts = [list(all_rows) for _ in range(self.nseg)]
+        return Shards(shards.columns, parts, DistDesc.replicated())
+
+    def gather_first(self, shards: Shards) -> Shards:
+        rows = shards.gathered()
+        if shards.dist.kind != "replicated":
+            self.clocks[0].rows_shipped += len(rows) - len(shards.parts[0])
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        parts[0] = rows
+        return Shards(shards.columns, parts, DistDesc.arbitrary())
+
+    def sort(self, child: Shards, positions) -> Shards:
+        ordered = rowops.sort_rows(child.parts[0], positions, self.clocks[0])
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        parts[0] = ordered
+        return Shards(child.columns, parts, DistDesc.arbitrary())
+
+    def limit(self, child: Shards, limit: int) -> Shards:
+        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
+        parts[0] = list(child.parts[0][:limit])
+        return Shards(child.columns, parts, DistDesc.arbitrary())
+
+    def localize(self, shards: Shards) -> Shards:
+        return shards
+
+
+class _MPPExecutor:
+    """Adaptive planner over distributed shards.
+
+    Decides collocation/motions and records the physical plan; the
+    actual per-segment row work is delegated to an *ops* object —
+    :class:`_SerialOps` in-process, or ``PooledOps`` pushing operators
+    into the worker pool."""
+
+    def __init__(self, cluster: MPPDatabase, ops=None) -> None:
+        self.cluster = cluster
+        self.nseg = cluster.nseg
+        self.clocks = cluster.segment_clocks
+        self.ops = ops if ops is not None else _SerialOps(cluster)
 
     # -- entry ---------------------------------------------------------------
 
@@ -509,59 +891,34 @@ class _MPPExecutor:
         else:
             dist = DistDesc.arbitrary()
         node = PhysicalNode("Seq Scan", f"on {plan.table_name}")
-
-        def work() -> Shards:
-            parts = []
-            for seg, part in enumerate(table.parts):
-                self.clocks[seg].rows_scanned += len(part)
-                parts.append(list(part.rows))
-            return Shards(columns, parts, dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(node, lambda: self.ops.scan(table, columns, dist))
+        return shards, node
 
     def _exec_values(self, plan: Values) -> Tuple[Shards, PhysicalNode]:
-        parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-        parts[0] = list(plan.rows)
         node = PhysicalNode("Values", rows=len(plan.rows))
-        return Shards(plan.output_columns, parts, DistDesc.arbitrary()), node
+        return self.ops.values(list(plan.rows), plan.output_columns), node
 
     # -- unary nodes ----------------------------------------------------------
 
     def _exec_filter(self, plan: Filter) -> Tuple[Shards, PhysicalNode]:
         child, child_node = self._exec(plan.child)
-        predicate = plan.predicate.bind(child.columns)
         node = PhysicalNode("Filter", plan.predicate.to_sql())
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts = []
-            for seg, part in enumerate(child.parts):
-                kept = [row for row in part if predicate(row)]
-                clock = self.clocks[seg]
-                clock.rows_probed += len(part)
-                clock.rows_output += len(kept)
-                parts.append(kept)
-            return Shards(child.columns, parts, child.dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(node, lambda: self.ops.filter(child, plan.predicate))
+        return shards, node
 
     def _exec_project(self, plan: Project) -> Tuple[Shards, PhysicalNode]:
         child, child_node = self._exec(plan.child)
-        evaluators = [expr.bind(child.columns) for expr, _ in plan.outputs]
-        out_columns = plan.output_columns
         dist = self._project_dist(plan, child)
         node = PhysicalNode("Project")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts = []
-            for seg, part in enumerate(child.parts):
-                projected = [tuple(fn(row) for fn in evaluators) for row in part]
-                self.clocks[seg].rows_output += len(projected)
-                parts.append(projected)
-            return Shards(out_columns, parts, dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(
+            node,
+            lambda: self.ops.project(
+                child, plan.outputs, plan.output_columns, dist
+            ),
+        )
+        return shards, node
 
     def _project_dist(self, plan: Project, child: Shards) -> DistDesc:
         """Track the hash distribution through column renames."""
@@ -598,34 +955,19 @@ class _MPPExecutor:
         )
 
         out_columns = left.columns + right.columns
-        residual = (
-            plan.residual.bind(out_columns) if plan.residual is not None else None
-        )
         lpos = [resolve_column(k, left.columns) for k in left_keys]
         rpos = [resolve_column(k, right.columns) for k in right_keys]
+        if left.dist.kind == "replicated" and right.dist.kind == "replicated":
+            out_dist = DistDesc.arbitrary()
         node = PhysicalNode("Hash Join", _join_detail(left_keys, right_keys))
         node.children.extend([left_node, right_node])
-
-        def work() -> Shards:
-            parts = []
-            for seg in range(self.nseg):
-                left_part = left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
-                right_part = right.parts[0] if right.dist.kind == "replicated" else right.parts[seg]
-                if left.dist.kind == "replicated" and right.dist.kind == "replicated":
-                    # both replicated: compute once on segment 0
-                    if seg != 0:
-                        parts.append([])
-                        continue
-                joined = _hash_join_rows(
-                    left_part, right_part, lpos, rpos, residual, self.clocks[seg]
-                )
-                parts.append(joined)
-            dist = out_dist
-            if left.dist.kind == "replicated" and right.dist.kind == "replicated":
-                dist = DistDesc.arbitrary()
-            return Shards(out_columns, parts, dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(
+            node,
+            lambda: self.ops.join(
+                left, right, lpos, rpos, plan.residual, out_columns, out_dist
+            ),
+        )
+        return shards, node
 
     def _collocate(
         self,
@@ -708,40 +1050,15 @@ class _MPPExecutor:
 
         lpos = [resolve_column(k, left.columns) for k in left_keys]
         rpos = [resolve_column(k, right.columns) for k in right_keys]
+        out_dist = (
+            left.dist if left.dist.kind != "replicated" else DistDesc.arbitrary()
+        )
         node = PhysicalNode("Hash Anti Join", _join_detail(left_keys, right_keys))
         node.children.extend([left_node, right_node])
-
-        def work() -> Shards:
-            parts = []
-            for seg in range(self.nseg):
-                left_part = (
-                    left.parts[0] if left.dist.kind == "replicated" else left.parts[seg]
-                )
-                right_part = (
-                    right.parts[0]
-                    if right.dist.kind == "replicated"
-                    else right.parts[seg]
-                )
-                if left.dist.kind == "replicated" and seg != 0:
-                    parts.append([])
-                    continue
-                clock = self.clocks[seg]
-                existing = {
-                    tuple(row[pos] for pos in rpos) for row in right_part
-                }
-                clock.rows_built += len(right_part)
-                kept = [
-                    row
-                    for row in left_part
-                    if tuple(row[pos] for pos in lpos) not in existing
-                ]
-                clock.rows_probed += len(left_part)
-                clock.rows_output += len(kept)
-                parts.append(kept)
-            dist = left.dist if left.dist.kind != "replicated" else DistDesc.arbitrary()
-            return Shards(left.columns, parts, dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(
+            node, lambda: self.ops.anti_join(left, right, lpos, rpos, out_dist)
+        )
+        return shards, node
 
     # -- motions -------------------------------------------------------------
 
@@ -751,55 +1068,26 @@ class _MPPExecutor:
         positions = [resolve_column(k, shards.columns) for k in keys]
         node = PhysicalNode("Redistribute Motion", f"on ({', '.join(keys)})")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-            source_parts = (
-                [shards.parts[0]] if shards.dist.kind == "replicated" else shards.parts
-            )
-            for seg, part in enumerate(source_parts):
-                for row in part:
-                    target = stable_hash(
-                        tuple(row[pos] for pos in positions)
-                    ) % self.nseg
-                    if target != seg:
-                        self.clocks[target].rows_shipped += 1
-                    parts[target].append(row)
-            return Shards(shards.columns, parts, DistDesc.hash_on(keys))
-
-        return self._timed(node, work), node
+        moved = self._timed(
+            node, lambda: self.ops.redistribute(shards, positions, keys)
+        )
+        return moved, node
 
     def _broadcast(
         self, shards: Shards, child_node: PhysicalNode
     ) -> Tuple[Shards, PhysicalNode]:
         node = PhysicalNode("Broadcast Motion")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            all_rows = shards.gathered()
-            for seg in range(self.nseg):
-                local = len(shards.parts[seg]) if shards.dist.kind != "replicated" else len(all_rows)
-                self.clocks[seg].rows_broadcast += len(all_rows) - local
-            parts = [list(all_rows) for _ in range(self.nseg)]
-            return Shards(shards.columns, parts, DistDesc.replicated())
-
-        return self._timed(node, work), node
+        moved = self._timed(node, lambda: self.ops.broadcast(shards))
+        return moved, node
 
     def _gather_to_first(
         self, shards: Shards, child_node: PhysicalNode
     ) -> Tuple[Shards, PhysicalNode]:
         node = PhysicalNode("Gather Motion", "to seg0")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            rows = shards.gathered()
-            if shards.dist.kind != "replicated":
-                self.clocks[0].rows_shipped += len(rows) - len(shards.parts[0])
-            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-            parts[0] = rows
-            return Shards(shards.columns, parts, DistDesc.arbitrary())
-
-        return self._timed(node, work), node
+        moved = self._timed(node, lambda: self.ops.gather_first(shards))
+        return moved, node
 
     # -- distinct / aggregate / union / limit -------------------------------------
 
@@ -811,23 +1099,8 @@ class _MPPExecutor:
             )
         node = PhysicalNode("Distinct")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts = []
-            for seg, part in enumerate(child.parts):
-                seen: Set[Row] = set()
-                deduped = []
-                for row in part:
-                    if row not in seen:
-                        seen.add(row)
-                        deduped.append(row)
-                clock = self.clocks[seg]
-                clock.rows_probed += len(part)
-                clock.rows_output += len(deduped)
-                parts.append(deduped)
-            return Shards(child.columns, parts, child.dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(node, lambda: self.ops.distinct(child))
+        return shards, node
 
     def _exec_aggregate(self, plan: Aggregate) -> Tuple[Shards, PhysicalNode]:
         child, child_node = self._exec(plan.child)
@@ -850,64 +1123,41 @@ class _MPPExecutor:
             for _, c, _ in plan.aggregates
         ]
         out_columns = plan.output_columns
-        having = plan.having.bind(out_columns) if plan.having is not None else None
+        out_dist = (
+            DistDesc.hash_on(plan.group_by)
+            if plan.group_by
+            else DistDesc.arbitrary()
+        )
         node = PhysicalNode("HashAggregate", f"group by ({', '.join(plan.group_by)})")
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts = []
-            for seg, part in enumerate(child.parts):
-                if not plan.group_by and seg != 0:
-                    parts.append([])
-                    continue
-                groups: Dict[Tuple, List[Row]] = defaultdict(list)
-                for row in part:
-                    groups[tuple(row[pos] for pos in group_pos)].append(row)
-                if not plan.group_by and not groups:
-                    groups[()] = []
-                out_rows = []
-                for key, members in groups.items():
-                    values = tuple(
-                        _aggregate(func, pos, members)
-                        for (func, _, _), pos in zip(plan.aggregates, agg_pos)
-                    )
-                    out_row = key + values
-                    if having is None or having(out_row):
-                        out_rows.append(out_row)
-                clock = self.clocks[seg]
-                clock.rows_probed += len(part)
-                clock.rows_output += len(out_rows)
-                parts.append(out_rows)
-            dist = (
-                DistDesc.hash_on(plan.group_by)
-                if plan.group_by
-                else DistDesc.arbitrary()
-            )
-            return Shards(out_columns, parts, dist)
-
-        return self._timed(node, work), node
+        shards = self._timed(
+            node,
+            lambda: self.ops.aggregate(
+                child, group_pos, plan.aggregates, agg_pos, plan.having,
+                out_columns, not plan.group_by, out_dist,
+            ),
+        )
+        return shards, node
 
     def _exec_union(self, plan: UnionAll) -> Tuple[Shards, PhysicalNode]:
         results = [self._exec(child) for child in plan.children]
         node = PhysicalNode("Append")
         node.children.extend(child_node for _, child_node in results)
         out_columns = plan.output_columns
-
-        def work() -> Shards:
-            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-            dists = set()
-            for shards, _ in results:
-                if shards.dist.kind == "replicated":
-                    parts[0].extend(shards.parts[0])
-                    dists.add(DistDesc.arbitrary())
-                else:
-                    for seg, part in enumerate(shards.parts):
-                        parts[seg].extend(part)
-                    dists.add(shards.dist)
-            dist = dists.pop() if len(dists) == 1 else DistDesc.arbitrary()
-            return Shards(out_columns, parts, dist)
-
-        return self._timed(node, work), node
+        dists = set()
+        for shards, _ in results:
+            if shards.dist.kind == "replicated":
+                dists.add(DistDesc.arbitrary())
+            else:
+                dists.add(shards.dist)
+        dist = dists.pop() if len(dists) == 1 else DistDesc.arbitrary()
+        shards = self._timed(
+            node,
+            lambda: self.ops.union(
+                [child for child, _ in results], out_columns, dist
+            ),
+        )
+        return shards, node
 
     def _exec_sort(self, plan: Sort) -> Tuple[Shards, PhysicalNode]:
         """Global order requires a gather; the sort runs on segment 0
@@ -920,76 +1170,19 @@ class _MPPExecutor:
         ]
         node = PhysicalNode("Sort", plan.describe().replace("Sort: ", ""))
         node.children.append(child_node)
-
-        def work() -> Shards:
-            ordered = list(child.parts[0])
-            for pos, descending in reversed(positions):
-                ordered.sort(
-                    key=lambda row: (row[pos] is not None, row[pos]),
-                    reverse=descending,
-                )
-            self.clocks[0].rows_probed += len(ordered)
-            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-            parts[0] = ordered
-            return Shards(child.columns, parts, DistDesc.arbitrary())
-
-        return self._timed(node, work), node
+        shards = self._timed(node, lambda: self.ops.sort(child, positions))
+        return shards, node
 
     def _exec_limit(self, plan: Limit) -> Tuple[Shards, PhysicalNode]:
         child, child_node = self._exec(plan.child)
         child, child_node = self._gather_to_first(child, child_node)
         node = PhysicalNode("Limit", str(plan.limit))
         node.children.append(child_node)
-
-        def work() -> Shards:
-            parts: List[List[Row]] = [[] for _ in range(self.nseg)]
-            parts[0] = child.parts[0][: plan.limit]
-            return Shards(child.columns, parts, DistDesc.arbitrary())
-
-        return self._timed(node, work), node
+        shards = self._timed(node, lambda: self.ops.limit(child, plan.limit))
+        return shards, node
 
 
-# -- row-level helpers ------------------------------------------------------------
-
-
-def _hash_join_rows(
-    left_rows: List[Row],
-    right_rows: List[Row],
-    lpos: List[int],
-    rpos: List[int],
-    residual,
-    clock: CostClock,
-) -> List[Row]:
-    build_left = len(left_rows) <= len(right_rows)
-    if build_left:
-        build_rows, probe_rows = left_rows, right_rows
-        build_pos, probe_pos = lpos, rpos
-    else:
-        build_rows, probe_rows = right_rows, left_rows
-        build_pos, probe_pos = rpos, lpos
-
-    table: Dict[Tuple, List[Row]] = defaultdict(list)
-    for row in build_rows:
-        key = tuple(row[pos] for pos in build_pos)
-        if None in key:
-            continue
-        table[key].append(row)
-    clock.rows_built += len(build_rows)
-
-    out: List[Row] = []
-    append = out.append
-    for row in probe_rows:
-        matches = table.get(tuple(row[pos] for pos in probe_pos))
-        if not matches:
-            continue
-        for match in matches:
-            combined = match + row if build_left else row + match
-            append(combined)
-    clock.rows_probed += len(probe_rows)
-    clock.rows_output += len(out)
-    if residual is not None:
-        out = [row for row in out if residual(row)]
-    return out
+# -- helpers ------------------------------------------------------------
 
 
 def _join_detail(left_keys: List[str], right_keys: List[str]) -> str:

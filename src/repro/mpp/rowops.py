@@ -1,0 +1,179 @@
+"""Per-segment row-level operators for the MPP executor.
+
+Exactly one implementation of each operator's row loop lives here, and
+both drivers reuse it: the serial executor iterates segments in the
+master process, while the multi-process executor (:mod:`repro.mpp.workers`)
+runs the same functions inside worker processes, one call per owned
+segment.  Sharing the loops is what makes the two execution modes
+bit-identical — same output rows in the same order, same
+:class:`~repro.relational.cost.CostClock` charges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..relational.cost import CostClock
+from ..relational.executor import _aggregate
+from ..relational.types import Row
+from .distribution import stable_hash
+
+Predicate = Optional[Callable[[Row], bool]]
+
+
+def scan_rows(stored_rows: Sequence[Row], clock: CostClock) -> List[Row]:
+    clock.rows_scanned += len(stored_rows)
+    return list(stored_rows)
+
+
+def filter_rows(
+    rows: Sequence[Row], predicate: Callable[[Row], bool], clock: CostClock
+) -> List[Row]:
+    kept = [row for row in rows if predicate(row)]
+    clock.rows_probed += len(rows)
+    clock.rows_output += len(kept)
+    return kept
+
+
+def project_rows(
+    rows: Sequence[Row],
+    evaluators: Sequence[Callable[[Row], object]],
+    clock: CostClock,
+) -> List[Row]:
+    projected = [tuple(fn(row) for fn in evaluators) for row in rows]
+    clock.rows_output += len(projected)
+    return projected
+
+
+def hash_join_rows(
+    left_rows: List[Row],
+    right_rows: List[Row],
+    lpos: List[int],
+    rpos: List[int],
+    residual: Predicate,
+    clock: CostClock,
+) -> List[Row]:
+    """Hash join two row lists; NULL keys never match, the residual
+    predicate filters after the join."""
+    build_left = len(left_rows) <= len(right_rows)
+    if build_left:
+        build_rows, probe_rows = left_rows, right_rows
+        build_pos, probe_pos = lpos, rpos
+    else:
+        build_rows, probe_rows = right_rows, left_rows
+        build_pos, probe_pos = rpos, lpos
+
+    table: Dict[Tuple, List[Row]] = defaultdict(list)
+    for row in build_rows:
+        key = tuple(row[pos] for pos in build_pos)
+        if None in key:
+            continue
+        table[key].append(row)
+    clock.rows_built += len(build_rows)
+
+    out: List[Row] = []
+    append = out.append
+    for row in probe_rows:
+        matches = table.get(tuple(row[pos] for pos in probe_pos))
+        if not matches:
+            continue
+        for match in matches:
+            combined = match + row if build_left else row + match
+            append(combined)
+    clock.rows_probed += len(probe_rows)
+    clock.rows_output += len(out)
+    if residual is not None:
+        out = [row for row in out if residual(row)]
+    return out
+
+
+def anti_join_rows(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    lpos: Sequence[int],
+    rpos: Sequence[int],
+    clock: CostClock,
+) -> List[Row]:
+    existing = {tuple(row[pos] for pos in rpos) for row in right_rows}
+    clock.rows_built += len(right_rows)
+    kept = [
+        row
+        for row in left_rows
+        if tuple(row[pos] for pos in lpos) not in existing
+    ]
+    clock.rows_probed += len(left_rows)
+    clock.rows_output += len(kept)
+    return kept
+
+
+def distinct_rows(rows: Sequence[Row], clock: CostClock) -> List[Row]:
+    seen: Set[Row] = set()
+    deduped = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            deduped.append(row)
+    clock.rows_probed += len(rows)
+    clock.rows_output += len(deduped)
+    return deduped
+
+
+def aggregate_rows(
+    rows: Sequence[Row],
+    group_pos: Sequence[int],
+    aggregates: Sequence[Tuple[str, Optional[str], str]],
+    agg_pos: Sequence[Optional[int]],
+    having: Predicate,
+    global_agg: bool,
+    clock: CostClock,
+) -> List[Row]:
+    groups: Dict[Tuple, List[Row]] = defaultdict(list)
+    for row in rows:
+        groups[tuple(row[pos] for pos in group_pos)].append(row)
+    if global_agg and not groups:
+        groups[()] = []
+    out_rows = []
+    for key, members in groups.items():
+        values = tuple(
+            _aggregate(func, pos, members)
+            for (func, _, _), pos in zip(aggregates, agg_pos)
+        )
+        out_row = key + values
+        if having is None or having(out_row):
+            out_rows.append(out_row)
+    clock.rows_probed += len(rows)
+    clock.rows_output += len(out_rows)
+    return out_rows
+
+
+def sort_rows(
+    rows: Sequence[Row],
+    positions: Sequence[Tuple[int, bool]],
+    clock: CostClock,
+) -> List[Row]:
+    """Stable multi-key sort (NULLs first ascending, matching the
+    single-node executor)."""
+    ordered = list(rows)
+    for pos, descending in reversed(list(positions)):
+        ordered.sort(
+            key=lambda row: (row[pos] is not None, row[pos]),
+            reverse=descending,
+        )
+    clock.rows_probed += len(ordered)
+    return ordered
+
+
+def partition_by_hash(
+    rows: Sequence[Row], positions: Sequence[int], nseg: int
+) -> List[List[Row]]:
+    """Split rows into per-target-segment pieces by stable hash.
+
+    Callers charge shipping costs themselves — who pays depends on the
+    motion (redistribute charges receivers, broadcast charges copies).
+    """
+    pieces: List[List[Row]] = [[] for _ in range(nseg)]
+    for row in rows:
+        target = stable_hash(tuple(row[pos] for pos in positions)) % nseg
+        pieces[target].append(row)
+    return pieces

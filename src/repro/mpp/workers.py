@@ -1,0 +1,858 @@
+"""Worker processes for the multi-process MPP executor.
+
+Architecture (paper Figure 4: master + shared-nothing segment hosts)::
+
+    master (planner, authoritative shards)        worker k (segments k, k+W, ...)
+    --------------------------------------        --------------------------------
+    PooledOps.<op> ──── command queue k ────────▶ run the operator on each
+                                                  owned segment (repro.mpp.rowops)
+                   ◀─── shared reply queue ────── ack {row counts, clock deltas}
+    motions:            workers exchange pickled row batches directly over
+                        per-worker inbox queues, tagged with a motion epoch
+
+A :class:`WorkerPool` is spawned once per :class:`~repro.mpp.cluster.MPPDatabase`
+and persists across statements.  Each worker owns ``seg % num_workers``
+segments and keeps a private :class:`~repro.relational.table.Table` copy
+of every segment shard it owns; the master mirrors all DML into the pool
+(``load_shards`` / ``insert_shards`` / ``delete_keys`` / ``truncate``),
+so worker state is always derivable from the master's — which is what
+makes crash recovery a pure retry.
+
+Determinism: workers run the exact same row loops as the serial
+executor (:mod:`repro.mpp.rowops`), motions assemble incoming pieces in
+ascending source-segment order (the serial executor's iteration order),
+and all cost-clock charges for query operators happen worker-side and
+are merged into the master's per-segment clocks from the acks.  A
+pooled run therefore produces bit-identical tables, query results, and
+modelled times to a serial run.
+
+Commands are dispatched in lockstep: every worker acknowledges every
+command before the next is sent, so a reply mismatch, a dead process,
+or a timeout all surface as :class:`WorkerCrashError` — the signal for
+the database to degrade to its serial executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..relational.cost import CostClock
+from ..relational.schema import TableSchema
+from ..relational.table import Table
+from ..relational.types import Row
+from . import rowops
+from .cluster import MPPDatabase, Shards
+from .plannodes import DistDesc
+
+__all__ = ["WorkerCrashError", "WorkerPool", "PooledOps", "RemoteShards"]
+
+#: how often blocked queue reads wake up to re-check liveness/deadlines
+_POLL_S = 0.05
+#: how long a worker waits on a motion exchange before giving up
+_EXCHANGE_TIMEOUT_S = 120.0
+
+
+class WorkerCrashError(RuntimeError):
+    """The worker pool died, errored, or stopped responding."""
+
+
+class RemoteShards:
+    """A distributed intermediate result living inside the worker pool.
+
+    The master only holds the metadata (per-segment row counts and the
+    distribution); the rows stay in the workers until ``fetch``."""
+
+    __slots__ = ("columns", "dist", "handle", "counts")
+
+    def __init__(
+        self,
+        columns: List[str],
+        dist: DistDesc,
+        handle: int,
+        counts: List[int],
+    ) -> None:
+        self.columns = columns
+        self.dist = dist
+        self.handle = handle
+        self.counts = counts
+
+    @property
+    def total_rows(self) -> int:
+        if self.dist.kind == "replicated":
+            return self.counts[0]
+        return sum(self.counts)
+
+
+# ---------------------------------------------------------------------- pool
+
+
+class WorkerPool:
+    """A persistent pool of segment-executor processes."""
+
+    def __init__(
+        self,
+        nseg: int,
+        num_workers: int,
+        reply_timeout: float = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1 (0 means serial mode)")
+        self.nseg = nseg
+        self.num_workers = min(int(num_workers), nseg)
+        self.reply_timeout = reply_timeout
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MPP_START_METHOD")
+        if start_method is None:
+            # fork keeps spawn latency negligible; spawn is the portable fallback
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        #: segment -> owning worker id
+        self.seg_worker: Tuple[int, ...] = tuple(
+            seg % self.num_workers for seg in range(nseg)
+        )
+        self.command_queues = [context.Queue() for _ in range(self.num_workers)]
+        self.reply_queue = context.Queue()
+        self.exchange_queues = [context.Queue() for _ in range(self.num_workers)]
+        self._seq = 0
+        self._epoch = 0
+        self._handle = 0
+        self._closed = False
+        self.processes = []
+        # Forked children inherit the parent's SIGINT disposition, and a
+        # Ctrl-C aimed at the master reaches the whole process group —
+        # ignore it around the fork so workers are never interruptible,
+        # even during bootstrap (workers re-ignore it themselves for the
+        # spawn start method, where dispositions reset).
+        restore_sigint = None
+        if threading.current_thread() is threading.main_thread():
+            restore_sigint = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        try:
+            for worker_id in range(self.num_workers):
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self.segments_of(worker_id),
+                        nseg,
+                        self.seg_worker,
+                        self.command_queues[worker_id],
+                        self.reply_queue,
+                        self.exchange_queues,
+                    ),
+                    name=f"repro-mpp-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                self.processes.append(process)
+        finally:
+            if restore_sigint is not None:
+                signal.signal(signal.SIGINT, restore_sigint)
+
+    def segments_of(self, worker_id: int) -> List[int]:
+        return [
+            seg for seg in range(self.nseg) if self.seg_worker[seg] == worker_id
+        ]
+
+    def next_handle(self) -> int:
+        self._handle += 1
+        return self._handle
+
+    def next_epoch(self) -> int:
+        self._epoch += 1
+        return self._epoch
+
+    # -- lockstep dispatch ---------------------------------------------------
+
+    def dispatch(
+        self,
+        command: Optional[Tuple] = None,
+        per_worker: Optional[Callable[[int, List[int]], Tuple]] = None,
+    ) -> Dict[int, dict]:
+        """Send one command to every worker and collect every ack.
+
+        Returns ``{worker_id: payload}``.  Any worker error, death, or
+        timeout raises :class:`WorkerCrashError` (a worker-side failure
+        can leave peers blocked inside a motion, so the pool is not
+        reusable after one — the database degrades and retries
+        serially)."""
+        if self._closed:
+            raise WorkerCrashError("worker pool is closed")
+        self._seq += 1
+        seq = self._seq
+        try:
+            for worker_id, command_queue in enumerate(self.command_queues):
+                message = (
+                    command
+                    if per_worker is None
+                    else per_worker(worker_id, self.segments_of(worker_id))
+                )
+                command_queue.put((seq, message))
+        except (OSError, ValueError) as error:
+            raise WorkerCrashError(f"worker pool unusable: {error}") from error
+        payloads: Dict[int, dict] = {}
+        deadline = time.monotonic() + self.reply_timeout
+        while len(payloads) < self.num_workers:
+            try:
+                worker_id, reply_seq, status, payload = self.reply_queue.get(
+                    timeout=_POLL_S
+                )
+            except queue.Empty:
+                self._ensure_alive()
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        "worker pool stopped responding "
+                        f"(waited {self.reply_timeout:.0f}s)"
+                    )
+                continue
+            if reply_seq != seq:
+                continue  # stale ack from an aborted statement
+            if status != "ok":
+                raise WorkerCrashError(f"worker {worker_id} failed: {payload}")
+            payloads[worker_id] = payload
+        return payloads
+
+    def _ensure_alive(self) -> None:
+        for worker_id, process in enumerate(self.processes):
+            if not process.is_alive():
+                raise WorkerCrashError(
+                    f"worker {worker_id} died (exit code {process.exitcode})"
+                )
+
+    def ping(self) -> bool:
+        """Round-trip a no-op through every worker (liveness check)."""
+        self.dispatch(("ping",))
+        return True
+
+    def reset_intermediates(self) -> None:
+        """Drop worker-side intermediate frames between statements."""
+        self.dispatch(("reset",))
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, force: bool = False) -> None:
+        """Stop all workers; ``force`` skips the polite shutdown round."""
+        if self._closed:
+            self._terminate()
+            return
+        self._closed = True
+        if not force:
+            self._seq += 1
+            for command_queue in self.command_queues:
+                try:
+                    command_queue.put((self._seq, ("shutdown",)))
+                except (OSError, ValueError):
+                    pass
+            for process in self.processes:
+                process.join(timeout=2.0)
+        self._terminate()
+        for mp_queue in (
+            *self.command_queues,
+            self.reply_queue,
+            *self.exchange_queues,
+        ):
+            mp_queue.close()
+            mp_queue.cancel_join_thread()
+
+    def _terminate(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------- ops
+
+
+class PooledOps:
+    """Row-level operator execution pushed down into the worker pool.
+
+    The planner's counterpart to ``_SerialOps``: same method surface,
+    but each call dispatches one command to every worker and returns a
+    :class:`RemoteShards` whose rows stay in the pool.  Worker-side cost
+    clocks ride back on the acks and are merged into the master's
+    per-segment clocks, so the planner's timing and EXPLAIN output are
+    identical to serial execution."""
+
+    remote = True
+
+    def __init__(self, cluster: MPPDatabase) -> None:
+        if cluster.pool is None:
+            raise WorkerCrashError("database has no worker pool")
+        self.cluster = cluster
+        self.pool: WorkerPool = cluster.pool
+        self.nseg = cluster.nseg
+        self.clocks = cluster.segment_clocks
+
+    def _run(
+        self, command: Tuple, columns: List[str], dist: DistDesc
+    ) -> RemoteShards:
+        handle = command[1]
+        payloads = self.pool.dispatch(command)
+        counts = [0] * self.nseg
+        for payload in payloads.values():
+            for seg, count in payload.get("counts", {}).items():
+                counts[seg] = count
+            for seg, delta in payload.get("deltas", {}).items():
+                self.clocks[seg].merge(delta)
+        return RemoteShards(columns, dist, handle, counts)
+
+    def scan(self, table, columns: List[str], dist: DistDesc) -> RemoteShards:
+        return self._run(
+            ("scan", self.pool.next_handle(), table.name), columns, dist
+        )
+
+    def values(self, rows: List[Row], columns: List[str]) -> RemoteShards:
+        return self._run(
+            ("values", self.pool.next_handle(), list(rows)),
+            columns,
+            DistDesc.arbitrary(),
+        )
+
+    def filter(self, child: RemoteShards, predicate) -> RemoteShards:
+        command = (
+            "filter", self.pool.next_handle(), child.handle,
+            predicate, child.columns,
+        )
+        return self._run(command, child.columns, child.dist)
+
+    def project(
+        self, child: RemoteShards, outputs, out_columns: List[str], dist: DistDesc
+    ) -> RemoteShards:
+        command = (
+            "project", self.pool.next_handle(), child.handle,
+            list(outputs), child.columns,
+        )
+        return self._run(command, out_columns, dist)
+
+    def join(
+        self,
+        left: RemoteShards,
+        right: RemoteShards,
+        lpos: List[int],
+        rpos: List[int],
+        residual,
+        out_columns: List[str],
+        out_dist: DistDesc,
+    ) -> RemoteShards:
+        command = (
+            "join", self.pool.next_handle(), left.handle, right.handle,
+            list(lpos), list(rpos), residual, out_columns,
+            left.dist.kind == "replicated", right.dist.kind == "replicated",
+        )
+        return self._run(command, out_columns, out_dist)
+
+    def anti_join(
+        self,
+        left: RemoteShards,
+        right: RemoteShards,
+        lpos: List[int],
+        rpos: List[int],
+        out_dist: DistDesc,
+    ) -> RemoteShards:
+        command = (
+            "anti_join", self.pool.next_handle(), left.handle, right.handle,
+            list(lpos), list(rpos),
+            left.dist.kind == "replicated", right.dist.kind == "replicated",
+        )
+        return self._run(command, left.columns, out_dist)
+
+    def distinct(self, child: RemoteShards) -> RemoteShards:
+        command = ("distinct", self.pool.next_handle(), child.handle)
+        return self._run(command, child.columns, child.dist)
+
+    def aggregate(
+        self,
+        child: RemoteShards,
+        group_pos: List[int],
+        aggregates,
+        agg_pos,
+        having,
+        out_columns: List[str],
+        global_agg: bool,
+        out_dist: DistDesc,
+    ) -> RemoteShards:
+        command = (
+            "aggregate", self.pool.next_handle(), child.handle,
+            list(group_pos), list(aggregates), list(agg_pos), having,
+            out_columns, global_agg,
+        )
+        return self._run(command, out_columns, out_dist)
+
+    def union(
+        self, children: List[RemoteShards], out_columns: List[str], dist: DistDesc
+    ) -> RemoteShards:
+        sources = [
+            (child.handle, child.dist.kind == "replicated") for child in children
+        ]
+        command = ("union", self.pool.next_handle(), sources)
+        return self._run(command, out_columns, dist)
+
+    def redistribute(
+        self, shards: RemoteShards, positions: List[int], keys: List[str]
+    ) -> RemoteShards:
+        command = (
+            "redistribute", self.pool.next_handle(), shards.handle,
+            list(positions), self.pool.next_epoch(),
+            shards.dist.kind == "replicated",
+        )
+        return self._run(command, shards.columns, DistDesc.hash_on(keys))
+
+    def broadcast(self, shards: RemoteShards) -> RemoteShards:
+        command = (
+            "broadcast", self.pool.next_handle(), shards.handle,
+            self.pool.next_epoch(), shards.dist.kind == "replicated",
+        )
+        return self._run(command, shards.columns, DistDesc.replicated())
+
+    def gather_first(self, shards: RemoteShards) -> RemoteShards:
+        command = (
+            "gather_first", self.pool.next_handle(), shards.handle,
+            self.pool.next_epoch(), shards.dist.kind == "replicated",
+        )
+        return self._run(command, shards.columns, DistDesc.arbitrary())
+
+    def sort(self, child: RemoteShards, positions) -> RemoteShards:
+        command = (
+            "sort", self.pool.next_handle(), child.handle, list(positions)
+        )
+        return self._run(command, child.columns, DistDesc.arbitrary())
+
+    def limit(self, child: RemoteShards, limit: int) -> RemoteShards:
+        command = ("limit", self.pool.next_handle(), child.handle, limit)
+        return self._run(command, child.columns, DistDesc.arbitrary())
+
+    def localize(self, shards: RemoteShards) -> Shards:
+        """Fetch a remote result into a master-local :class:`Shards`."""
+        if shards.dist.kind == "replicated":
+            payloads = self.pool.dispatch(("fetch", shards.handle, (0,)))
+            rows: List[Row] = []
+            for payload in payloads.values():
+                if 0 in payload["rows"]:
+                    rows = payload["rows"][0]
+            # full copies on every segment, shared read-only
+            parts = [rows for _ in range(self.nseg)]
+        else:
+            payloads = self.pool.dispatch(("fetch", shards.handle, None))
+            parts = [[] for _ in range(self.nseg)]
+            for payload in payloads.values():
+                for seg, seg_rows in payload["rows"].items():
+                    parts[seg] = seg_rows
+        return Shards(shards.columns, parts, shards.dist)
+
+
+# ---------------------------------------------------------------------- worker
+
+
+class _WorkerState:
+    """Everything one worker process owns: its segments' table shards,
+    intermediate frames keyed by master-assigned handles, and the motion
+    exchange plumbing."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        segments: List[int],
+        nseg: int,
+        seg_worker: Sequence[int],
+        exchange_queues: Sequence,
+    ) -> None:
+        self.worker_id = worker_id
+        self.segments = list(segments)
+        self.nseg = nseg
+        self.seg_worker = seg_worker
+        self.exchange_queues = exchange_queues
+        self.inbox = exchange_queues[worker_id]
+        self.owns_first = 0 in self.segments
+        #: table name -> segment -> shard
+        self.tables: Dict[str, Dict[int, Table]] = {}
+        #: intermediate handle -> segment -> rows
+        self.frames: Dict[int, Dict[int, List[Row]]] = {}
+
+    def execute(self, command: Tuple) -> dict:
+        handler = getattr(self, "_cmd_" + command[0])
+        return handler(*command[1:])
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_clocks(self) -> Dict[int, CostClock]:
+        return {seg: CostClock() for seg in self.segments}
+
+    def _store(
+        self,
+        handle: int,
+        frame: Dict[int, List[Row]],
+        deltas: Optional[Dict[int, CostClock]] = None,
+    ) -> dict:
+        self.frames[handle] = frame
+        payload = {"counts": {seg: len(rows) for seg, rows in frame.items()}}
+        if deltas:
+            payload["deltas"] = deltas
+        return payload
+
+    def _send(self, epoch: int, from_seg: int, to_seg: int, rows: List[Row]) -> None:
+        self.exchange_queues[self.seg_worker[to_seg]].put(
+            (epoch, from_seg, to_seg, rows)
+        )
+
+    def _collect(
+        self, epoch: int, expected: Set[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], List[Row]]:
+        """Pull this epoch's expected (from_seg, to_seg) pieces off the
+        inbox, dropping leftovers from aborted statements."""
+        got: Dict[Tuple[int, int], List[Row]] = {}
+        deadline = time.monotonic() + _EXCHANGE_TIMEOUT_S
+        while expected:
+            try:
+                message = self.inbox.get(timeout=_POLL_S)
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"motion epoch {epoch} timed out waiting for {expected}"
+                    )
+                continue
+            msg_epoch, from_seg, to_seg, rows = message
+            if msg_epoch != epoch:
+                continue  # stale piece from an aborted statement
+            got[(from_seg, to_seg)] = rows
+            expected.discard((from_seg, to_seg))
+        return got
+
+    # -- operators -----------------------------------------------------------
+
+    def _cmd_scan(self, handle: int, table_name: str) -> dict:
+        deltas = self._fresh_clocks()
+        shards = self.tables[table_name]
+        frame = {
+            seg: rowops.scan_rows(shards[seg].rows, deltas[seg])
+            for seg in self.segments
+        }
+        return self._store(handle, frame, deltas)
+
+    def _cmd_values(self, handle: int, rows: List[Row]) -> dict:
+        frame = {
+            seg: (list(rows) if seg == 0 else []) for seg in self.segments
+        }
+        return self._store(handle, frame)
+
+    def _cmd_filter(
+        self, handle: int, source: int, predicate, columns: List[str]
+    ) -> dict:
+        bound = predicate.bind(columns)
+        deltas = self._fresh_clocks()
+        frame = {
+            seg: rowops.filter_rows(self.frames[source][seg], bound, deltas[seg])
+            for seg in self.segments
+        }
+        return self._store(handle, frame, deltas)
+
+    def _cmd_project(
+        self, handle: int, source: int, outputs, columns: List[str]
+    ) -> dict:
+        evaluators = [expr.bind(columns) for expr, _ in outputs]
+        deltas = self._fresh_clocks()
+        frame = {
+            seg: rowops.project_rows(
+                self.frames[source][seg], evaluators, deltas[seg]
+            )
+            for seg in self.segments
+        }
+        return self._store(handle, frame, deltas)
+
+    def _cmd_join(
+        self,
+        handle: int,
+        left: int,
+        right: int,
+        lpos: List[int],
+        rpos: List[int],
+        residual,
+        out_columns: List[str],
+        left_rep: bool,
+        right_rep: bool,
+    ) -> dict:
+        bound = residual.bind(out_columns) if residual is not None else None
+        deltas = self._fresh_clocks()
+        frame = {}
+        for seg in self.segments:
+            if left_rep and right_rep and seg != 0:
+                frame[seg] = []
+                continue
+            frame[seg] = rowops.hash_join_rows(
+                self.frames[left][seg], self.frames[right][seg],
+                lpos, rpos, bound, deltas[seg],
+            )
+        return self._store(handle, frame, deltas)
+
+    def _cmd_anti_join(
+        self,
+        handle: int,
+        left: int,
+        right: int,
+        lpos: List[int],
+        rpos: List[int],
+        left_rep: bool,
+        right_rep: bool,
+    ) -> dict:
+        deltas = self._fresh_clocks()
+        frame = {}
+        for seg in self.segments:
+            if left_rep and seg != 0:
+                frame[seg] = []
+                continue
+            frame[seg] = rowops.anti_join_rows(
+                self.frames[left][seg], self.frames[right][seg],
+                lpos, rpos, deltas[seg],
+            )
+        return self._store(handle, frame, deltas)
+
+    def _cmd_distinct(self, handle: int, source: int) -> dict:
+        deltas = self._fresh_clocks()
+        frame = {
+            seg: rowops.distinct_rows(self.frames[source][seg], deltas[seg])
+            for seg in self.segments
+        }
+        return self._store(handle, frame, deltas)
+
+    def _cmd_aggregate(
+        self,
+        handle: int,
+        source: int,
+        group_pos: List[int],
+        aggregates,
+        agg_pos,
+        having,
+        out_columns: List[str],
+        global_agg: bool,
+    ) -> dict:
+        bound = having.bind(out_columns) if having is not None else None
+        deltas = self._fresh_clocks()
+        frame = {}
+        for seg in self.segments:
+            if global_agg and seg != 0:
+                frame[seg] = []
+                continue
+            frame[seg] = rowops.aggregate_rows(
+                self.frames[source][seg], group_pos, aggregates, agg_pos,
+                bound, global_agg, deltas[seg],
+            )
+        return self._store(handle, frame, deltas)
+
+    def _cmd_union(self, handle: int, sources) -> dict:
+        frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
+        for source, replicated in sources:
+            if replicated:
+                if self.owns_first:
+                    frame[0].extend(self.frames[source][0])
+            else:
+                for seg in self.segments:
+                    frame[seg].extend(self.frames[source][seg])
+        return self._store(handle, frame)
+
+    # -- motions -------------------------------------------------------------
+
+    def _cmd_redistribute(
+        self,
+        handle: int,
+        source: int,
+        positions: List[int],
+        epoch: int,
+        source_rep: bool,
+    ) -> dict:
+        deltas = self._fresh_clocks()
+        source_segs = (0,) if source_rep else tuple(range(self.nseg))
+        for seg in self.segments:
+            if source_rep and seg != 0:
+                continue
+            pieces = rowops.partition_by_hash(
+                self.frames[source][seg], positions, self.nseg
+            )
+            for target, piece in enumerate(pieces):
+                self._send(epoch, seg, target, piece)
+        expected = {(f, t) for f in source_segs for t in self.segments}
+        got = self._collect(epoch, expected)
+        frame = {}
+        for seg in self.segments:
+            rows: List[Row] = []
+            # ascending source order = the serial executor's append order
+            for from_seg in source_segs:
+                piece = got[(from_seg, seg)]
+                if from_seg != seg:
+                    deltas[seg].rows_shipped += len(piece)
+                rows.extend(piece)
+            frame[seg] = rows
+        return self._store(handle, frame, deltas)
+
+    def _cmd_broadcast(
+        self, handle: int, source: int, epoch: int, source_rep: bool
+    ) -> dict:
+        deltas = self._fresh_clocks()
+        if source_rep:
+            # every segment already holds a full copy
+            frame = {
+                seg: list(self.frames[source][seg]) for seg in self.segments
+            }
+            return self._store(handle, frame, deltas)
+        for seg in self.segments:
+            rows = self.frames[source][seg]
+            for target in range(self.nseg):
+                self._send(epoch, seg, target, rows)
+        expected = {(f, t) for f in range(self.nseg) for t in self.segments}
+        got = self._collect(epoch, expected)
+        frame = {}
+        for seg in self.segments:
+            rows = []
+            for from_seg in range(self.nseg):
+                piece = got[(from_seg, seg)]
+                if from_seg != seg:
+                    deltas[seg].rows_broadcast += len(piece)
+                rows.extend(piece)
+            frame[seg] = rows
+        return self._store(handle, frame, deltas)
+
+    def _cmd_gather_first(
+        self, handle: int, source: int, epoch: int, source_rep: bool
+    ) -> dict:
+        deltas = self._fresh_clocks()
+        frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
+        if source_rep:
+            if self.owns_first:
+                frame[0] = list(self.frames[source][0])
+            return self._store(handle, frame, deltas)
+        for seg in self.segments:
+            self._send(epoch, seg, 0, self.frames[source][seg])
+        if self.owns_first:
+            got = self._collect(epoch, {(f, 0) for f in range(self.nseg)})
+            rows: List[Row] = []
+            for from_seg in range(self.nseg):
+                piece = got[(from_seg, 0)]
+                if from_seg != 0:
+                    deltas[0].rows_shipped += len(piece)
+                rows.extend(piece)
+            frame[0] = rows
+        return self._store(handle, frame, deltas)
+
+    def _cmd_sort(self, handle: int, source: int, positions) -> dict:
+        deltas = self._fresh_clocks()
+        frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
+        if self.owns_first:
+            frame[0] = rowops.sort_rows(
+                self.frames[source][0], positions, deltas[0]
+            )
+        return self._store(handle, frame, deltas)
+
+    def _cmd_limit(self, handle: int, source: int, limit: int) -> dict:
+        frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
+        if self.owns_first:
+            frame[0] = list(self.frames[source][0][:limit])
+        return self._store(handle, frame)
+
+    # -- result fetch / cleanup ----------------------------------------------
+
+    def _cmd_fetch(self, handle: int, segments) -> dict:
+        frame = self.frames[handle]
+        if segments is None:
+            wanted = self.segments
+        else:
+            owned = set(self.segments)
+            wanted = [seg for seg in segments if seg in owned]
+        return {"rows": {seg: frame[seg] for seg in wanted}}
+
+    def _cmd_reset(self) -> dict:
+        self.frames.clear()
+        return {}
+
+    def _cmd_ping(self) -> dict:
+        return {}
+
+    # -- DML mirroring -------------------------------------------------------
+
+    def _cmd_create_table(self, table_schema: TableSchema) -> dict:
+        self.tables[table_schema.name] = {
+            seg: Table(table_schema) for seg in self.segments
+        }
+        return {}
+
+    def _cmd_drop_table(self, name: str) -> dict:
+        self.tables.pop(name, None)
+        return {}
+
+    def _cmd_truncate(self, name: str) -> dict:
+        for shard in self.tables[name].values():
+            shard.truncate()
+        return {}
+
+    def _cmd_load_shards(
+        self, name: str, shard_map: Dict[int, List[Row]], truncate_first: bool
+    ) -> dict:
+        shards = self.tables[name]
+        if truncate_first:
+            for shard in shards.values():
+                shard.truncate()
+        for seg, rows in shard_map.items():
+            # the master validated these rows before shipping them
+            shards[seg].insert(rows, validate=False)
+        return {}
+
+    def _cmd_insert_shards(
+        self, name: str, shard_map: Dict[int, List[Row]]
+    ) -> dict:
+        shards = self.tables[name]
+        for seg, rows in shard_map.items():
+            shards[seg].insert(rows, validate=False)
+        return {}
+
+    def _cmd_delete_keys(
+        self, name: str, column_names: Tuple[str, ...], keys: List[Row]
+    ) -> dict:
+        key_set = set(keys)
+        for shard in self.tables[name].values():
+            shard.delete_in(column_names, key_set)
+        return {}
+
+
+def _worker_main(
+    worker_id: int,
+    segments: List[int],
+    nseg: int,
+    seg_worker: Sequence[int],
+    command_queue,
+    reply_queue,
+    exchange_queues,
+) -> None:
+    """Entry point of one worker process: a command loop in lockstep
+    with the master.  Every command gets exactly one ack."""
+    # Ctrl-C reaches the whole process group; only the master decides
+    # when workers stop (via the shutdown command or terminate()),
+    # otherwise an interactive interrupt kills the pool mid-statement.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    state = _WorkerState(worker_id, segments, nseg, seg_worker, exchange_queues)
+    while True:
+        try:
+            seq, command = command_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if command[0] == "shutdown":
+            try:
+                reply_queue.put((worker_id, seq, "ok", {}))
+            except (OSError, ValueError):
+                pass
+            return
+        try:
+            payload = state.execute(command)
+            reply_queue.put((worker_id, seq, "ok", payload))
+        except BaseException as error:  # forwarded to the master
+            try:
+                reply_queue.put(
+                    (worker_id, seq, "error", f"{type(error).__name__}: {error}")
+                )
+            except (OSError, ValueError):
+                return

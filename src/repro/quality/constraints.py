@@ -9,14 +9,14 @@ comparison starts from identical facts.
 
 from __future__ import annotations
 
-from ..core import KnowledgeBase, ProbKB
+from ..core import GroundingConfig, KnowledgeBase, ProbKB
 
 
 def precleaned_kb(kb: KnowledgeBase) -> KnowledgeBase:
     """The KB after one up-front application of its semantic constraints."""
     if not kb.constraints:
         return kb
-    system = ProbKB(kb, backend="single", apply_constraints=False)
+    system = ProbKB(kb, grounding=GroundingConfig(apply_constraints=False))
     system.apply_constraints()
     return KnowledgeBase(
         classes=kb.classes,

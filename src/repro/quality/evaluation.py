@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import Fact, ProbKB
+from ..core import Fact, GroundingConfig, ProbKB
 from ..datasets.reverb_sherlock import GeneratedKB, OracleJudge
 from ..relational import Scan, col, const
 from ..relational.expr import Compare
@@ -124,7 +124,11 @@ def run_quality_experiment(
     unfinishable no-constraint run).
     """
     kb = cleaned_kb(generated.kb, config.theta)
-    system = ProbKB(kb, backend=backend, apply_constraints=config.use_constraints)
+    system = ProbKB(
+        kb,
+        backend=backend,
+        grounding=GroundingConfig(apply_constraints=config.use_constraints),
+    )
     rng = random.Random(seed)
     outcome = QualityRunResult(config=config)
     estimated_correct = 0.0

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..core.config import InferenceConfig
 from ..core.model import Fact
 from ..core.probkb import ProbKB
 from .cache import QueryCache
@@ -96,9 +98,34 @@ class ServiceConfig:
     #: by default — queries then report None for fresh inferred facts
     #: until the operator materializes.
     infer_on_flush: bool = False
-    num_sweeps: int = 200
-    seed: int = 0
+    #: deprecated: pass ``inference=InferenceConfig(...)`` instead
+    num_sweeps: Optional[int] = None
+    seed: Optional[int] = None
     latency_window: int = 1024
+    #: how flush/materialize inference runs (fewer sweeps than the
+    #: offline default: serving favours latency)
+    inference: Optional[InferenceConfig] = None
+
+    def __post_init__(self) -> None:
+        overrides = {}
+        if self.num_sweeps is not None:
+            overrides["num_sweeps"] = self.num_sweeps
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        if overrides:
+            warnings.warn(
+                "ServiceConfig(num_sweeps=..., seed=...) is deprecated; "
+                "pass inference=InferenceConfig(...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        resolved = self.inference or InferenceConfig(num_sweeps=200, seed=0)
+        if overrides:
+            resolved = replace(resolved, **overrides)
+        self.inference = resolved
+        # keep the legacy attributes readable for older call sites
+        self.num_sweeps = resolved.num_sweeps
+        self.seed = resolved.seed
 
 
 class QueryResult(NamedTuple):
@@ -204,19 +231,17 @@ class KBService:
         with self.lock.write_locked():
             self.probkb.add_evidence(batch)
             if self.config.infer_on_flush:
-                self.probkb.materialize_marginals(
-                    num_sweeps=self.config.num_sweeps, seed=self.config.seed
-                )
+                self.probkb.materialize_marginals(config=self.config.inference)
             self.cache.bump(self.probkb.generation)
         self.metrics.record_ingest(len(batch))
 
     def materialize(self, num_sweeps: Optional[int] = None) -> int:
         """Recompute + store marginals under the write lock."""
+        inference = self.config.inference
+        if num_sweeps is not None:
+            inference = replace(inference, num_sweeps=num_sweeps)
         with self.lock.write_locked():
-            stored = self.probkb.materialize_marginals(
-                num_sweeps=num_sweeps or self.config.num_sweeps,
-                seed=self.config.seed,
-            )
+            stored = self.probkb.materialize_marginals(config=inference)
             self.cache.bump(self.probkb.generation)
         return stored
 
@@ -235,6 +260,7 @@ class KBService:
             "ingest_flushes": self.worker.flushes,
             "uptime_seconds": time.time() - self.started_at,
             "backend": self.probkb.backend.name,
+            "executor": self.probkb.backend.executor_info(),
             "cache": self.cache.stats(),
         }
         if self.worker.last_error is not None:

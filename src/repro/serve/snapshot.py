@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..core.backends import Backend
+from ..core.config import BackendConfig, MPPConfig, build_backend
 from ..core.model import Fact, FunctionalConstraint, KnowledgeBase, Relation
-from ..core.probkb import ProbKB, make_backend
+from ..core.probkb import ProbKB
 from ..core.relmodel import FACT_KEY_COLUMNS
 from ..datasets.io import _parse_rule_line, _rule_line
 
@@ -98,17 +101,35 @@ def save_snapshot(probkb: ProbKB, path: str) -> str:
     return path
 
 
+_NSEG_UNSET = object()
+
+
 def load_snapshot(
     path: str,
-    backend: str = "single",
-    nseg: int = 8,
+    backend: Union[BackendConfig, Backend, str] = "single",
+    nseg=_NSEG_UNSET,
 ) -> ProbKB:
     """Rebuild a warm ProbKB from a snapshot — no grounding run.
 
     The expanded fact set is bulk-loaded as-is (the closure is already
     in it), TProb is refilled from the stored marginals, and the
     generation counter resumes where the snapshot left off.
+
+    ``backend`` takes a :class:`~repro.api.BackendConfig` (or a live
+    backend, or the ``"single"``/``"mpp"`` shorthand); the old ``nseg=``
+    keyword still works but is deprecated.
     """
+    if nseg is not _NSEG_UNSET:
+        warnings.warn(
+            "load_snapshot(nseg=...) is deprecated; pass "
+            "backend=BackendConfig(kind='mpp', mpp=MPPConfig(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if isinstance(backend, str):
+            backend = BackendConfig(
+                kind=backend, mpp=MPPConfig(num_segments=nseg)
+            )
     with open(path) as handle:
         payload = json.load(handle)
     if payload.get("format") != SNAPSHOT_FORMAT:
@@ -134,7 +155,7 @@ def load_snapshot(
         ],
         validate=False,
     )
-    probkb = ProbKB(kb, backend=make_backend(backend, nseg=nseg))
+    probkb = ProbKB(kb, backend=build_backend(backend))
     _restore_marginals(probkb, payload["marginals"])
     probkb.generation = int(payload.get("generation", 0))
     return probkb

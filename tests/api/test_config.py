@@ -1,0 +1,110 @@
+"""Config-object tests: validation, frozenness, backend resolution."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    BackendConfig,
+    GroundingConfig,
+    InferenceConfig,
+    MPPConfig,
+    build_backend,
+)
+from repro.core import MPPBackend, SingleNodeBackend
+
+
+class TestMPPConfig:
+    def test_defaults_are_serial(self):
+        config = MPPConfig()
+        assert config.num_segments == 8
+        assert config.num_workers == 0
+        assert config.policy == "matviews"
+        assert config.use_matviews
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MPPConfig().num_workers = 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_segments": 0},
+            {"num_workers": -1},
+            {"policy": "mirrored"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MPPConfig(**kwargs)
+
+    def test_naive_policy(self):
+        assert not MPPConfig(policy="naive").use_matviews
+
+
+class TestBackendConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BackendConfig(kind="oracle")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BackendConfig().kind = "mpp"
+
+    def test_configs_are_hashable_and_reusable(self):
+        config = BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=2))
+        assert config == BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=2))
+        assert len({config, config}) == 1
+        first = build_backend(config)
+        second = build_backend(config)
+        assert first is not second  # one config, many independent backends
+
+
+class TestInferenceConfig:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceConfig(method="oracle")
+
+    def test_defaults(self):
+        config = InferenceConfig()
+        assert (config.method, config.num_sweeps, config.seed) == ("gibbs", 500, 0)
+
+
+class TestGroundingConfig:
+    def test_defaults(self):
+        config = GroundingConfig()
+        assert config.max_iterations is None
+        assert config.apply_constraints
+        assert not config.semi_naive
+
+
+class TestBuildBackend:
+    def test_default_is_single_node(self):
+        assert isinstance(build_backend(), SingleNodeBackend)
+
+    def test_string_shorthand(self):
+        assert isinstance(build_backend("single"), SingleNodeBackend)
+        assert isinstance(build_backend("mpp"), MPPBackend)
+
+    def test_mpp_tuning_flows_through(self):
+        backend = build_backend(
+            BackendConfig(
+                kind="mpp",
+                mpp=MPPConfig(num_segments=3, num_workers=0, policy="naive"),
+                name="tuned",
+            )
+        )
+        assert backend.nseg == 3
+        assert backend.num_workers == 0
+        assert not backend.use_matviews
+        assert backend.name == "tuned"
+
+    def test_existing_backend_passthrough(self):
+        backend = SingleNodeBackend()
+        assert build_backend(backend) is backend
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            build_backend(42)
+        with pytest.raises(ValueError):
+            build_backend("oracle")

@@ -1,0 +1,114 @@
+"""The legacy call paths: still working, now warning.
+
+Each shim must (a) emit exactly a DeprecationWarning and (b) behave
+identically to the config-object spelling it deprecates.
+"""
+
+import warnings
+
+import pytest
+
+from repro import ProbKB
+from repro.api import BackendConfig, InferenceConfig, MPPConfig
+from repro.core import MPPBackend, SingleNodeBackend, make_backend
+from repro.serve import ServiceConfig, load_snapshot, save_snapshot
+from repro.datasets.paper_example import paper_kb
+
+
+def test_make_backend_warns_but_resolves():
+    with pytest.warns(DeprecationWarning, match="make_backend"):
+        backend = make_backend("mpp", nseg=3, use_matviews=False)
+    assert isinstance(backend, MPPBackend)
+    assert backend.nseg == 3
+    assert not backend.use_matviews
+    with pytest.warns(DeprecationWarning):
+        assert isinstance(make_backend("single"), SingleNodeBackend)
+    existing = SingleNodeBackend()
+    with pytest.warns(DeprecationWarning):
+        assert make_backend(existing) is existing
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+        make_backend("oracle")
+
+
+class TestProbKBInitShims:
+    def test_nseg_keyword_folds_into_config(self):
+        with pytest.warns(DeprecationWarning, match="BackendConfig"):
+            system = ProbKB(paper_kb(), backend="mpp", nseg=2, use_matviews=False)
+        assert system.backend.nseg == 2
+        assert not system.backend.use_matviews
+        assert system.backend_config.mpp.num_segments == 2
+        assert system.backend_config.mpp.policy == "naive"
+
+    def test_grounding_keywords_fold_into_config(self):
+        with pytest.warns(DeprecationWarning, match="GroundingConfig"):
+            system = ProbKB(paper_kb(), apply_constraints=False, semi_naive=True)
+        assert not system.grounding_config.apply_constraints
+        assert system.grounding_config.semi_naive
+        assert not system.grounder.apply_constraints_each_iteration
+        assert system.grounder.semi_naive
+
+    def test_string_backend_alone_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system = ProbKB(paper_kb(), backend="single")
+        assert isinstance(system.backend, SingleNodeBackend)
+
+    def test_bad_backend_type_rejected(self):
+        with pytest.raises(TypeError):
+            ProbKB(paper_kb(), backend=3.14)
+
+
+class TestInferShims:
+    @pytest.fixture
+    def grounded(self):
+        system = ProbKB(paper_kb())
+        system.ground()
+        return system
+
+    def test_keywords_warn_and_behave(self, grounded):
+        with pytest.warns(DeprecationWarning, match="InferenceConfig"):
+            legacy = grounded.infer(num_sweeps=40, seed=5)
+        modern = grounded.infer(InferenceConfig(num_sweeps=40, seed=5))
+        assert legacy == modern  # same sweeps + seed => same marginals
+
+    def test_positional_method_string(self, grounded):
+        with pytest.warns(DeprecationWarning):
+            result = grounded.infer("bp")
+        assert result.method == "bp"
+
+    def test_unknown_method_still_value_error(self, grounded):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            grounded.infer(method="oracle")
+
+    def test_materialize_keywords_warn(self, grounded):
+        with pytest.warns(DeprecationWarning, match="InferenceConfig"):
+            stored = grounded.materialize_marginals(num_sweeps=30, seed=1)
+        assert stored > 0
+
+
+def test_service_config_sweeps_warns():
+    with pytest.warns(DeprecationWarning, match="InferenceConfig"):
+        config = ServiceConfig(num_sweeps=64, seed=3)
+    assert config.inference == InferenceConfig(num_sweeps=64, seed=3)
+    # legacy attributes stay readable
+    assert (config.num_sweeps, config.seed) == (64, 3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        modern = ServiceConfig(inference=InferenceConfig(num_sweeps=64))
+    assert modern.inference.num_sweeps == 64
+
+
+def test_load_snapshot_nseg_warns(tmp_path):
+    system = ProbKB(paper_kb())
+    system.ground()
+    path = save_snapshot(system, str(tmp_path / "kb.json"))
+    with pytest.warns(DeprecationWarning, match="BackendConfig"):
+        warm = load_snapshot(path, backend="mpp", nseg=2)
+    assert warm.backend.nseg == 2
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        modern = load_snapshot(
+            path,
+            backend=BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=2)),
+        )
+    assert modern.fact_count() == warm.fact_count()

@@ -3,7 +3,14 @@ interleaving, and the graveyard semantics."""
 
 import pytest
 
-from repro import Fact, FunctionalConstraint, KnowledgeBase, ProbKB, Relation
+from repro import (
+    Fact,
+    FunctionalConstraint,
+    GroundingConfig,
+    KnowledgeBase,
+    ProbKB,
+    Relation,
+)
 from repro.core import Atom, DEFAULT_MAX_ITERATIONS, HornClause
 
 from .paper_example import paper_kb
@@ -59,7 +66,7 @@ def test_graveyard_blocks_rederivation():
         rules=rules,
         constraints=[FunctionalConstraint("r", arg=1, degree=1)],
     )
-    system = ProbKB(kb, backend="single", apply_constraints=True)
+    system = ProbKB(kb, grounding=GroundingConfig(apply_constraints=True))
     result = system.ground(max_iterations=10)
     assert result.converged
     # the violating entity p1 was removed entirely and stayed removed
@@ -70,7 +77,7 @@ def test_graveyard_blocks_rederivation():
 
 def test_constraints_can_be_disabled_per_system():
     kb = paper_kb(with_constraints=True)
-    unconstrained = ProbKB(kb, backend="single", apply_constraints=False)
+    unconstrained = ProbKB(kb, grounding=GroundingConfig(apply_constraints=False))
     unconstrained.ground()
     assert unconstrained.fact_count() == 7  # nothing removed
 

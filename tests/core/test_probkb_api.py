@@ -2,21 +2,23 @@
 
 import pytest
 
-from repro import ProbKB
-from repro.core import MPPBackend, SingleNodeBackend, make_backend
+from repro import BackendConfig, InferenceConfig, MPPConfig, ProbKB
+from repro.core import MPPBackend, SingleNodeBackend, build_backend
 
 from .paper_example import paper_kb
 
 
-def test_make_backend_resolution():
-    assert isinstance(make_backend("single"), SingleNodeBackend)
-    mpp = make_backend("mpp", nseg=3, use_matviews=False)
+def test_build_backend_resolution():
+    assert isinstance(build_backend("single"), SingleNodeBackend)
+    mpp = build_backend(
+        BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=3, policy="naive"))
+    )
     assert isinstance(mpp, MPPBackend)
     assert mpp.nseg == 3 and not mpp.use_matviews
     existing = SingleNodeBackend()
-    assert make_backend(existing) is existing
+    assert build_backend(existing) is existing
     with pytest.raises(ValueError):
-        make_backend("oracle")
+        build_backend("oracle")
 
 
 def test_all_vs_inferred_facts():
@@ -42,7 +44,7 @@ def test_new_facts_without_marginals():
 def test_new_facts_with_threshold():
     system = ProbKB(paper_kb(), backend="single")
     system.ground()
-    marginals = system.infer(num_sweeps=600, seed=1)
+    marginals = system.infer(InferenceConfig(num_sweeps=600, seed=1))
     accepted = system.new_facts(marginals, min_probability=0.5)
     everything = system.new_facts(marginals, min_probability=0.0)
     assert len(accepted) <= len(everything) == 5
@@ -53,8 +55,8 @@ def test_new_facts_with_threshold():
 def test_bp_inference_method():
     system = ProbKB(paper_kb(), backend="single")
     system.ground()
-    gibbs = system.infer(method="gibbs", num_sweeps=3000, seed=2)
-    bp = system.infer(method="bp")
+    gibbs = system.infer(InferenceConfig(method="gibbs", num_sweeps=3000, seed=2))
+    bp = system.infer(InferenceConfig(method="bp"))
     assert set(f.key for f in gibbs) == set(f.key for f in bp)
     for fact, probability in bp.items():
         assert gibbs[fact] == pytest.approx(probability, abs=0.12)
@@ -64,7 +66,7 @@ def test_unknown_inference_method():
     system = ProbKB(paper_kb(), backend="single")
     system.ground()
     with pytest.raises(ValueError):
-        system.infer(method="magic")
+        system.infer(InferenceConfig(method="magic"))
 
 
 def test_counts_and_clock():

@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.core import MPPBackend
 
 from .paper_example import EXPECTED_CLOSURE, paper_kb
 from .test_grounding_oracle import random_setup
+
+DELTA = GroundingConfig(semi_naive=True)
 
 
 def triples(system):
@@ -16,7 +18,7 @@ def triples(system):
 def test_semi_naive_matches_naive_on_paper_example():
     naive = ProbKB(paper_kb(), backend="single")
     naive.ground()
-    delta = ProbKB(paper_kb(), backend="single", semi_naive=True)
+    delta = ProbKB(paper_kb(), grounding=DELTA)
     delta.ground()
     assert triples(delta) == triples(naive) == EXPECTED_CLOSURE
 
@@ -26,7 +28,7 @@ def test_semi_naive_matches_naive_on_random_kbs(seed):
     kb, _, _ = random_setup(seed)
     naive = ProbKB(kb, backend="single")
     naive.ground(max_iterations=30)
-    delta = ProbKB(kb, backend="single", semi_naive=True)
+    delta = ProbKB(kb, grounding=DELTA)
     delta.ground(max_iterations=30)
     assert triples(delta) == triples(naive)
     assert delta.factor_count() == naive.factor_count()
@@ -34,9 +36,9 @@ def test_semi_naive_matches_naive_on_random_kbs(seed):
 
 def test_semi_naive_on_mpp_backend():
     kb, _, _ = random_setup(1)
-    single = ProbKB(kb, backend="single", semi_naive=True)
+    single = ProbKB(kb, grounding=DELTA)
     single.ground(max_iterations=30)
-    mpp = ProbKB(kb, backend=MPPBackend(nseg=4), semi_naive=True)
+    mpp = ProbKB(kb, backend=MPPBackend(nseg=4), grounding=DELTA)
     mpp.ground(max_iterations=30)
     assert triples(mpp) == triples(single)
 
@@ -47,7 +49,7 @@ def test_semi_naive_scans_fewer_rows():
     kb, _, _ = random_setup(2, n_facts=120, n_rules=10)
     naive = ProbKB(kb, backend="single")
     naive.ground(max_iterations=30)
-    delta = ProbKB(kb, backend="single", semi_naive=True)
+    delta = ProbKB(kb, grounding=DELTA)
     delta.ground(max_iterations=30)
     naive_work = naive.backend.db.clock.rows_probed
     delta_work = delta.backend.db.clock.rows_probed
@@ -61,10 +63,11 @@ def test_semi_naive_with_constraints():
     from repro.datasets.world import WorldConfig
 
     generated = generate(ReVerbSherlockConfig(world=WorldConfig(n_people=80), seed=3))
-    naive = ProbKB(generated.kb, backend="single", apply_constraints=True)
+    naive = ProbKB(generated.kb, grounding=GroundingConfig(apply_constraints=True))
     naive.ground(max_iterations=8)
     delta = ProbKB(
-        generated.kb, backend="single", apply_constraints=True, semi_naive=True
+        generated.kb,
+        grounding=GroundingConfig(apply_constraints=True, semi_naive=True),
     )
     delta.ground(max_iterations=8)
     assert triples(delta) == triples(naive)

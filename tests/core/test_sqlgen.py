@@ -5,7 +5,14 @@ import random
 
 import pytest
 
-from repro import Fact, KnowledgeBase, ProbKB, Relation, FunctionalConstraint
+from repro import (
+    Fact,
+    FunctionalConstraint,
+    GroundingConfig,
+    KnowledgeBase,
+    ProbKB,
+    Relation,
+)
 from repro.core import (
     PARTITION_INDEXES,
     apply_constraints_key_plan,
@@ -49,7 +56,7 @@ def system():
         rules=rules,
         constraints=[FunctionalConstraint("r0", arg=1, degree=1)],
     )
-    return ProbKB(kb, backend="single", apply_constraints=False)
+    return ProbKB(kb, grounding=GroundingConfig(apply_constraints=False))
 
 
 @pytest.mark.parametrize("partition", PARTITION_INDEXES)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import GroundingConfig, ProbKB
 from repro.datasets import (
     ReVerbSherlockConfig,
     generate,
@@ -87,8 +88,9 @@ def test_roundtrip_grounds_identically(base, tmp_path):
     directory = str(tmp_path / "kb2")
     save_kb(base.kb, directory)
     loaded = load_kb(directory)
-    original = ProbKB(base.kb, backend="single", apply_constraints=False)
-    reloaded = ProbKB(loaded, backend="single", apply_constraints=False)
+    no_constraints = GroundingConfig(apply_constraints=False)
+    original = ProbKB(base.kb, grounding=no_constraints)
+    reloaded = ProbKB(loaded, grounding=no_constraints)
     res_a = original.ground(max_iterations=2)
     res_b = reloaded.ground(max_iterations=2)
     assert res_a.total_new_facts == res_b.total_new_facts

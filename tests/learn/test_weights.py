@@ -4,7 +4,7 @@ ones when trained on oracle labels."""
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
 from repro.learn import (
@@ -70,7 +70,9 @@ class TestLearning:
         generated = generate(
             ReVerbSherlockConfig(world=WorldConfig(n_people=120, seed=6), seed=6)
         )
-        system = ProbKB(generated.kb, backend="single", apply_constraints=True)
+        system = ProbKB(
+            generated.kb, grounding=GroundingConfig(apply_constraints=True)
+        )
         system.ground(max_iterations=6)
         tied = build_tied_graph(system)
         observed = observed_from_judge(system, generated.judge)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import GroundingConfig, ProbKB
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
 from repro.quality import (
@@ -101,5 +102,5 @@ class TestPrecleanedKb:
         from repro.quality import find_violations
 
         cleaned = precleaned_kb(generated.kb)
-        system = ProbKB(cleaned, backend="single", apply_constraints=False)
+        system = ProbKB(cleaned, grounding=GroundingConfig(apply_constraints=False))
         assert find_violations(system) == []

@@ -3,7 +3,7 @@ the violation audit."""
 
 import pytest
 
-from repro import ProbKB
+from repro import GroundingConfig, ProbKB
 from repro.core import Atom, HornClause
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.quality import (
@@ -139,7 +139,9 @@ class TestQualityExperiment:
 class TestViolationAudit:
     @pytest.fixture(scope="class")
     def audited(self, generated):
-        system = ProbKB(generated.kb, backend="single", apply_constraints=False)
+        system = ProbKB(
+            generated.kb, grounding=GroundingConfig(apply_constraints=False)
+        )
         system.ground(max_iterations=2)
         return categorize_violations(system, generated)
 
@@ -157,7 +159,9 @@ class TestViolationAudit:
         assert sum(audited.distribution().values()) == pytest.approx(1.0)
 
     def test_find_violations_without_categorization(self, generated):
-        system = ProbKB(generated.kb, backend="single", apply_constraints=False)
+        system = ProbKB(
+            generated.kb, grounding=GroundingConfig(apply_constraints=False)
+        )
         system.ground(max_iterations=1)
         violations = find_violations(system)
         assert violations
@@ -165,6 +169,8 @@ class TestViolationAudit:
             assert len(violation.facts) >= 2
 
     def test_constraints_remove_all_violations(self, generated):
-        system = ProbKB(generated.kb, backend="single", apply_constraints=True)
+        system = ProbKB(
+            generated.kb, grounding=GroundingConfig(apply_constraints=True)
+        )
         system.ground(max_iterations=3)
         assert find_violations(system) == []

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import Fact, ProbKB
+from repro import Fact, InferenceConfig, ProbKB
 from repro.datasets import paper_kb
 from repro.serve import IngestConfig, KBService, RWLock, ServiceConfig
 
@@ -19,7 +19,7 @@ def expandable_kb():
 def service():
     system = ProbKB(expandable_kb(), backend="single")
     system.ground()
-    system.materialize_marginals(num_sweeps=150, seed=1)
+    system.materialize_marginals(config=InferenceConfig(num_sweeps=150, seed=1))
     svc = KBService(
         system,
         ServiceConfig(ingest=IngestConfig(flush_size=4, flush_interval=0.05)),
@@ -154,7 +154,9 @@ class TestMaterializeAndStats:
     def test_infer_on_flush_scores_immediately(self):
         system = ProbKB(expandable_kb(), backend="single")
         system.ground()
-        config = ServiceConfig(infer_on_flush=True, num_sweeps=100)
+        config = ServiceConfig(
+            infer_on_flush=True, inference=InferenceConfig(num_sweeps=100)
+        )
         with KBService(system, config) as service:
             service.ingest(TestIngest.BATCH, flush=True)
             result = service.query(subject="Saul Bellow", min_probability=0.01)

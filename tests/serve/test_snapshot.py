@@ -6,7 +6,7 @@ import sqlite3
 
 import pytest
 
-from repro import Fact, ProbKB
+from repro import BackendConfig, Fact, InferenceConfig, MPPConfig, ProbKB
 from repro.datasets import paper_kb
 from repro.serve import export_sqlite, load_snapshot, save_snapshot, snapshot_dict
 
@@ -16,7 +16,7 @@ def expanded_system():
     kb.classes["Writer"].add("Saul Bellow")
     system = ProbKB(kb, backend="single")
     system.ground()
-    system.materialize_marginals(num_sweeps=200, seed=3)
+    system.materialize_marginals(config=InferenceConfig(num_sweeps=200, seed=3))
     return system
 
 
@@ -128,7 +128,10 @@ class TestSqliteExport:
         export_sqlite(system, path)  # second run must not fail on CREATE
 
     def test_mpp_backend_rejected(self, tmp_path):
-        system = ProbKB(paper_kb(), backend="mpp", nseg=2)
+        system = ProbKB(
+            paper_kb(),
+            backend=BackendConfig(kind="mpp", mpp=MPPConfig(num_segments=2)),
+        )
         system.ground()
         with pytest.raises(ValueError, match="single-node"):
             export_sqlite(system, str(tmp_path / "kb.db"))
