@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-mpp bench bench-mpp
+.PHONY: test test-mpp bench bench-mpp lint
 
 # Tier-1 suite: serial executors only (the `mpp` marker is excluded
 # via addopts in pyproject.toml).
@@ -20,3 +20,19 @@ bench:
 # the speedup target, always checks bit-identical output.
 bench-mpp:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_mpp_wallclock.py -m mpp -q
+
+# Static checks: ruff (style/imports) + mypy (strict on repro.analyze,
+# repro.core, repro.quality — see pyproject.toml).  Each tool is skipped
+# with a notice when not installed, so `make lint` is safe in minimal
+# environments; CI installs both and runs them for real.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "lint: mypy not installed, skipping (pip install mypy)"; \
+	fi

@@ -7,7 +7,6 @@ by holding the engine constant (our single-node engine) and counting
 the statements each strategy issues.
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_table, scaled, write_result

@@ -8,7 +8,6 @@ rules whose learned weight collapses, and compares the resulting rule
 set's precision against top-θ score cleaning.
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, scaled, write_result

@@ -6,7 +6,6 @@ re-shipped.  This ablation sweeps the segment count on a fixed S2
 workload and reports the speedup curve and its parallel efficiency.
 """
 
-import pytest
 
 from repro.bench import format_table, scaled, write_result
 from repro.core import MPPBackend

@@ -7,7 +7,6 @@ same closure; this ablation quantifies the work saved — an extension
 beyond the paper (its future-work discussion of incremental grounding).
 """
 
-import pytest
 
 from repro import Fact, GroundingConfig, KnowledgeBase, ProbKB, Relation
 from repro.bench import format_table, scaled, write_result

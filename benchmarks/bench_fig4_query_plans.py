@@ -11,10 +11,9 @@ redistribute both sides).
 
 import random
 
-import pytest
 
 from repro import Fact, KnowledgeBase, ProbKB, Relation
-from repro.bench import format_table, scaled, write_result
+from repro.bench import scaled, write_result
 from repro.core import Atom, HornClause, MPPBackend, ground_atoms_plan
 
 

@@ -7,7 +7,6 @@ shape: Tuffy-T grows linearly in the rule count (one query per rule)
 while both ProbKB variants stay nearly flat (six batch queries).
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_series, format_table, scaled, write_result

@@ -6,9 +6,8 @@ overhead while ProbKB amortizes it over six batch joins; ProbKB-p
 divides the scan/join work across segments.
 """
 
-import pytest
 
-from repro import ProbKB, TuffyT
+from repro import ProbKB
 from repro.bench import format_series, format_table, scaled, write_result
 from repro.core import MPPBackend
 from repro.datasets import s2_kb

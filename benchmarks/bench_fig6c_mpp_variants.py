@@ -7,7 +7,6 @@ fact sweep.  Expected shape: both MPP variants beat single-node
 (paper: up to 6.3x total).
 """
 
-import pytest
 
 from repro import ProbKB
 from repro.bench import format_series, format_table, scaled, write_result

@@ -7,10 +7,9 @@ iterate grounding, judge each iteration's new facts with the oracle
 vs the estimated number of correct facts.
 """
 
-import pytest
 
 from repro.bench import format_series, format_table, write_result
-from repro.quality import TABLE4_CONFIGS, run_figure7a
+from repro.quality import run_figure7a
 
 #: the paper's reported endpoints (#facts inferred, precision)
 PAPER_ENDPOINTS = {

@@ -7,7 +7,6 @@ against the generator's ground truth — the reproduction of the paper's
 hand-audit of 100 sampled violations.
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, write_result

@@ -7,13 +7,12 @@ compares the engines' accuracy (vs exact on a small subgraph) and the
 chromatic structure that yields parallel speedup.
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB
 from repro.bench import format_table, scaled, write_result
 from repro.datasets import ReVerbSherlockConfig, generate
 from repro.datasets.world import WorldConfig
-from repro.infer import GibbsSampler, bp_marginals, gibbs_marginals
+from repro.infer import GibbsSampler, bp_marginals
 
 
 def test_inference_engines(benchmark):

@@ -10,7 +10,6 @@ work + per-statement overhead + MPP shipping), which is what makes the
 query-count effects the paper measures visible inside one process.
 """
 
-import pytest
 
 from repro import GroundingConfig, ProbKB, TuffyT
 from repro.bench import format_table, scaled, write_result

@@ -1,0 +1,70 @@
+"""Static analysis of KB programs (pre-flight quality control).
+
+ProbKB's Section-5 quality control is dynamic: bad rules are caught
+only after they have propagated wrong facts through grounding.  Almost
+all of those defects — ill-typed rules, unsafe heads, duplicates,
+self-violating constraints — are decidable from the schema, the class
+hierarchy, and the rule text alone.  This package decides them::
+
+    from repro.analyze import analyze
+
+    report = analyze(kb)          # never mutates kb
+    if report.has_errors:
+        print(report.render())
+
+The report feeds three gates: the ``repro analyze`` CLI subcommand, the
+``GroundingConfig(analysis="off"|"warn"|"strict")`` pre-flight check in
+:class:`~repro.api.ExpansionSession` / :class:`~repro.ProbKB`, and the
+serving layer's rule-ingest endpoint.  ``docs/analyze.md`` documents
+every finding code.
+"""
+
+from .analyzer import analyze
+from .constraints import check_constraints
+from .depgraph import (
+    check_dependencies,
+    dependency_edges,
+    fixpoint_depth_bound,
+    grounding_size_bound,
+    strongly_connected_components,
+)
+from .findings import (
+    AnalysisError,
+    AnalysisReport,
+    AnalysisWarning,
+    CODES,
+    ERROR,
+    Finding,
+    INFO,
+    SEVERITIES,
+    WARNING,
+)
+from .rules import check_dead_rules, check_duplicates, live_relations
+from .safety import check_rule_shape, check_safety
+from .typecheck import SchemaIndex, check_types
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "AnalysisWarning",
+    "CODES",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "SEVERITIES",
+    "SchemaIndex",
+    "WARNING",
+    "analyze",
+    "check_constraints",
+    "check_dead_rules",
+    "check_dependencies",
+    "check_duplicates",
+    "check_rule_shape",
+    "check_safety",
+    "check_types",
+    "dependency_edges",
+    "fixpoint_depth_bound",
+    "grounding_size_bound",
+    "live_relations",
+    "strongly_connected_components",
+]

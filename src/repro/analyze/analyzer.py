@@ -1,0 +1,53 @@
+"""The analyzer entry point: run every pass over a KB, return a report.
+
+``analyze`` is pure — it never mutates the knowledge base (a property
+test asserts this), so running it in the ``"warn"`` pre-flight gate is
+guaranteed to leave grounding output bit-identical to ``"off"``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.model import KnowledgeBase
+from .constraints import check_constraints
+from .depgraph import check_dependencies
+from .findings import AnalysisReport, Finding
+from .rules import check_dead_rules, check_duplicates
+from .safety import check_safety
+from .typecheck import SchemaIndex, check_types
+
+
+def analyze(kb: KnowledgeBase, include_infos: bool = True) -> AnalysisReport:
+    """Statically analyze a KB program before grounding.
+
+    Passes: safety/shape (PKB001-005, 007, 015), type-checking
+    (PKB006), duplicates (PKB008), dead rules (PKB009), constraint
+    consistency (PKB010-012), dependency analysis (PKB013-014).
+    """
+    index = SchemaIndex(kb)
+    findings: List[Finding] = []
+    findings.extend(check_safety(kb, index))
+    findings.extend(check_types(kb, index))
+    findings.extend(check_duplicates(kb))
+    findings.extend(check_dead_rules(kb))
+    findings.extend(check_constraints(kb, index))
+    if include_infos:
+        findings.extend(check_dependencies(kb, index))
+    findings.sort(
+        key=lambda f: (
+            f.rule_index if f.rule_index is not None else len(kb.rules),
+            f.code,
+        )
+    )
+    stats = kb.stats()
+    return AnalysisReport(
+        findings=tuple(findings),
+        stats={
+            "rules": stats["rules"],
+            "constraints": stats["constraints"],
+            "facts": stats["facts"],
+            "relations": stats["relations"],
+            "classes": stats["classes"],
+        },
+    )

@@ -27,8 +27,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .analyze import AnalysisReport, analyze as analyze_kb
 from .core.backends import Backend
+from .core.clauses import HornClause
 from .core.config import (
+    ANALYSIS_MODES,
     BackendConfig,
     GroundingConfig,
     InferenceConfig,
@@ -41,6 +44,8 @@ from .core.probkb import ProbKB
 from .core.results import ConstraintResult, InferenceResult
 
 __all__ = [
+    "ANALYSIS_MODES",
+    "AnalysisReport",
     "BackendConfig",
     "ConstraintResult",
     "ExpansionSession",
@@ -146,6 +151,25 @@ class ExpansionSession:
     ) -> GroundingResult:
         """Incrementally expand with new extracted evidence."""
         return self.probkb.add_evidence(facts, max_iterations=max_iterations)
+
+    def add_rules(
+        self,
+        rules: Sequence[HornClause],
+        max_iterations: Optional[int] = None,
+    ) -> GroundingResult:
+        """Incrementally expand with new deductive rules.
+
+        The session's ``GroundingConfig.analysis`` gate screens the
+        combined program first; ``"strict"`` rejects the batch with
+        :class:`~repro.analyze.AnalysisError` without changing the KB.
+        """
+        return self.probkb.add_rules(rules, max_iterations=max_iterations)
+
+    def analyze(self) -> AnalysisReport:
+        """Run the static analyzer over the session's KB (pure; see
+        :mod:`repro.analyze`).  Independent of the pre-flight gate — it
+        always runs, whatever ``GroundingConfig.analysis`` says."""
+        return analyze_kb(self.kb)
 
     def infer(self, config: Optional[InferenceConfig] = None) -> InferenceResult:
         """Marginal inference with the session's (or the given) config."""

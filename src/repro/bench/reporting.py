@@ -9,7 +9,7 @@ so EXPERIMENTS.md can reference a stable artifact.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 
 def format_table(

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro.cli generate --out kb/ --people 300 --seed 7
     python -m repro.cli stats    --kb kb/
+    python -m repro.cli analyze  --kb kb/ --json
     python -m repro.cli sql      --kb kb/
     python -m repro.cli ground   --kb kb/ --backend mpp --nseg 8 --out expanded/
     python -m repro.cli infer    --kb kb/ --method gibbs --top 20
@@ -22,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analyze import AnalysisError
 from .core import (
     BackendConfig,
     GroundingConfig,
@@ -56,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_cmd = commands.add_parser("stats", help="print KB statistics (Table 2)")
     stats_cmd.add_argument("--kb", required=True, help="KB directory (TSV)")
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="static analysis of a KB program (pre-flight quality control)",
+    )
+    analyze_cmd.add_argument("--kb", required=True, help="KB directory (TSV)")
+    analyze_cmd.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze_cmd.add_argument(
+        "--no-infos",
+        action="store_true",
+        help="suppress informational findings (bounds, cycles)",
+    )
 
     sql_cmd = commands.add_parser(
         "sql", help="print the grounding SQL generated for a KB"
@@ -106,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--no-constraints", action="store_true", help="skip quality control"
     )
+    serve_cmd.add_argument(
+        "--analysis",
+        choices=("off", "warn", "strict"),
+        default="warn",
+        help="static-analysis gate for loading and for ingested rules",
+    )
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument(
         "--port", type=int, default=8080, help="0 picks a free port"
@@ -148,6 +170,13 @@ def _add_pipeline_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--semi-naive", action="store_true", help="delta (semi-naive) grounding"
     )
+    cmd.add_argument(
+        "--analysis",
+        choices=("off", "warn", "strict"),
+        default="warn",
+        help="pre-flight static-analysis gate (strict refuses to ground "
+        "a KB with error findings)",
+    )
 
 
 def _backend_config(args) -> BackendConfig:
@@ -161,7 +190,9 @@ def _backend_config(args) -> BackendConfig:
 
 
 def _build_system(args) -> ProbKB:
-    kb = load_kb(args.kb)
+    # the gate in ProbKB handles analysis; skip the loader's own pass so
+    # warnings are not reported twice
+    kb = load_kb(args.kb, analysis="off")
     return ProbKB(
         kb,
         backend=_backend_config(args),
@@ -169,6 +200,7 @@ def _build_system(args) -> ProbKB:
             max_iterations=args.iterations,
             apply_constraints=not args.no_constraints,
             semi_naive=getattr(args, "semi_naive", False),
+            analysis=getattr(args, "analysis", "warn"),
         ),
     )
 
@@ -192,6 +224,19 @@ def cmd_stats(args) -> int:
     for key, value in kb.stats().items():
         print(f"# {key:12s} {value:>10,}")
     return 0
+
+
+def cmd_analyze(args) -> int:
+    """Run the static analyzer; exit 1 when error findings exist."""
+    from .analyze import analyze
+
+    kb = load_kb(args.kb, analysis="off")
+    report = analyze(kb, include_infos=not args.no_infos)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render(include_infos=not args.no_infos))
+    return 1 if report.has_errors else 0
 
 
 def cmd_sql(args) -> int:
@@ -289,13 +334,14 @@ def build_serve_service(args):
         system = load_snapshot(args.snapshot, backend=_backend_config(args))
         print(f"warm start: {system.fact_count()} facts from {args.snapshot}")
     elif args.kb:
-        kb = load_kb(args.kb)
+        kb = load_kb(args.kb, analysis="off")
         system = ProbKB(
             kb,
             backend=_backend_config(args),
             grounding=GroundingConfig(
                 max_iterations=args.iterations,
                 apply_constraints=not args.no_constraints,
+                analysis=getattr(args, "analysis", "warn"),
             ),
         )
         result = system.ground(args.iterations)
@@ -360,6 +406,7 @@ def cmd_serve(args) -> int:
 _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
+    "analyze": cmd_analyze,
     "sql": cmd_sql,
     "ground": cmd_ground,
     "infer": cmd_infer,
@@ -370,7 +417,18 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        kb_dir = getattr(args, "kb", None)
+        if kb_dir:
+            print(
+                f"(run `probkb analyze --kb {kb_dir}` for the full report, "
+                f"or pass --analysis warn to proceed anyway)",
+                file=sys.stderr,
+            )
+        return 2
 
 
 if __name__ == "__main__":

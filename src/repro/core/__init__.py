@@ -11,8 +11,10 @@ from .clauses import (
     PARTITION_INDEXES,
     classify_clause,
     clause_from_identifier,
+    partition_patterns_text,
 )
 from .config import (
+    ANALYSIS_MODES,
     BackendConfig,
     GroundingConfig,
     InferenceConfig,
@@ -48,6 +50,7 @@ from .sqlgen import (
 from .tuffy import TuffyT
 
 __all__ = [
+    "ANALYSIS_MODES",
     "Atom",
     "Backend",
     "BackendConfig",
@@ -92,6 +95,7 @@ __all__ = [
     "generalizations",
     "ground_factors_plan",
     "make_backend",
+    "partition_patterns_text",
     "singleton_factors_plan",
     "subclass_map",
 ]

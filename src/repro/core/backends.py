@@ -102,7 +102,7 @@ class Backend:
     def __enter__(self) -> "Backend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def tpi_scan(self, alias: str, entity_join_columns: Sequence[str]) -> Scan:
@@ -126,37 +126,43 @@ class SingleNodeBackend(Backend):
         self.name = name
         self.db = Database(name)
 
-    def create_table(self, table_schema, dist_keys=None) -> None:
+    def create_table(
+        self, table_schema: TableSchema, dist_keys: Optional[Sequence[str]] = None
+    ) -> None:
         self.db.create_table(table_schema, replace=True)
 
-    def bulkload(self, table_name, rows) -> int:
+    def bulkload(self, table_name: str, rows: Sequence[Row]) -> int:
         return self.db.bulkload(table_name, rows)
 
-    def query(self, plan) -> Result:
+    def query(self, plan: PlanNode) -> Result:
         return self.db.query(plan)
 
-    def insert_rows(self, table_name, rows) -> int:
+    def insert_rows(self, table_name: str, rows: Sequence[Row]) -> int:
         return self.db.insert_rows(table_name, rows)
 
-    def insert_from(self, table_name, plan) -> int:
+    def insert_from(self, table_name: str, plan: PlanNode) -> int:
         return self.db.insert_from(table_name, plan)
 
-    def insert_from_with_ids(self, table_name, plan, next_id, pad_nulls=0):
+    def insert_from_with_ids(
+        self, table_name: str, plan: PlanNode, next_id: int, pad_nulls: int = 0
+    ) -> Tuple[int, int]:
         return self.db.insert_from_with_ids(table_name, plan, next_id, pad_nulls)
 
-    def truncate(self, table_name) -> None:
+    def truncate(self, table_name: str) -> None:
         self.db.truncate(table_name)
 
-    def delete_in(self, table_name, columns, key_plan) -> int:
+    def delete_in(
+        self, table_name: str, columns: Sequence[str], key_plan: PlanNode
+    ) -> int:
         return self.db.delete_in(table_name, columns, key_plan)
 
-    def table_size(self, table_name) -> int:
+    def table_size(self, table_name: str) -> int:
         return len(self.db.table(table_name))
 
-    def has_table(self, table_name) -> bool:
+    def has_table(self, table_name: str) -> bool:
         return self.db.has_table(table_name)
 
-    def project(self, table_name, column_names) -> List[Row]:
+    def project(self, table_name: str, column_names: Sequence[str]) -> List[Row]:
         return self.db.table(table_name).project(column_names)
 
     @property
@@ -191,44 +197,50 @@ class MPPBackend(Backend):
 
     # -- table management ------------------------------------------------------
 
-    def create_table(self, table_schema, dist_keys=None) -> None:
+    def create_table(
+        self, table_schema: TableSchema, dist_keys: Optional[Sequence[str]] = None
+    ) -> None:
         policy = HashDistribution(dist_keys) if dist_keys else None
         self.db.create_table(table_schema, policy, replace=True)
 
-    def create_replicated_table(self, table_schema) -> None:
+    def create_replicated_table(self, table_schema: TableSchema) -> None:
         """MLN tables are small: replicate them to every segment so rule
         application never ships them (a standard MPP dimension-table
         optimization)."""
         self.db.create_table(table_schema, ReplicatedDistribution(), replace=True)
 
-    def bulkload(self, table_name, rows) -> int:
+    def bulkload(self, table_name: str, rows: Sequence[Row]) -> int:
         return self.db.bulkload(table_name, rows)
 
-    def query(self, plan) -> Result:
+    def query(self, plan: PlanNode) -> Result:
         return self.db.query(plan)
 
-    def insert_rows(self, table_name, rows) -> int:
+    def insert_rows(self, table_name: str, rows: Sequence[Row]) -> int:
         return self.db.insert_rows(table_name, rows)
 
-    def insert_from(self, table_name, plan) -> int:
+    def insert_from(self, table_name: str, plan: PlanNode) -> int:
         return self.db.insert_from(table_name, plan)
 
-    def insert_from_with_ids(self, table_name, plan, next_id, pad_nulls=0):
+    def insert_from_with_ids(
+        self, table_name: str, plan: PlanNode, next_id: int, pad_nulls: int = 0
+    ) -> Tuple[int, int]:
         return self.db.insert_from_with_ids(table_name, plan, next_id, pad_nulls)
 
-    def truncate(self, table_name) -> None:
+    def truncate(self, table_name: str) -> None:
         self.db.truncate(table_name)
 
-    def delete_in(self, table_name, columns, key_plan) -> int:
+    def delete_in(
+        self, table_name: str, columns: Sequence[str], key_plan: PlanNode
+    ) -> int:
         return self.db.delete_in(table_name, columns, key_plan)
 
-    def table_size(self, table_name) -> int:
+    def table_size(self, table_name: str) -> int:
         return len(self.db.table(table_name))
 
-    def has_table(self, table_name) -> bool:
+    def has_table(self, table_name: str) -> bool:
         return self.db.has_table(table_name)
 
-    def project(self, table_name, column_names) -> List[Row]:
+    def project(self, table_name: str, column_names: Sequence[str]) -> List[Row]:
         table = self.db.table(table_name)
         positions = table.schema.positions(column_names)
         return [

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 
 class ClauseError(ValueError):
@@ -35,7 +35,8 @@ class Atom:
     args: Tuple[str, str]
 
     def __str__(self) -> str:
-        return f"{self.relation}({self.args[0]}, {self.args[1]})"
+        # tolerate malformed arities: the analyzer renders PKB002 atoms
+        return f"{self.relation}({', '.join(self.args)})"
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,17 @@ PARTITION_BODY_PATTERNS: Dict[int, Tuple[Tuple[str, str], ...]] = {
 PARTITION_INDEXES = tuple(sorted(PARTITION_BODY_PATTERNS))
 
 
+def partition_patterns_text() -> str:
+    """The six supported shapes, rendered for error messages and docs."""
+    parts = []
+    for partition, patterns in sorted(PARTITION_BODY_PATTERNS.items()):
+        body = ", ".join(
+            f"q{i + 1}({a}, {b})" for i, (a, b) in enumerate(patterns)
+        )
+        parts.append(f"M{partition}: p(x, y) <- {body}")
+    return "; ".join(parts)
+
+
 @dataclass(frozen=True)
 class ClassifiedClause:
     """A clause mapped to its partition and canonical symbol order.
@@ -167,7 +179,9 @@ def classify_clause(clause: HornClause) -> ClassifiedClause:
     )
 
 
-def _match_single(clause: HornClause, renaming: Dict[str, str]):
+def _match_single(
+    clause: HornClause, renaming: Dict[str, str]
+) -> Tuple[int, Tuple[Atom, ...], Dict[str, str]]:
     atom = clause.body[0]
     canon = tuple(renaming.get(arg) for arg in atom.args)
     if canon == ("x", "y"):
@@ -177,7 +191,9 @@ def _match_single(clause: HornClause, renaming: Dict[str, str]):
     raise ClauseError(f"single-body clause not of pattern 1/2: {clause}")
 
 
-def _match_double(clause: HornClause, renaming: Dict[str, str]):
+def _match_double(
+    clause: HornClause, renaming: Dict[str, str]
+) -> Tuple[int, Tuple[Atom, ...], Dict[str, str]]:
     body_vars = {v for atom in clause.body for v in atom.args}
     extra = body_vars - set(renaming)
     if len(extra) != 1:

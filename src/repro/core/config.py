@@ -77,6 +77,13 @@ class BackendConfig:
             )
 
 
+#: Pre-flight static-analysis gate modes: ``"off"`` skips analysis,
+#: ``"warn"`` runs it and emits an :class:`~repro.analyze.AnalysisWarning`
+#: (grounding output stays bit-identical to ``"off"``), ``"strict"``
+#: refuses to ground a KB program with error-severity findings.
+ANALYSIS_MODES = ("off", "warn", "strict")
+
+
 @dataclass(frozen=True)
 class GroundingConfig:
     """How Algorithm 1 runs."""
@@ -84,6 +91,14 @@ class GroundingConfig:
     max_iterations: Optional[int] = None
     apply_constraints: bool = True
     semi_naive: bool = False
+    analysis: str = "warn"
+
+    def __post_init__(self) -> None:
+        if self.analysis not in ANALYSIS_MODES:
+            raise ValueError(
+                f"unknown analysis mode {self.analysis!r} "
+                f"(use one of {ANALYSIS_MODES})"
+            )
 
 
 @dataclass(frozen=True)

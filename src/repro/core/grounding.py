@@ -13,10 +13,8 @@ the redistributed materialized views after every merge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..relational.types import Row
-from .backends import Backend
 from .relmodel import RelationalKB
 from .sqlgen import (
     CONSTRAINT_DELETE_COLUMNS,

@@ -17,7 +17,7 @@ singleton factors that would distort the distribution.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .model import Fact, KnowledgeBase
 

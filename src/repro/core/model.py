@@ -9,9 +9,8 @@ as Γ = (E, C, R, Π, H, Ω), the form the quality-control section uses.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from .clauses import ClauseError, HornClause, classify_clause
 
@@ -120,11 +119,16 @@ class KnowledgeBase:
             name: set(members) for name, members in classes.items()
         }
         self.relations: Dict[str, Relation] = {}
+        #: every declared signature per relation name.  ReVerb-style KBs
+        #: type one relation name over several class pairs; ``relations``
+        #: keeps the first signature per name for schema lookups, this
+        #: keeps them all (the static analyzer type-checks against it).
+        self.relation_signatures: Dict[str, List[Relation]] = {}
         for relation in relations:
-            # ReVerb-style KBs may type one relation name over several
-            # class pairs; keep the first signature per name for schema
-            # lookups and allow facts to carry their own classes.
             self.relations.setdefault(relation.name, relation)
+            declared = self.relation_signatures.setdefault(relation.name, [])
+            if relation not in declared:
+                declared.append(relation)
         self.facts: List[Fact] = []
         self._fact_keys: Set[Tuple[str, str, str, str, str]] = set()
         self.rules: List[HornClause] = []
@@ -162,7 +166,13 @@ class KnowledgeBase:
                 "hard rules belong in the constraint set Ω; "
                 "use FunctionalConstraint"
             )
-        classify_clause(rule)  # raises ClauseError if unsupported shape
+        if self._validate:
+            # raises ClauseError (naming the rule and the supported
+            # partition patterns) for unsupported shapes.  With
+            # validate=False the rule is admitted as-is so that
+            # ``repro.analyze`` can report on degenerate programs; the
+            # relational load re-checks before grounding.
+            classify_clause(rule)
         self.rules.append(rule)
 
     def _check_fact(self, fact: Fact) -> None:

@@ -22,14 +22,15 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..infer import FactorGraph, bp_marginals, gibbs_marginals
 from ..relational import Scan, to_sql
 from ..relational.expr import IsNull, col
 from ..relational.plan import Filter
 from ..relational.types import Row
-from .backends import Backend, MPPBackend, SingleNodeBackend
+from .backends import Backend
+from .clauses import HornClause
 from .config import (
     BackendConfig,
     GroundingConfig,
@@ -48,6 +49,9 @@ from .sqlgen import (
     ground_factors_plan,
     singleton_factors_plan,
 )
+
+if TYPE_CHECKING:
+    from ..analyze import AnalysisReport
 
 #: Distinguishes "caller did not pass this" from any real value, so the
 #: deprecation shims only fire on explicit use of a legacy keyword.
@@ -104,10 +108,10 @@ class ProbKB:
         *,
         grounding: Optional[GroundingConfig] = None,
         inference: Optional[InferenceConfig] = None,
-        nseg=_UNSET,
-        use_matviews=_UNSET,
-        apply_constraints=_UNSET,
-        semi_naive=_UNSET,
+        nseg: Any = _UNSET,
+        use_matviews: Any = _UNSET,
+        apply_constraints: Any = _UNSET,
+        semi_naive: Any = _UNSET,
     ) -> None:
         self.kb = kb
         self.backend_config: Optional[BackendConfig] = None
@@ -116,6 +120,7 @@ class ProbKB:
             grounding, apply_constraints, semi_naive
         )
         self.inference_config = inference or InferenceConfig()
+        self.analysis_report = self._preflight_analysis()
         load_start = self.backend.elapsed_seconds
         self.rkb = RelationalKB(kb, self.backend)
         self.load_seconds = self.backend.elapsed_seconds - load_start
@@ -128,7 +133,12 @@ class ProbKB:
         #: monotone counter, bumped every time stored state mutates
         self.generation = 0
 
-    def _resolve_backend(self, backend, nseg, use_matviews) -> Backend:
+    def _resolve_backend(
+        self,
+        backend: Union[BackendConfig, Backend, str, None],
+        nseg: Any,
+        use_matviews: Any,
+    ) -> Backend:
         overrides = {}
         if nseg is not _UNSET:
             overrides["num_segments"] = nseg
@@ -159,8 +169,42 @@ class ProbKB:
         self.backend_config = config
         return build_backend(config)
 
+    def _preflight_analysis(self) -> Optional["AnalysisReport"]:
+        """The static-analysis gate (GroundingConfig.analysis).
+
+        ``"off"`` skips analysis entirely; ``"warn"`` runs it and emits
+        one :class:`~repro.analyze.AnalysisWarning` summarizing any
+        errors/warnings (analysis is pure, so grounding output stays
+        bit-identical to ``"off"``); ``"strict"`` raises
+        :class:`~repro.analyze.AnalysisError` instead of loading a KB
+        program with error-severity findings.  Returns the report (or
+        None when off) for callers that want the full diagnostics.
+        """
+        mode = self.grounding_config.analysis
+        if mode == "off":
+            return None
+        from ..analyze import AnalysisError, AnalysisWarning, analyze
+
+        report = analyze(self.kb)
+        if report.has_errors and mode == "strict":
+            raise AnalysisError(report)
+        problems = report.errors + report.warnings
+        if problems:
+            shown = "; ".join(f.render() for f in problems[:3])
+            suffix = "" if len(problems) <= 3 else f" (+{len(problems) - 3} more)"
+            warnings.warn(
+                f"static analysis: {report.summary()} — {shown}{suffix} "
+                f"(run `repro analyze` for the full report)",
+                AnalysisWarning,
+                stacklevel=4,
+            )
+        return report
+
     def _resolve_grounding(
-        self, grounding, apply_constraints, semi_naive
+        self,
+        grounding: Optional[GroundingConfig],
+        apply_constraints: Any,
+        semi_naive: Any,
     ) -> GroundingConfig:
         overrides = {}
         if apply_constraints is not _UNSET:
@@ -188,7 +232,7 @@ class ProbKB:
     def __enter__(self) -> "ProbKB":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- pipeline ------------------------------------------------------------------
@@ -252,6 +296,50 @@ class ProbKB:
             outcome.iterations[0].new_facts += added
         return outcome
 
+    def add_rules(
+        self,
+        rules: Sequence[HornClause],
+        max_iterations: Optional[int] = None,
+        reground_factors: bool = True,
+    ) -> GroundingResult:
+        """Incrementally expand the KB with new deductive rules.
+
+        The same static-analysis gate that guards construction runs over
+        the combined program (existing KB plus the new rules): under
+        ``analysis="strict"`` an error-severity finding rejects the
+        whole batch and leaves the KB untouched; under ``"warn"`` the
+        findings are emitted as an :class:`~repro.analyze.AnalysisWarning`.
+        Accepted rules are merged into the MLN tables and a full naive
+        grounding pass derives their consequences (a new rule must see
+        every existing fact, so the semi-naive delta does not apply).
+        """
+        rules = list(rules)
+        rules_before = len(self.kb.rules)
+        try:
+            for rule in rules:
+                self.kb.add_rule(rule)
+            self.analysis_report = self._preflight_analysis()
+        except Exception:
+            del self.kb.rules[rules_before:]
+            raise
+        self.rkb.add_rules(rules)
+        grounder = Grounder(
+            self.rkb,
+            apply_constraints=self.grounding_config.apply_constraints,
+            semi_naive=False,
+        )
+        outcome = GroundingResult()
+        outcome.iterations, outcome.converged = grounder.ground_atoms(
+            max_iterations
+        )
+        if reground_factors:
+            self.backend.truncate("TF")
+            outcome.factors, outcome.factor_seconds = grounder.ground_factors()
+        self.grounding = outcome
+        outcome.load_seconds = self.load_seconds
+        self.generation += 1
+        return outcome
+
     def factor_rows(self) -> List[Row]:
         return self.backend.query(Scan("TF")).rows
 
@@ -263,9 +351,9 @@ class ProbKB:
         self,
         config: Optional[Union[InferenceConfig, str]] = None,
         *,
-        method=_UNSET,
-        num_sweeps=_UNSET,
-        seed=_UNSET,
+        method: Any = _UNSET,
+        num_sweeps: Any = _UNSET,
+        seed: Any = _UNSET,
     ) -> InferenceResult:
         """Marginal probabilities of every fact (observed and inferred).
 
@@ -299,7 +387,13 @@ class ProbKB:
             num_factors=len(graph.factors),
         )
 
-    def _inference_config(self, config, method, num_sweeps, seed) -> InferenceConfig:
+    def _inference_config(
+        self,
+        config: Optional[Union[InferenceConfig, str]],
+        method: Any,
+        num_sweeps: Any,
+        seed: Any,
+    ) -> InferenceConfig:
         """Fold legacy inference keywords into an :class:`InferenceConfig`."""
         if isinstance(config, str):  # legacy positional: infer("bp")
             method, config = config, None
@@ -359,9 +453,9 @@ class ProbKB:
         marginals: Optional[Dict[Fact, float]] = None,
         config: Optional[InferenceConfig] = None,
         *,
-        method=_UNSET,
-        num_sweeps=_UNSET,
-        seed=_UNSET,
+        method: Any = _UNSET,
+        num_sweeps: Any = _UNSET,
+        seed: Any = _UNSET,
     ) -> int:
         """Store marginal probabilities in the database (table TProb).
 

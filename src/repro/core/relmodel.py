@@ -26,10 +26,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..relational import schema
+from ..relational import PlanNode, TableSchema, schema
 from ..relational.types import Row
 from .backends import Backend, MPPBackend
-from .clauses import PARTITION_INDEXES, classify_clause
+from .clauses import (
+    PARTITION_INDEXES,
+    ClassifiedClause,
+    ClauseError,
+    HornClause,
+    classify_clause,
+    partition_patterns_text,
+)
 from .model import Fact, KnowledgeBase
 
 # -- table schemas (shared by all backends) -----------------------------------
@@ -66,7 +73,7 @@ DC_SCHEMA = schema("DC", "id:int", "name:text")
 DR_SCHEMA = schema("DR", "id:int", "name:text")
 
 
-def mln_schema(partition: int):
+def mln_schema(partition: int) -> TableSchema:
     """Schema of MLN table M_i (identifier tuples + weight)."""
     if partition in (1, 2):
         return schema(
@@ -139,7 +146,33 @@ class RelationalKB:
         self._fact_keys: Set[FactKey] = set()
         self._next_fact_id = 0
         self.nonempty_partitions: List[int] = []
+        #: identifier tuples already stored per partition — Proposition 1
+        #: requires the M_i duplicate-free, both at bulkload and across
+        #: later :meth:`add_rules` batches
+        self._mln_seen: Dict[int, Set[Row]] = {i: set() for i in PARTITION_INDEXES}
         self.load_report = self._load()
+
+    def _classify(self, rule: HornClause, rule_index: int) -> ClassifiedClause:
+        """Classify a rule for loading; on failure, re-raise with the
+        rule named, the supported partition shapes spelled out, and a
+        pointer at the pre-flight analyzer (instead of the bare
+        ClauseError that used to surface from deep inside the load)."""
+        try:
+            return classify_clause(rule)
+        except ClauseError as error:
+            raise ClauseError(
+                f"rule #{rule_index} cannot be loaded into the MLN "
+                f"partition tables: {error}. Supported shapes (Definition "
+                f"6): {partition_patterns_text()}. Run `repro analyze` "
+                f"for a full pre-flight report."
+            ) from error
+
+    def _mln_row(self, classified: ClassifiedClause) -> Row:
+        return (
+            tuple(self.relations.id(r) for r in classified.relations)
+            + tuple(self.classes.id(c) for c in classified.classes)
+            + (classified.weight,)
+        )
 
     # -- loading -----------------------------------------------------------------
 
@@ -183,18 +216,13 @@ class RelationalKB:
 
         # MLN tables
         mln_rows: Dict[int, List[Row]] = {i: [] for i in PARTITION_INDEXES}
-        mln_seen: Dict[int, Set[Row]] = {i: set() for i in PARTITION_INDEXES}
-        for rule in kb.rules:
-            classified = classify_clause(rule)
-            row = (
-                tuple(self.relations.id(r) for r in classified.relations)
-                + tuple(self.classes.id(c) for c in classified.classes)
-                + (classified.weight,)
-            )
+        for rule_index, rule in enumerate(kb.rules):
+            classified = self._classify(rule, rule_index)
+            row = self._mln_row(classified)
             # Proposition 1 requires M_i duplicate-free
-            if row in mln_seen[classified.partition]:
+            if row in self._mln_seen[classified.partition]:
                 continue
-            mln_seen[classified.partition].add(row)
+            self._mln_seen[classified.partition].add(row)
             mln_rows[classified.partition].append(row)
 
         # TΩ
@@ -279,7 +307,7 @@ class RelationalKB:
 
     # -- fact mutation --------------------------------------------------------------
 
-    def guard_candidates(self, plan):
+    def guard_candidates(self, plan: PlanNode) -> PlanNode:
         """Wrap a candidate-facts plan (columns R,x,C1,y,C2) with the
         anti-joins that implement set union: drop facts already in TΠ
         and facts previously deleted by quality control (TDel).
@@ -306,7 +334,7 @@ class RelationalKB:
             [f"TGone.{c}" for c in FACT_KEY_COLUMNS],
         )
 
-    def stage_candidates(self, plan) -> int:
+    def stage_candidates(self, plan: PlanNode) -> int:
         """INSERT INTO TNew SELECT (guarded candidates) — one statement
         per partition; TNew's unique key dedups across partitions."""
         return self.backend.insert_from("TNew", self.guard_candidates(plan))
@@ -357,6 +385,43 @@ class RelationalKB:
         inserted, self._next_fact_id = self.backend.insert_from_with_ids(
             "TP", guarded, self._next_fact_id, pad_nulls=0
         )
+        return inserted
+
+    def add_rules(self, rules: Sequence[HornClause]) -> int:
+        """Classify new rules and merge them into the MLN tables M1-M6.
+
+        Identifier tuples already present (from the bulkload or an
+        earlier batch) are dropped so the M_i stay duplicate-free
+        (Proposition 1).  Dictionary tables gain rows for any relation
+        or class name the new rules introduce.  Returns the number of
+        genuinely new MLN rows stored.
+        """
+        relations_before = len(self.relations)
+        classes_before = len(self.classes)
+        staged: Dict[int, List[Row]] = {}
+        for rule_index, rule in enumerate(rules):
+            classified = self._classify(rule, rule_index)
+            row = self._mln_row(classified)
+            if row in self._mln_seen[classified.partition]:
+                continue
+            self._mln_seen[classified.partition].add(row)
+            staged.setdefault(classified.partition, []).append(row)
+        # keep DR/DC consistent with the dictionary objects: encoding the
+        # new rules may have minted fresh relation/class ids
+        new_relations = self.relations.rows()[relations_before:]
+        if new_relations:
+            self.backend.insert_rows("DR", new_relations)
+        new_classes = self.classes.rows()[classes_before:]
+        if new_classes:
+            self.backend.insert_rows("DC", new_classes)
+        inserted = 0
+        for partition in sorted(staged):
+            inserted += self.backend.insert_rows(
+                f"M{partition}", staged[partition]
+            )
+            if partition not in self.nonempty_partitions:
+                self.nonempty_partitions.append(partition)
+        self.nonempty_partitions.sort()
         return inserted
 
     def insert_new_facts(self, rows: Iterable[Row]) -> int:

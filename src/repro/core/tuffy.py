@@ -12,7 +12,7 @@ database.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..relational import Database, Filter, HashJoin, PlanNode, Project, Scan, col, const, schema
 from ..relational.expr import And, Expr, IsNull, conj, eq_const
@@ -30,7 +30,13 @@ class _RuleSpec:
 
     __slots__ = ("partition", "relations", "classes", "weight")
 
-    def __init__(self, partition: int, relations, classes, weight: float):
+    def __init__(
+        self,
+        partition: int,
+        relations: Tuple[int, ...],
+        classes: Tuple[int, ...],
+        weight: float,
+    ) -> None:
         self.partition = partition
         self.relations = relations  # (R1, R2[, R3]) ids
         self.classes = classes  # (C1, C2[, C3]) ids

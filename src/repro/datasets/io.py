@@ -9,7 +9,8 @@ KBs and for inspecting them with standard tools.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Set, Tuple
+import warnings
+from typing import Dict, List, Set
 
 from ..core import (
     Atom,
@@ -35,7 +36,12 @@ def save_kb(kb: KnowledgeBase, directory: str) -> None:
             for entity in sorted(kb.classes[class_name]):
                 handle.write(f"{class_name}\t{entity}\n")
     with open(os.path.join(directory, RELATIONS_FILE), "w") as handle:
-        for relation in sorted(kb.relations.values(), key=lambda r: r.name):
+        declared = [
+            relation
+            for name in sorted(kb.relation_signatures)
+            for relation in kb.relation_signatures[name]
+        ]
+        for relation in declared:
             handle.write(f"{relation.name}\t{relation.domain}\t{relation.range}\n")
     with open(os.path.join(directory, FACTS_FILE), "w") as handle:
         for fact in kb.facts:
@@ -54,8 +60,23 @@ def save_kb(kb: KnowledgeBase, directory: str) -> None:
             )
 
 
-def load_kb(directory: str) -> KnowledgeBase:
-    """Read a knowledge base written by :func:`save_kb`."""
+def load_kb(directory: str, analysis: str = "warn") -> KnowledgeBase:
+    """Read a knowledge base written by :func:`save_kb`.
+
+    ``analysis`` controls a post-load static-analysis pass over the
+    loaded program (see :mod:`repro.analyze`): ``"warn"`` (the default)
+    surfaces defects in the on-disk KB as an
+    :class:`~repro.analyze.AnalysisWarning` right at load time instead
+    of later inside grounding, ``"strict"`` raises
+    :class:`~repro.analyze.AnalysisError`, ``"off"`` skips the pass.
+    The loaded KB itself is identical in all three modes.
+    """
+    from ..core.config import ANALYSIS_MODES
+
+    if analysis not in ANALYSIS_MODES:
+        raise ValueError(
+            f"unknown analysis mode {analysis!r} (use one of {ANALYSIS_MODES})"
+        )
     classes: Dict[str, Set[str]] = {}
     with open(os.path.join(directory, CLASSES_FILE)) as handle:
         for line in handle:
@@ -97,7 +118,7 @@ def load_kb(directory: str) -> KnowledgeBase:
                 FunctionalConstraint(relation, arg=int(arg), degree=int(degree))
             )
 
-    return KnowledgeBase(
+    kb = KnowledgeBase(
         classes=classes,
         relations=relations,
         facts=facts,
@@ -105,6 +126,24 @@ def load_kb(directory: str) -> KnowledgeBase:
         constraints=constraints,
         validate=False,
     )
+    if analysis != "off":
+        from ..analyze import AnalysisError, AnalysisWarning, analyze
+
+        report = analyze(kb, include_infos=False)
+        if report.has_errors and analysis == "strict":
+            raise AnalysisError(report)
+        problems = report.errors + report.warnings
+        if problems:
+            shown = "; ".join(f.render() for f in problems[:3])
+            suffix = "" if len(problems) <= 3 else f" (+{len(problems) - 3} more)"
+            warnings.warn(
+                f"KB loaded from {directory!r} has defects: "
+                f"{report.summary()} — {shown}{suffix} "
+                f"(run `repro analyze --kb {directory}` for details)",
+                AnalysisWarning,
+                stacklevel=2,
+            )
+    return kb
 
 
 def _rule_line(rule: HornClause) -> str:

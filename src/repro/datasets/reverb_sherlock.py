@@ -37,7 +37,7 @@ from ..core import (
     TYPE_I,
     TYPE_II,
 )
-from .world import PLAUSIBLE, SOUND, World, WorldConfig, WorldRule, _PATTERN_ARGS
+from .world import World, WorldConfig, WorldRule, _PATTERN_ARGS
 
 Triple = Tuple[str, str, str]
 

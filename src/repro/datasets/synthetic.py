@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core import Atom, Fact, HornClause, KnowledgeBase, Relation
 from .reverb_sherlock import GeneratedKB

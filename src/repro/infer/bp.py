@@ -60,7 +60,7 @@ def bp_marginals(
     factors = graph.factors
     max_residual = math.inf
     iteration = 0
-    for iteration in range(1, max_iterations + 1):
+    for iteration in range(1, max_iterations + 1):  # noqa: B007 — read after the loop
         max_residual = 0.0
         # variable -> factor
         for var in range(n_vars):

@@ -68,7 +68,7 @@ def icm_map(
     )
     touching = graph.factors_touching()
     sweeps = 0
-    for sweeps in range(1, max_sweeps + 1):
+    for sweeps in range(1, max_sweeps + 1):  # noqa: B007 — read after the loop
         changed = False
         for var in range(n):
             delta = _local_delta(graph, touching, state, var)

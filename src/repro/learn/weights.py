@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import ProbKB
 from ..core.clauses import HornClause, classify_clause
 from ..core.sqlgen import ground_factors_plan
-from ..infer.factor_graph import ClauseFactor, FactorGraph
+from ..infer.factor_graph import FactorGraph
 from ..relational.expr import conj, eq_const
 
 
@@ -151,7 +151,7 @@ def learn_weights(
     )
     trace: List[float] = []
 
-    for iteration in range(iterations):
+    for _iteration in range(iterations):
         gradient = [0.0] * n_parameters
         for var in range(graph.num_variables):
             counts_true, counts_false, fixed_delta = _rule_counts(

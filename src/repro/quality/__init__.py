@@ -28,7 +28,12 @@ from .evaluation import (
     run_quality_experiment,
 )
 from .constraints import precleaned_kb
-from .rule_cleaning import clean_rules, cleaned_kb, cleaning_report
+from .rule_cleaning import (
+    clean_rules,
+    cleaned_kb,
+    cleaning_report,
+    merge_duplicate_rules,
+)
 
 __all__ = [
     "AMBIGUOUS_ENTITY",
@@ -53,6 +58,7 @@ __all__ = [
     "cleaning_report",
     "find_violations",
     "judge_precision",
+    "merge_duplicate_rules",
     "precleaned_kb",
     "run_figure7a",
     "run_quality_experiment",

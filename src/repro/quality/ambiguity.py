@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core import Fact, ProbKB, TYPE_I, TYPE_II
 from ..core.lineage import LineageIndex
 from ..datasets.reverb_sherlock import GeneratedKB
-from ..core.clauses import classify_clause
 
 AMBIGUOUS_ENTITY = "ambiguity_detected"
 AMBIGUOUS_JOIN_KEY = "ambiguous_join_key"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core import Fact, GroundingConfig, ProbKB
 from ..datasets.reverb_sherlock import GeneratedKB, OracleJudge
@@ -135,7 +135,7 @@ def run_quality_experiment(
 
     for iteration in range(1, max_iterations + 1):
         first_new_id = system.rkb._next_fact_id
-        stats = system.grounder.ground_atoms_iteration(iteration)
+        system.grounder.ground_atoms_iteration(iteration)
         new_facts = _facts_since(system, first_new_id)
         outcome.total_new_facts += len(new_facts)
         if not new_facts:

@@ -12,9 +12,10 @@ for precision.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core import HornClause, KnowledgeBase
+from ..core import ClauseError, HornClause, KnowledgeBase, classify_clause
 
 
 def clean_rules(rules: Sequence[HornClause], theta: float) -> List[HornClause]:
@@ -28,6 +29,40 @@ def clean_rules(rules: Sequence[HornClause], theta: float) -> List[HornClause]:
     ranked = sorted(rules, key=lambda rule: (-rule.score, str(rule)))
     keep = max(1, math.ceil(theta * len(ranked))) if ranked else 0
     return ranked[:keep]
+
+
+def merge_duplicate_rules(rules: Sequence[HornClause]) -> List[HornClause]:
+    """Collapse structurally equivalent rules (Definition 6) into one.
+
+    The relational load keeps only the first rule per identifier tuple
+    (Proposition 1 requires the M_i duplicate-free), silently dropping
+    the other copies' weights — the analyzer flags this as PKB008.  This
+    opt-in pre-pass merges instead of dropping: the surviving rule's
+    weight is the sum of the copies' weights (MLN semantics — weights of
+    identical formulas add) and its score the maximum.  Rules outside
+    the six partition shapes pass through unchanged, in order.
+    """
+    merged: List[HornClause] = []
+    position: Dict[Tuple, int] = {}
+    for rule in rules:
+        try:
+            classified = classify_clause(rule)
+        except ClauseError:
+            merged.append(rule)
+            continue
+        key = (classified.partition, classified.relations, classified.classes)
+        at = position.get(key)
+        if at is None:
+            position[key] = len(merged)
+            merged.append(rule)
+        else:
+            kept = merged[at]
+            merged[at] = replace(
+                kept,
+                weight=kept.weight + rule.weight,
+                score=max(kept.score, rule.score),
+            )
+    return merged
 
 
 def cleaned_kb(kb: KnowledgeBase, theta: float) -> KnowledgeBase:

@@ -17,7 +17,7 @@ implied by the paper's Tuffy measurements (30,912 queries/iteration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 #: Fixed cost per executed statement: parse/plan/optimize + round trip.

@@ -12,7 +12,7 @@ operations ProbKB's grounding and quality-control algorithms need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .cost import CostClock
 from .executor import Executor, Result

@@ -11,7 +11,7 @@ snapshot export (``repro.serve.snapshot.export_sqlite``) rides on that.
 from __future__ import annotations
 
 import sqlite3
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .database import Database
 from .executor import _null_safe_key

@@ -18,7 +18,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .expr import And, Col, Compare, Const, Expr, IsNull, Or, conj
+from .expr import Col, Compare, Const, Expr, IsNull, Or, conj
 from .plan import (
     Aggregate,
     AntiJoin,
@@ -32,7 +32,7 @@ from .plan import (
     Sort,
     UnionAll,
 )
-from .types import PlanError, Value
+from .types import Value
 
 
 class SqlParseError(ValueError):

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .expr import And, Col, Compare, Expr, IsNull, Not, Or, conj
+from .expr import And, Col, Compare, Expr, IsNull, Not, Or
 from .plan import (
     Aggregate,
     AntiJoin,

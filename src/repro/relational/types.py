@@ -8,7 +8,7 @@ strings (symbolic debugging tables), and NULL (``None``).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 Value = Union[int, float, str, None]
 Row = Tuple[Value, ...]

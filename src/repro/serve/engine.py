@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..core.clauses import HornClause
 from ..core.config import InferenceConfig
 from ..core.model import Fact
 from ..core.probkb import ProbKB
@@ -225,6 +226,24 @@ class KBService:
     def flush(self) -> int:
         """Apply all pending evidence now; returns facts applied."""
         return self.worker.flush()
+
+    def add_rules(self, rules: Sequence[HornClause]) -> int:
+        """Synchronously ingest new deductive rules under the write lock.
+
+        Unlike evidence, rules do not stream through the micro-batch
+        queue: a rule batch triggers a full naive regrounding, so
+        batching buys nothing and the caller wants the analysis verdict
+        immediately.  The wrapped KB's ``GroundingConfig.analysis`` gate
+        screens the batch — under ``"strict"`` a defective rule raises
+        :class:`~repro.analyze.AnalysisError` and nothing changes.
+        Returns the number of new facts the rules derived.
+        """
+        with self.lock.write_locked():
+            outcome = self.probkb.add_rules(rules)
+            if self.config.infer_on_flush:
+                self.probkb.materialize_marginals(config=self.config.inference)
+            self.cache.bump(self.probkb.generation)
+        return outcome.total_new_facts
 
     def _apply_batch(self, batch: List[Fact]) -> None:
         """The single writer: evidence -> delta regrounding -> new generation."""

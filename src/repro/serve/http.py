@@ -6,6 +6,7 @@ Endpoints::
     GET  /stats                service metrics (counters, cache, latency)
     GET  /facts?relation=&subject=&object=&min_probability=
     POST /evidence             {"facts": [...], "flush": false}
+    POST /rules                {"rules": [...]} — gated by static analysis
     POST /snapshot             write the configured snapshot file
 
 ``ThreadingHTTPServer`` gives one thread per request, which is exactly
@@ -20,7 +21,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..core.model import Fact
+from ..analyze import AnalysisError
+from ..core.clauses import Atom, ClauseError, HornClause
+from ..core.model import Fact, KnowledgeBaseError
 from .engine import KBService
 from .ingest import IngestOverflow
 from .snapshot import save_snapshot
@@ -70,6 +73,52 @@ def fact_from_dict(payload: dict) -> Fact:
         object=str(payload["object"]),
         object_class=str(payload["object_class"]),
         weight=weight,
+    )
+
+
+def _atom_from_dict(payload: dict, role: str) -> Atom:
+    if not isinstance(payload, dict):
+        raise BadRequest(f"{role} must be an object, got {type(payload).__name__}")
+    relation = payload.get("relation")
+    args = payload.get("args")
+    if not relation or not isinstance(relation, str):
+        raise BadRequest(f"{role} needs a non-empty 'relation' string")
+    if not isinstance(args, list) or len(args) != 2:
+        raise BadRequest(f"{role} needs 'args': a list of exactly 2 variables")
+    return Atom(relation, (str(args[0]), str(args[1])))
+
+
+def rule_from_dict(payload: dict) -> HornClause:
+    """Parse ``{"weight", "head", "body", "classes"[, "score"]}``."""
+    if not isinstance(payload, dict):
+        raise BadRequest(f"each rule must be an object, got {type(payload).__name__}")
+    try:
+        weight = float(payload["weight"])
+    except KeyError:
+        raise BadRequest("rule missing 'weight'") from None
+    except (TypeError, ValueError):
+        raise BadRequest(f"rule weight must be a number, got {payload['weight']!r}")
+    head = _atom_from_dict(payload.get("head"), "rule head")
+    raw_body = payload.get("body")
+    if not isinstance(raw_body, list) or not raw_body:
+        raise BadRequest("rule 'body' must be a non-empty list of atoms")
+    body = [
+        _atom_from_dict(item, f"body atom {index}")
+        for index, item in enumerate(raw_body)
+    ]
+    classes = payload.get("classes")
+    if not isinstance(classes, dict):
+        raise BadRequest("rule 'classes' must map each variable to a class")
+    try:
+        score = float(payload.get("score", 1.0))
+    except (TypeError, ValueError):
+        raise BadRequest(f"rule score must be a number, got {payload['score']!r}")
+    return HornClause.make(
+        head,
+        body,
+        weight,
+        {str(var): str(cls) for var, cls in classes.items()},
+        score=score,
     )
 
 
@@ -145,6 +194,8 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         try:
             if url.path == "/evidence":
                 self._post_evidence()
+            elif url.path == "/rules":
+                self._post_rules()
             elif url.path == "/snapshot":
                 self._post_snapshot()
             else:
@@ -216,6 +267,40 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 "accepted": len(facts),
                 "queue_depth": depth,
                 "flushed": flush,
+                "generation": service.generation,
+            },
+        )
+
+    def _post_rules(self) -> None:
+        """Ingest deductive rules, gated by the KB's static analysis.
+
+        Responds 422 (with the findings) when the analysis gate rejects
+        the batch, 400 for rules the relational model cannot represent.
+        """
+        payload = self._read_json()
+        raw_rules = payload.get("rules")
+        if not isinstance(raw_rules, list) or not raw_rules:
+            raise BadRequest("'rules' must be a non-empty list")
+        rules = [rule_from_dict(item) for item in raw_rules]
+        service = self.server.service
+        try:
+            new_facts = service.add_rules(rules)
+        except AnalysisError as error:
+            self._respond(
+                422,
+                {
+                    "error": str(error),
+                    "findings": [f.to_dict() for f in error.report.errors],
+                },
+            )
+            return
+        except (ClauseError, KnowledgeBaseError) as error:
+            raise BadRequest(str(error)) from None
+        self._respond(
+            200,
+            {
+                "added": len(rules),
+                "new_facts": new_facts,
                 "generation": service.generation,
             },
         )

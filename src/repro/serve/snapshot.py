@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from ..core.backends import Backend
 from ..core.config import BackendConfig, MPPConfig, build_backend

@@ -1,0 +1,69 @@
+"""Shared builders for the degenerate-rule corpus.
+
+Each test seeds exactly one defect into an otherwise healthy toy KB,
+so an asserted finding code is attributable to that defect alone.
+"""
+
+import pytest
+
+from repro.core import Atom, Fact, HornClause, KnowledgeBase, Relation
+
+CLASSES = {
+    "Person": {"alice", "bob"},
+    "City": {"nyc", "miami"},
+    "Country": {"usa"},
+}
+
+RELATIONS = [
+    Relation("born_in", "Person", "City"),
+    Relation("live_in", "Person", "City"),
+    Relation("located_in", "City", "Country"),
+    Relation("capital_of", "City", "Country"),
+    Relation("same_city", "City", "City"),
+]
+
+FACTS = [
+    Fact("born_in", "alice", "Person", "nyc", "City", weight=0.9),
+    Fact("located_in", "nyc", "City", "usa", "Country", weight=0.8),
+]
+
+
+def make_kb(rules=(), constraints=(), facts=FACTS, validate=False):
+    """A KB over the toy schema; ``validate=False`` admits degenerate
+    rules so the analyzer (not the constructor) gets to report them."""
+    return KnowledgeBase(
+        classes=CLASSES,
+        relations=RELATIONS,
+        facts=facts,
+        rules=rules,
+        constraints=constraints,
+        validate=validate,
+    )
+
+
+def rule(head, body, classes, weight=1.0, score=1.0):
+    return HornClause.make(
+        Atom(head[0], tuple(head[1:])),
+        [Atom(name, tuple(args)) for name, *args in body],
+        weight,
+        classes,
+        score=score,
+    )
+
+
+def good_rule(weight=1.0):
+    """live_in(x, y) <- born_in(x, y): clean under every pass."""
+    return rule(
+        ("live_in", "x", "y"),
+        [("born_in", "x", "y")],
+        {"x": "Person", "y": "City"},
+        weight=weight,
+    )
+
+
+@pytest.fixture
+def codes_of():
+    def _codes(report):
+        return [finding.code for finding in report]
+
+    return _codes

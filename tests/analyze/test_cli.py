@@ -1,0 +1,82 @@
+"""`repro analyze` end to end over on-disk KBs."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analyze import AnalysisWarning
+from repro.cli import main
+from repro.datasets import load_kb, paper_kb, save_kb
+
+from .conftest import good_rule, make_kb, rule
+
+
+@pytest.fixture
+def clean_dir(tmp_path):
+    directory = str(tmp_path / "clean")
+    save_kb(paper_kb(with_constraints=True), directory)
+    return directory
+
+
+@pytest.fixture
+def broken_dir(tmp_path):
+    directory = str(tmp_path / "broken")
+    bad = rule(
+        ("live_in", "x", "y"),
+        [("teleports_to", "x", "y")],
+        {"x": "Person", "y": "City"},
+    )
+    save_kb(make_kb(rules=[good_rule(), bad]), directory)
+    return directory
+
+
+def test_analyze_clean_kb_exits_zero(clean_dir, capsys):
+    assert main(["analyze", "--kb", clean_dir]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors" in out
+
+
+def test_analyze_broken_kb_exits_nonzero(broken_dir, capsys):
+    assert main(["analyze", "--kb", broken_dir]) == 1
+    out = capsys.readouterr().out
+    assert "PKB001" in out
+    assert "teleports_to" in out
+
+
+def test_analyze_json_output(broken_dir, capsys):
+    assert main(["analyze", "--kb", broken_dir, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] >= 1
+    assert any(f["code"] == "PKB001" for f in payload["findings"])
+
+
+def test_load_kb_warns_on_broken_directory(broken_dir):
+    with pytest.warns(AnalysisWarning, match="PKB001"):
+        load_kb(broken_dir)
+
+
+def test_load_kb_strict_vs_off(broken_dir):
+    from repro.analyze import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        load_kb(broken_dir, analysis="strict")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", AnalysisWarning)
+        kb = load_kb(broken_dir, analysis="off")
+    assert len(kb.rules) == 2
+
+
+def test_ground_strict_refuses_broken_kb(broken_dir, tmp_path, capsys):
+    code = main(
+        [
+            "ground",
+            "--kb",
+            broken_dir,
+            "--analysis",
+            "strict",
+            "--out",
+            str(tmp_path / "never"),
+        ]
+    )
+    assert code != 0

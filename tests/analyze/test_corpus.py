@@ -1,0 +1,280 @@
+"""The degenerate-rule corpus: every finding code fires on its seed.
+
+One test per PKB code; each seeds exactly one defect into the toy KB
+from ``conftest`` and asserts the analyzer reports that code (and only
+defect-free programs report nothing).
+"""
+
+import pytest
+
+from repro.analyze import CODES, AnalysisReport, Finding, analyze
+from repro.core import Atom, FunctionalConstraint, HornClause
+
+from .conftest import good_rule, make_kb, rule
+
+
+def codes(report):
+    return [finding.code for finding in report]
+
+
+def test_clean_kb_reports_nothing():
+    report = analyze(make_kb(rules=[good_rule()]), include_infos=False)
+    assert codes(report) == []
+    assert not report.has_errors
+
+
+def test_pkb001_unknown_relation():
+    bad = rule(
+        ("live_in", "x", "y"),
+        [("teleports_to", "x", "y")],
+        {"x": "Person", "y": "City"},
+    )
+    report = analyze(make_kb(rules=[bad]))
+    assert "PKB001" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB001"]
+    assert finding.severity == "error"
+    assert finding.rule_index == 0
+    assert finding.details["relation"] == "teleports_to"
+
+
+def test_pkb002_arity_mismatch_suppresses_cascades():
+    unary = HornClause.make(
+        Atom("live_in", ("x", "y")),
+        [Atom("born_in", ("x",))],
+        1.0,
+        {"x": "Person", "y": "City"},
+    )
+    report = analyze(make_kb(rules=[unary]), include_infos=False)
+    assert codes(report) == ["PKB002"]
+    (finding,) = report.findings
+    assert finding.details["arity"] == 1
+
+
+def test_pkb003_unbound_head_variable():
+    unsafe = rule(
+        ("live_in", "x", "y"),
+        [("born_in", "x", "z")],
+        {"x": "Person", "y": "City", "z": "City"},
+    )
+    report = analyze(make_kb(rules=[unsafe]))
+    found = codes(report)
+    assert "PKB003" in found
+    assert "PKB005" not in found  # unbound head has its own code
+    (finding,) = [f for f in report if f.code == "PKB003"]
+    assert finding.details["variable"] == "y"
+
+
+def test_pkb004_untyped_variable():
+    untyped = rule(
+        ("live_in", "x", "y"),
+        [("born_in", "x", "y")],
+        {"x": "Person"},  # y missing
+    )
+    report = analyze(make_kb(rules=[untyped]))
+    found = codes(report)
+    assert "PKB004" in found
+    assert "PKB005" not in found  # untyped has its own code
+
+
+def test_pkb005_shape_outside_partitions():
+    three_body = rule(
+        ("live_in", "x", "y"),
+        [("born_in", "x", "y"), ("born_in", "x", "y"), ("live_in", "x", "y")],
+        {"x": "Person", "y": "City"},
+    )
+    report = analyze(make_kb(rules=[three_body]))
+    assert "PKB005" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB005"]
+    assert "M1" in finding.message  # lists the supported shapes
+
+
+def test_pkb006_body_atom_untypable_is_error():
+    ill_typed = rule(
+        ("located_in", "x", "y"),
+        [("born_in", "x", "y")],  # born_in is (Person, City), not (City, Country)
+        {"x": "City", "y": "Country"},
+    )
+    report = analyze(make_kb(rules=[ill_typed]))
+    findings = [f for f in report if f.code == "PKB006"]
+    assert findings
+    assert any(f.severity == "error" for f in findings)
+
+
+def test_pkb006_head_mismatch_is_only_warning():
+    novel_head = rule(
+        ("born_in", "x", "y"),  # head typed (City, Country): no such signature
+        [("located_in", "x", "y")],
+        {"x": "City", "y": "Country"},
+    )
+    report = analyze(make_kb(rules=[novel_head]))
+    findings = [f for f in report if f.code == "PKB006"]
+    assert findings
+    assert all(f.severity == "warning" for f in findings)
+    assert not report.has_errors
+
+
+def test_pkb007_unknown_class():
+    ghost = rule(
+        ("live_in", "x", "y"),
+        [("born_in", "x", "y")],
+        {"x": "Ghost", "y": "City"},
+    )
+    report = analyze(make_kb(rules=[ghost]))
+    assert "PKB007" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB007"]
+    assert finding.details["class"] == "Ghost"
+
+
+def test_pkb008_duplicate_rules_even_with_different_weights():
+    report = analyze(make_kb(rules=[good_rule(weight=1.0), good_rule(weight=2.0)]))
+    duplicates = [f for f in report if f.code == "PKB008"]
+    assert len(duplicates) == 1
+    assert duplicates[0].rule_index == 1
+    assert duplicates[0].details["duplicate_of"] == 0
+    assert duplicates[0].severity == "warning"
+
+
+def test_pkb009_dead_rule_without_facts_or_producers():
+    dead = rule(
+        ("located_in", "x", "y"),
+        [("capital_of", "x", "y")],  # no capital_of facts, nothing derives them
+        {"x": "City", "y": "Country"},
+    )
+    report = analyze(make_kb(rules=[dead]))
+    assert "PKB009" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB009"]
+    assert finding.details["starved_relations"] == ["capital_of"]
+
+
+def test_pkb009_not_fired_when_another_rule_produces_the_body():
+    producer = rule(
+        ("capital_of", "x", "y"),
+        [("located_in", "x", "y")],
+        {"x": "City", "y": "Country"},
+    )
+    consumer = rule(
+        ("located_in", "x", "y"),
+        [("capital_of", "x", "y")],
+        {"x": "City", "y": "Country"},
+    )
+    report = analyze(make_kb(rules=[producer, consumer]), include_infos=False)
+    assert "PKB009" not in codes(report)
+
+
+def test_pkb010_constraint_over_unknown_relation():
+    report = analyze(make_kb(constraints=[FunctionalConstraint("flies_to")]))
+    assert "PKB010" in codes(report)
+
+
+def test_pkb011_constraint_with_unknown_class():
+    constraint = FunctionalConstraint("born_in", domain="Ghost")
+    report = analyze(make_kb(constraints=[constraint]))
+    assert "PKB011" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB011"]
+    assert finding.details["class"] == "Ghost"
+
+
+def test_pkb012_rule_guaranteed_to_violate_functional_constraint():
+    # born_in(x, y) <- born_in(x, z), same_city(z, y): the body already
+    # fixes a born_in object for x of the *same class* as y, so every
+    # new derivation lands in Query 3's violating group.
+    self_violating = rule(
+        ("born_in", "x", "y"),
+        [("born_in", "x", "z"), ("same_city", "z", "y")],
+        {"x": "Person", "y": "City", "z": "City"},
+    )
+    constraint = FunctionalConstraint("born_in", arg=1, degree=1)
+    report = analyze(make_kb(rules=[self_violating], constraints=[constraint]))
+    assert "PKB012" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB012"]
+    assert finding.severity == "error"
+    assert finding.constraint is not None
+
+
+def test_pkb012_needs_matching_determined_class():
+    # Same shape, but z is typed over a different class than y: Query 3
+    # groups by (R, x, C1, C2), so the derived facts land in a distinct
+    # group and never collide with the body's born_in facts.
+    benign = rule(
+        ("born_in", "x", "y"),
+        [("born_in", "x", "z"), ("located_in", "z", "y")],
+        {"x": "Person", "y": "Country", "z": "City"},
+    )
+    constraint = FunctionalConstraint("born_in", arg=1, degree=1)
+    report = analyze(make_kb(rules=[benign], constraints=[constraint]))
+    assert "PKB012" not in codes(report)
+
+
+def test_pkb012_pseudo_functional_degree_is_tolerated():
+    self_violating = rule(
+        ("born_in", "x", "y"),
+        [("born_in", "x", "z"), ("same_city", "z", "y")],
+        {"x": "Person", "y": "City", "z": "City"},
+    )
+    relaxed = FunctionalConstraint("born_in", arg=1, degree=2)
+    report = analyze(make_kb(rules=[self_violating], constraints=[relaxed]))
+    assert "PKB012" not in codes(report)
+
+
+def test_pkb013_recursive_cycle_reported_as_info():
+    forward = rule(
+        ("capital_of", "x", "y"),
+        [("located_in", "x", "y")],
+        {"x": "City", "y": "Country"},
+    )
+    backward = rule(
+        ("located_in", "x", "y"),
+        [("capital_of", "x", "y")],
+        {"x": "City", "y": "Country"},
+    )
+    report = analyze(make_kb(rules=[forward, backward]), include_infos=True)
+    cycles = [f for f in report if f.code == "PKB013"]
+    assert cycles
+    assert all(f.severity == "info" for f in cycles)
+
+
+def test_pkb014_bounds_info_present_only_with_infos():
+    kb = make_kb(rules=[good_rule()])
+    with_infos = analyze(kb, include_infos=True)
+    without = analyze(kb, include_infos=False)
+    assert "PKB014" in codes(with_infos)
+    assert "PKB014" not in codes(without)
+
+
+def test_pkb015_bad_weight():
+    report = analyze(make_kb(rules=[good_rule(weight=-1.5)]))
+    assert "PKB015" in codes(report)
+    (finding,) = [f for f in report if f.code == "PKB015"]
+    assert finding.severity == "warning"
+    assert finding.details["weight"] == -1.5
+
+
+def test_every_code_is_registered_and_renderable():
+    assert set(CODES) == {f"PKB{i:03d}" for i in range(1, 16)}
+    for code, (severity, title) in CODES.items():
+        finding = Finding(code=code, message="x")
+        assert finding.severity == severity
+        assert finding.title == title
+        assert code in finding.render()
+
+
+def test_unknown_code_and_severity_rejected():
+    with pytest.raises(ValueError):
+        Finding(code="PKB999", message="x")
+    with pytest.raises(ValueError):
+        Finding(code="PKB001", message="x", severity="fatal")
+
+
+def test_report_round_trips_to_json():
+    import json
+
+    bad = rule(
+        ("live_in", "x", "y"),
+        [("teleports_to", "x", "y")],
+        {"x": "Person", "y": "City"},
+    )
+    report = analyze(make_kb(rules=[bad]))
+    payload = json.loads(report.to_json())
+    assert payload["errors"] >= 1
+    assert any(f["code"] == "PKB001" for f in payload["findings"])
+    assert isinstance(report, AnalysisReport)

@@ -1,0 +1,99 @@
+"""The pre-flight gate: off / warn / strict semantics end to end."""
+
+import warnings
+
+import pytest
+
+from repro import ProbKB
+from repro.analyze import AnalysisError, AnalysisWarning
+from repro.core import GroundingConfig
+from repro.datasets import paper_kb
+
+from .conftest import good_rule, make_kb, rule
+
+
+def degenerate_kb():
+    bad = rule(
+        ("live_in", "x", "y"),
+        [("teleports_to", "x", "y")],
+        {"x": "Person", "y": "City"},
+    )
+    return make_kb(rules=[good_rule(), bad])
+
+
+def expanded_fact_keys(system):
+    return sorted(fact.key for fact in system.all_facts())
+
+
+def test_strict_refuses_degenerate_kb():
+    with pytest.raises(AnalysisError) as excinfo:
+        ProbKB(
+            degenerate_kb(),
+            backend="single",
+            grounding=GroundingConfig(analysis="strict"),
+        )
+    report = excinfo.value.report
+    assert report.has_errors
+    assert "PKB001" in report.codes
+
+
+def test_strict_accepts_clean_kb():
+    system = ProbKB(
+        paper_kb(),
+        backend="single",
+        grounding=GroundingConfig(analysis="strict"),
+    )
+    assert system.analysis_report is not None
+    assert not system.analysis_report.has_errors
+
+
+def test_warn_emits_analysis_warning_and_still_grounds():
+    with pytest.warns(AnalysisWarning, match="PKB001"):
+        system = ProbKB(
+            degenerate_kb(),
+            backend="single",
+            grounding=GroundingConfig(analysis="warn"),
+        )
+    outcome = system.ground()
+    assert outcome.converged
+
+
+def test_warn_is_silent_on_clean_kb():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", AnalysisWarning)
+        ProbKB(
+            paper_kb(),
+            backend="single",
+            grounding=GroundingConfig(analysis="warn"),
+        )
+
+
+def test_off_skips_analysis_entirely():
+    system = ProbKB(
+        degenerate_kb(),
+        backend="single",
+        grounding=GroundingConfig(analysis="off"),
+    )
+    assert system.analysis_report is None
+
+
+@pytest.mark.parametrize("kb_factory", [paper_kb, degenerate_kb])
+def test_warn_grounding_is_bit_identical_to_off(kb_factory):
+    """Analysis is pure, so gating must never change what is derived."""
+    results = {}
+    for mode in ("off", "warn"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", AnalysisWarning)
+            system = ProbKB(
+                kb_factory(),
+                backend="single",
+                grounding=GroundingConfig(analysis=mode),
+            )
+            system.ground()
+        results[mode] = expanded_fact_keys(system)
+    assert results["warn"] == results["off"]
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="analysis"):
+        GroundingConfig(analysis="loud")

@@ -1,0 +1,86 @@
+"""Property tests: ``analyze`` is pure and deterministic.
+
+Purity is what makes the ``"warn"`` gate safe — if analysis mutated the
+KB, warn-mode grounding could diverge from off-mode grounding.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import SEVERITIES, analyze
+from repro.core import FunctionalConstraint
+
+from .conftest import CLASSES, RELATIONS, make_kb, rule
+
+RELATION_NAMES = [relation.name for relation in RELATIONS] + ["no_such_relation"]
+CLASS_NAMES = list(CLASSES) + ["NoSuchClass"]
+VARS = ["x", "y", "z"]
+
+atom_strategy = st.tuples(
+    st.sampled_from(RELATION_NAMES),
+    st.sampled_from(VARS),
+    st.sampled_from(VARS),
+)
+
+rule_strategy = st.builds(
+    lambda head, body, classes, weight: rule(
+        head,
+        body,
+        {var: cls for var, cls in zip(VARS, classes)},
+        weight=weight,
+    ),
+    head=atom_strategy,
+    body=st.lists(atom_strategy, min_size=1, max_size=3),
+    classes=st.lists(st.sampled_from(CLASS_NAMES), min_size=3, max_size=3),
+    weight=st.sampled_from([-1.0, 0.5, 1.0, 2.5]),
+)
+
+constraint_strategy = st.builds(
+    FunctionalConstraint,
+    relation=st.sampled_from(RELATION_NAMES),
+    arg=st.sampled_from([1, 2]),
+    degree=st.integers(min_value=1, max_value=2),
+)
+
+
+def kb_snapshot(kb):
+    return (
+        copy.deepcopy(kb.classes),
+        dict(kb.relations),
+        {name: list(sigs) for name, sigs in kb.relation_signatures.items()},
+        list(kb.facts),
+        list(kb.rules),
+        list(kb.constraints),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rules=st.lists(rule_strategy, max_size=5),
+    constraints=st.lists(constraint_strategy, max_size=2),
+)
+def test_analyze_never_mutates_the_kb(rules, constraints):
+    kb = make_kb(rules=rules, constraints=constraints)
+    before = kb_snapshot(kb)
+    analyze(kb, include_infos=True)
+    assert kb_snapshot(kb) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rules=st.lists(rule_strategy, max_size=5),
+    constraints=st.lists(constraint_strategy, max_size=2),
+)
+def test_analyze_is_deterministic_and_well_formed(rules, constraints):
+    kb = make_kb(rules=rules, constraints=constraints)
+    first = analyze(kb, include_infos=True)
+    second = analyze(kb, include_infos=True)
+    assert first.findings == second.findings
+    assert first.stats == second.stats
+    for finding in first:
+        assert finding.severity in SEVERITIES
+        if finding.rule_index is not None:
+            assert 0 <= finding.rule_index < len(kb.rules)
+        assert finding.render()

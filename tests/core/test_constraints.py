@@ -1,6 +1,5 @@
 """Semantic/functional constraint application (Query 3, Section 5)."""
 
-import pytest
 
 from repro import (
     Fact,

@@ -1,7 +1,6 @@
 """Grounding mechanics: iteration stats, convergence, constraint
 interleaving, and the graveyard semantics."""
 
-import pytest
 
 from repro import (
     Fact,

@@ -1,6 +1,5 @@
 """Class hierarchy (Remark 1): the paper's Kale example."""
 
-import pytest
 
 from repro import Atom, Fact, HornClause, KnowledgeBase, ProbKB, Relation
 from repro.core.hierarchy import broaden_facts, generalizations, subclass_map

@@ -1,6 +1,5 @@
 """Incremental knowledge expansion: add_evidence + delta re-grounding."""
 
-import pytest
 
 from repro import Fact, ProbKB
 

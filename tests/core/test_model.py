@@ -12,7 +12,6 @@ from repro.core import (
     KnowledgeBase,
     KnowledgeBaseError,
     Relation,
-    TYPE_I,
     TYPE_II,
 )
 

@@ -74,7 +74,7 @@ def test_tuffy_t_factors_match():
     tuffy = TuffyT(paper_kb())
     tuffy.run()
     by_id = {}
-    for fact_obj in tuffy.all_facts():
+    for _fact_obj in tuffy.all_facts():
         pass  # ids not exposed; compare counts instead
     assert tuffy.db.table("TF").rows
     assert len(tuffy.db.table("TF")) == len(EXPECTED_FACTORS)

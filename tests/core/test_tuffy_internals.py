@@ -37,7 +37,7 @@ def test_rule_atoms_plan_shape(tuffy):
     spec = next(s for s in tuffy.rules if s.partition == 3)
     plan = tuffy.rule_atoms_plan(spec)
     assert plan.output_columns == ["x", "y"]
-    from repro.relational.plan import HashJoin, scans_of
+    from repro.relational.plan import scans_of
 
     assert len(scans_of(plan)) == 2  # body tables only
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets import World, WorldConfig, WorldRule, apply_rules
-from repro.datasets.world import PLAUSIBLE, SOUND
+from repro.datasets.world import SOUND
 
 
 @pytest.fixture(scope="module")

@@ -4,13 +4,7 @@ import random
 
 import pytest
 
-from repro.infer import (
-    FactorGraph,
-    MAPResult,
-    annealed_map,
-    exact_map,
-    icm_map,
-)
+from repro.infer import FactorGraph, annealed_map, exact_map, icm_map
 
 
 def random_graph(seed, n_vars=8, n_factors=12):

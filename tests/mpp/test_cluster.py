@@ -3,12 +3,7 @@ motion planning, matviews, and simulated-time accounting."""
 
 import pytest
 
-from repro.mpp import (
-    HashDistribution,
-    MPPDatabase,
-    RandomDistribution,
-    ReplicatedDistribution,
-)
+from repro.mpp import HashDistribution, MPPDatabase, ReplicatedDistribution
 from repro.relational import (
     Aggregate,
     Database,
@@ -192,7 +187,7 @@ def test_redistributed_matview():
     view = cluster.table("person_by_city")
     assert len(view) == len(PEOPLE)
     # all rows with the same city on the same segment
-    for part in view.parts:
+    for _part in view.parts:
         pass
     plan = HashJoin(
         Scan("person_by_city", "p"), Scan("city", "c"), ["p.city"], ["c.id"]

@@ -12,7 +12,6 @@ wrong answer.
 """
 
 import time
-import warnings
 
 import pytest
 

@@ -14,15 +14,7 @@ from repro.core import (
 )
 from repro.infer import FactorGraph, exact_marginals, gibbs_marginals
 from repro.mpp import HashDistribution, MPPDatabase, partition_rows, stable_hash
-from repro.relational import (
-    Database,
-    Distinct,
-    HashJoin,
-    Project,
-    Scan,
-    col,
-    schema,
-)
+from repro.relational import Database, Distinct, HashJoin, Scan, schema
 
 # -- strategies ---------------------------------------------------------------
 

@@ -14,7 +14,6 @@ from repro.relational import (
     UnionAll,
     col,
     const,
-    eq,
     eq_const,
     schema,
     to_sql,

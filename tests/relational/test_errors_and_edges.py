@@ -6,7 +6,6 @@ from repro.relational import (
     Aggregate,
     Database,
     ExecutionError,
-    Filter,
     HashJoin,
     Limit,
     PlanError,
@@ -15,8 +14,6 @@ from repro.relational import (
     SchemaError,
     UnionAll,
     Values,
-    col,
-    eq_const,
     schema,
 )
 from repro.relational.plan import Sort

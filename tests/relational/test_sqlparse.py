@@ -189,7 +189,7 @@ class TestRoundTrip:
             Project,
             eq_const,
         )
-        from repro.relational.expr import Compare, IsNull, const
+        from repro.relational.expr import Compare, const
 
         join = HashJoin(Scan("person", "p"), Scan("city", "c"), ["p.city"], ["c.id"])
         yield Filter(Scan("person"), eq_const("person.city", 10))
