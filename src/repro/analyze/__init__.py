@@ -39,6 +39,16 @@ from .findings import (
     SEVERITIES,
     WARNING,
 )
+from .plans import (
+    FACTS_TABLES,
+    PlanEnvironment,
+    QueryPlanEstimate,
+    StaticPlanReport,
+    check_plans,
+    estimate_plans,
+    kb_statistics,
+    partition_plans,
+)
 from .rules import check_dead_rules, check_duplicates, live_relations
 from .safety import check_rule_shape, check_safety
 from .typecheck import SchemaIndex, check_types
@@ -49,22 +59,30 @@ __all__ = [
     "AnalysisWarning",
     "CODES",
     "ERROR",
+    "FACTS_TABLES",
     "Finding",
     "INFO",
+    "PlanEnvironment",
+    "QueryPlanEstimate",
     "SEVERITIES",
     "SchemaIndex",
+    "StaticPlanReport",
     "WARNING",
     "analyze",
     "check_constraints",
     "check_dead_rules",
     "check_dependencies",
     "check_duplicates",
+    "check_plans",
     "check_rule_shape",
     "check_safety",
     "check_types",
     "dependency_edges",
+    "estimate_plans",
     "fixpoint_depth_bound",
     "grounding_size_bound",
+    "kb_statistics",
     "live_relations",
+    "partition_plans",
     "strongly_connected_components",
 ]

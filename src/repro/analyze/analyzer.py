@@ -7,23 +7,30 @@ guaranteed to leave grounding output bit-identical to ``"off"``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..core.model import KnowledgeBase
 from .constraints import check_constraints
 from .depgraph import check_dependencies
 from .findings import AnalysisReport, Finding
+from .plans import PlanEnvironment, check_plans
 from .rules import check_dead_rules, check_duplicates
 from .safety import check_safety
 from .typecheck import SchemaIndex, check_types
 
 
-def analyze(kb: KnowledgeBase, include_infos: bool = True) -> AnalysisReport:
+def analyze(
+    kb: KnowledgeBase,
+    include_infos: bool = True,
+    environment: Optional[PlanEnvironment] = None,
+) -> AnalysisReport:
     """Statically analyze a KB program before grounding.
 
     Passes: safety/shape (PKB001-005, 007, 015), type-checking
     (PKB006), duplicates (PKB008), dead rules (PKB009), constraint
-    consistency (PKB010-012), dependency analysis (PKB013-014).
+    consistency (PKB010-012), dependency analysis (PKB013-014), and
+    static plan analysis (PKB101-105) for ``environment`` (defaulting
+    to the paper's 8-segment MPP cluster with matviews).
     """
     index = SchemaIndex(kb)
     findings: List[Finding] = []
@@ -32,6 +39,7 @@ def analyze(kb: KnowledgeBase, include_infos: bool = True) -> AnalysisReport:
     findings.extend(check_duplicates(kb))
     findings.extend(check_dead_rules(kb))
     findings.extend(check_constraints(kb, index))
+    findings.extend(check_plans(kb, environment, include_infos=include_infos))
     if include_infos:
         findings.extend(check_dependencies(kb, index))
     findings.sort(

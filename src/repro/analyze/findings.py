@@ -40,6 +40,13 @@ CODES: Dict[str, Tuple[str, str]] = {
     "PKB013": (INFO, "recursive rule dependency cycle"),
     "PKB014": (INFO, "static fixpoint-depth and grounding-size bounds"),
     "PKB015": (WARNING, "non-finite or non-positive rule weight"),
+    # PKB1xx: static plan analysis (repro.analyze.plans)
+    "PKB101": (WARNING, "predicted broadcast of a large relation"),
+    "PKB102": (WARNING, "non-collocated batch join redistributes the facts "
+                        "table"),
+    "PKB103": (ERROR, "predicted cardinality explosion in a grounding join"),
+    "PKB104": (WARNING, "redistribution on a heavily skewed join key"),
+    "PKB105": (INFO, "static plan cost summary"),
 }
 
 

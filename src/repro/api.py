@@ -27,7 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from .analyze import AnalysisReport, analyze as analyze_kb
+from .analyze import (
+    AnalysisReport,
+    PlanEnvironment,
+    StaticPlanReport,
+    analyze as analyze_kb,
+)
 from .core.backends import Backend
 from .core.clauses import HornClause
 from .core.config import (
@@ -169,7 +174,15 @@ class ExpansionSession:
         """Run the static analyzer over the session's KB (pure; see
         :mod:`repro.analyze`).  Independent of the pre-flight gate — it
         always runs, whatever ``GroundingConfig.analysis`` says."""
-        return analyze_kb(self.kb)
+        return analyze_kb(
+            self.kb, environment=PlanEnvironment.from_backend(self.backend)
+        )
+
+    def explain(self) -> StaticPlanReport:
+        """Static EXPLAIN of every grounding query (Figure 4, estimated):
+        plan trees with predicted rows, motions, and modelled seconds for
+        this session's backend, computed purely from statistics."""
+        return self.probkb.explain()
 
     def infer(self, config: Optional[InferenceConfig] = None) -> InferenceResult:
         """Marginal inference with the session's (or the given) config."""

@@ -4,7 +4,8 @@ Subcommands::
 
     python -m repro.cli generate --out kb/ --people 300 --seed 7
     python -m repro.cli stats    --kb kb/
-    python -m repro.cli analyze  --kb kb/ --json
+    python -m repro.cli analyze  --kb kb/ --json --fail-on warn
+    python -m repro.cli explain  --kb kb/ --backend mpp --nseg 8
     python -m repro.cli sql      --kb kb/
     python -m repro.cli ground   --kb kb/ --backend mpp --nseg 8 --out expanded/
     python -m repro.cli infer    --kb kb/ --method gibbs --top 20
@@ -72,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress informational findings (bounds, cycles)",
     )
+    analyze_cmd.add_argument(
+        "--fail-on",
+        choices=("error", "warn"),
+        default="error",
+        help="exit nonzero on error findings (default) or on warnings too",
+    )
+    _add_environment_arguments(analyze_cmd)
+
+    explain_cmd = commands.add_parser(
+        "explain",
+        help="static EXPLAIN of the grounding queries (estimates only, "
+        "nothing executes)",
+    )
+    explain_cmd.add_argument("--kb", required=True, help="KB directory (TSV)")
+    explain_cmd.add_argument(
+        "--json", action="store_true", help="emit the full plan report as JSON"
+    )
+    _add_environment_arguments(explain_cmd)
 
     sql_cmd = commands.add_parser(
         "sql", help="print the grounding SQL generated for a KB"
@@ -179,6 +198,35 @@ def _add_pipeline_arguments(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_environment_arguments(cmd: argparse.ArgumentParser) -> None:
+    """The deployment the static plans are computed *for*."""
+    cmd.add_argument(
+        "--backend",
+        choices=("single", "mpp"),
+        default="mpp",
+        help="environment to plan for (default: the paper's MPP cluster)",
+    )
+    cmd.add_argument("--nseg", type=int, default=8)
+    cmd.add_argument(
+        "--policy",
+        choices=("matviews", "naive"),
+        default="matviews",
+        help="TΠ-view policy of the planned-for MPP backend",
+    )
+
+
+def _plan_environment(args):
+    from .analyze import PlanEnvironment
+
+    if args.backend == "single":
+        return PlanEnvironment(kind="single", num_segments=1, use_matviews=False)
+    return PlanEnvironment(
+        kind="mpp",
+        num_segments=args.nseg,
+        use_matviews=args.policy == "matviews",
+    )
+
+
 def _backend_config(args) -> BackendConfig:
     return BackendConfig(
         kind=args.backend,
@@ -226,17 +274,57 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _load_for_analysis(kb_dir: str):
+    """Load a KB for analyze/explain; None (exit code 2) when unreadable."""
+    from .core.model import KnowledgeBaseError
+
+    try:
+        return load_kb(kb_dir, analysis="off")
+    except (OSError, KnowledgeBaseError, ValueError) as error:
+        print(f"error: cannot load KB from {kb_dir!r}: {error}", file=sys.stderr)
+        return None
+
+
 def cmd_analyze(args) -> int:
-    """Run the static analyzer; exit 1 when error findings exist."""
+    """Run the static analyzer.
+
+    Exit codes: 0 = clean at the chosen gate, 1 = findings at/above the
+    ``--fail-on`` severity, 2 = the KB could not be loaded/analyzed
+    (see ``docs/analyze.md``).
+    """
     from .analyze import analyze
 
-    kb = load_kb(args.kb, analysis="off")
-    report = analyze(kb, include_infos=not args.no_infos)
+    kb = _load_for_analysis(args.kb)
+    if kb is None:
+        return 2
+    report = analyze(
+        kb,
+        include_infos=not args.no_infos,
+        environment=_plan_environment(args),
+    )
     if args.json:
         print(report.to_json(indent=2))
     else:
         print(report.render(include_infos=not args.no_infos))
-    return 1 if report.has_errors else 0
+    failed = report.has_errors or (
+        args.fail_on == "warn" and bool(report.warnings)
+    )
+    return 1 if failed else 0
+
+
+def cmd_explain(args) -> int:
+    """Static EXPLAIN: estimated plan trees for every grounding query."""
+    from .analyze import estimate_plans
+
+    kb = _load_for_analysis(args.kb)
+    if kb is None:
+        return 2
+    report = estimate_plans(kb, _plan_environment(args))
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0
 
 
 def cmd_sql(args) -> int:
@@ -407,6 +495,7 @@ _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
     "analyze": cmd_analyze,
+    "explain": cmd_explain,
     "sql": cmd_sql,
     "ground": cmd_ground,
     "infer": cmd_infer,

@@ -182,6 +182,7 @@ class MPPBackend(Backend):
         name: str = "probkb-p",
         num_workers: int = 0,
         worker_timeout: float = 60.0,
+        plan: str = "adaptive",
     ) -> None:
         self.name = name
         self.nseg = nseg
@@ -192,6 +193,7 @@ class MPPBackend(Backend):
             name=name,
             num_workers=num_workers,
             worker_timeout=worker_timeout,
+            plan_mode=plan,
         )
         self._views_created = False
 

@@ -51,7 +51,7 @@ from .sqlgen import (
 )
 
 if TYPE_CHECKING:
-    from ..analyze import AnalysisReport
+    from ..analyze import AnalysisReport, StaticPlanReport
 
 #: Distinguishes "caller did not pass this" from any real value, so the
 #: deprecation shims only fire on explicit use of a legacy keyword.
@@ -183,9 +183,16 @@ class ProbKB:
         mode = self.grounding_config.analysis
         if mode == "off":
             return None
-        from ..analyze import AnalysisError, AnalysisWarning, analyze
+        from ..analyze import (
+            AnalysisError,
+            AnalysisWarning,
+            PlanEnvironment,
+            analyze,
+        )
 
-        report = analyze(self.kb)
+        report = analyze(
+            self.kb, environment=PlanEnvironment.from_backend(self.backend)
+        )
         if report.has_errors and mode == "strict":
             raise AnalysisError(report)
         problems = report.errors + report.warnings
@@ -339,6 +346,17 @@ class ProbKB:
         outcome.load_seconds = self.load_seconds
         self.generation += 1
         return outcome
+
+    def explain(self) -> "StaticPlanReport":
+        """Static EXPLAIN of every grounding query for this backend's
+        environment — Figure 4's plan trees with estimated rows and
+        modelled seconds, without executing anything (see
+        :mod:`repro.analyze.plans` and the ``repro explain`` CLI)."""
+        from ..analyze import PlanEnvironment, estimate_plans
+
+        return estimate_plans(
+            self.kb, PlanEnvironment.from_backend(self.backend)
+        )
 
     def factor_rows(self) -> List[Row]:
         return self.backend.query(Scan("TF")).rows

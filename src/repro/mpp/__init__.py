@@ -1,6 +1,6 @@
 """Shared-nothing MPP database simulator (the Greenplum stand-in)."""
 
-from .cluster import MPPDatabase, MPPTable, Shards
+from .cluster import PLAN_MODES, MPPDatabase, MPPTable, Shards
 from .distribution import (
     DistributionPolicy,
     HashDistribution,
@@ -10,22 +10,37 @@ from .distribution import (
     stable_hash,
 )
 from .plannodes import DistDesc, PhysicalNode
+from .static_planner import (
+    JoinEstimate,
+    MotionEstimate,
+    StaticPlan,
+    StaticPlanner,
+    choose_fallback_motion,
+    collect_mpp_statistics,
+)
 from .workers import PooledOps, RemoteShards, WorkerCrashError, WorkerPool
 
 __all__ = [
     "DistDesc",
     "DistributionPolicy",
     "HashDistribution",
+    "JoinEstimate",
     "MPPDatabase",
     "MPPTable",
+    "MotionEstimate",
+    "PLAN_MODES",
     "PhysicalNode",
     "PooledOps",
     "RandomDistribution",
     "RemoteShards",
     "ReplicatedDistribution",
     "Shards",
+    "StaticPlan",
+    "StaticPlanner",
     "WorkerCrashError",
     "WorkerPool",
+    "choose_fallback_motion",
+    "collect_mpp_statistics",
     "partition_rows",
     "stable_hash",
 ]

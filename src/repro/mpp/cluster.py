@@ -41,11 +41,11 @@ on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from ..relational.cost import CostClock
 from ..relational.executor import Result
-from ..relational.expr import resolve_column
+from ..relational.expr import Expr, resolve_column
 from ..relational.plan import (
     Aggregate,
     AntiJoin,
@@ -59,6 +59,7 @@ from ..relational.plan import (
     Sort,
     UnionAll,
     Values,
+    scans_of,
     walk,
 )
 from ..relational.schema import TableSchema
@@ -73,6 +74,26 @@ from .distribution import (
     partition_rows,
 )
 from .plannodes import DistDesc, PhysicalNode
+from .static_planner import (
+    FALLBACK_BROADCAST_LEFT,
+    FALLBACK_BROADCAST_RIGHT,
+    StaticPlan,
+    StaticPlanner,
+    choose_fallback_motion,
+    collect_mpp_statistics,
+    join_detail,
+    project_dist,
+    qualified_set,
+    subset_perm,
+)
+
+_T = TypeVar("_T")
+
+#: Supported planner modes: "adaptive" decides motions from actual
+#: intermediate sizes; "static" decides them from catalog statistics
+#: before execution (rows are identical either way — only the cost-based
+#: broadcast-vs-redistribute fallback is data-dependent).
+PLAN_MODES = ("adaptive", "static")
 
 
 class MPPTable:
@@ -123,7 +144,9 @@ class Shards:
 
     __slots__ = ("columns", "parts", "dist")
 
-    def __init__(self, columns: List[str], parts: List[List[Row]], dist: DistDesc):
+    def __init__(
+        self, columns: List[str], parts: List[List[Row]], dist: DistDesc
+    ) -> None:
         self.columns = columns
         self.parts = parts
         self.dist = dist
@@ -158,10 +181,20 @@ class MPPDatabase:
         name: str = "mpp",
         num_workers: int = 0,
         worker_timeout: float = 60.0,
+        plan_mode: str = "adaptive",
     ) -> None:
         ensure(nseg >= 1, ExecutionError, "need at least one segment")
+        ensure(
+            plan_mode in PLAN_MODES,
+            ExecutionError,
+            f"plan_mode must be one of {PLAN_MODES}, got {plan_mode!r}",
+        )
         self.name = name
         self.nseg = nseg
+        self.plan_mode = plan_mode
+        #: the static planner's verdict on the most recent statement
+        #: (``plan_mode="static"`` only)
+        self.last_static_plan: Optional[StaticPlan] = None
         self.tables: Dict[str, MPPTable] = {}
         self.segment_clocks = [CostClock() for _ in range(nseg)]
         self.master_clock = CostClock()
@@ -197,6 +230,7 @@ class MPPDatabase:
             "segments": self.nseg,
             "workers": self.pool.num_workers if self.pool is not None else 0,
             "degraded": self.degraded,
+            "plan": self.plan_mode,
         }
 
     def close(self) -> None:
@@ -208,7 +242,7 @@ class MPPDatabase:
     def __enter__(self) -> "MPPDatabase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
     def _degrade(self, error: BaseException) -> None:
@@ -236,20 +270,35 @@ class MPPDatabase:
         retries on the serial executor over the master's authoritative
         shards (at worst the cost clocks double-count the aborted
         attempt's operators)."""
+        static_choices = self._plan_statically(plan)
         if self.pool is not None:
             from .workers import PooledOps, WorkerCrashError
 
             ops = PooledOps(self)
             try:
-                executor = _MPPExecutor(self, ops=ops)
+                executor = _MPPExecutor(
+                    self, ops=ops, static_choices=static_choices
+                )
                 shards, node = executor.exec_plan(plan)
                 return ops.localize(shards), node
             except WorkerCrashError as error:
                 self._degrade(error)
             finally:
                 self._reset_pool()
-        executor = _MPPExecutor(self)
+        executor = _MPPExecutor(self, static_choices=static_choices)
         return executor.exec_plan(plan)
+
+    def _plan_statically(self, plan: PlanNode) -> Optional[Dict[int, str]]:
+        """In static mode, pre-decide the cost-based join motions from
+        catalog statistics over the plan's stored tables (ANALYZE +
+        planning, before any row is read)."""
+        if self.plan_mode != "static":
+            return None
+        table_names = {scan.table_name for scan in scans_of(plan)}
+        catalog = collect_mpp_statistics(self, table_names)
+        static_plan = StaticPlanner(catalog, self.nseg).plan(plan)
+        self.last_static_plan = static_plan
+        return static_plan.fallback_choices
 
     def _reset_pool(self) -> None:
         """Free worker-side intermediates after a statement."""
@@ -552,7 +601,7 @@ class MPPDatabase:
 
         return self._timed_statement(work)
 
-    def execute_sql(self, sql: str):
+    def execute_sql(self, sql: str) -> Result:
         """Parse and execute a SELECT statement on the cluster."""
         from ..relational.sqlparse import parse_sql
 
@@ -602,7 +651,7 @@ class MPPDatabase:
             return len(table.parts[0])
         return inserted
 
-    def _timed_statement(self, work: Callable):
+    def _timed_statement(self, work: Callable[[], _T]) -> _T:
         """Run one statement, updating the simulated parallel clock."""
         seg_before = [clock.seconds for clock in self.segment_clocks]
         master_before = self.master_clock.seconds
@@ -643,7 +692,7 @@ class _SerialOps:
         parts[0] = list(rows)
         return Shards(columns, parts, DistDesc.arbitrary())
 
-    def filter(self, child: Shards, predicate) -> Shards:
+    def filter(self, child: Shards, predicate: Expr) -> Shards:
         bound = predicate.bind(child.columns)
         parts = [
             rowops.filter_rows(part, bound, self.clocks[seg])
@@ -652,7 +701,11 @@ class _SerialOps:
         return Shards(child.columns, parts, child.dist)
 
     def project(
-        self, child: Shards, outputs, out_columns: List[str], dist: DistDesc
+        self,
+        child: Shards,
+        outputs: Sequence[Tuple[Expr, str]],
+        out_columns: List[str],
+        dist: DistDesc,
     ) -> Shards:
         evaluators = [expr.bind(child.columns) for expr, _ in outputs]
         parts = [
@@ -667,7 +720,7 @@ class _SerialOps:
         right: Shards,
         lpos: List[int],
         rpos: List[int],
-        residual,
+        residual: Optional[Expr],
         out_columns: List[str],
         out_dist: DistDesc,
     ) -> Shards:
@@ -735,9 +788,9 @@ class _SerialOps:
         self,
         child: Shards,
         group_pos: List[int],
-        aggregates,
-        agg_pos,
-        having,
+        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        agg_pos: Sequence[Optional[int]],
+        having: Optional[Expr],
         out_columns: List[str],
         global_agg: bool,
         out_dist: DistDesc,
@@ -803,7 +856,7 @@ class _SerialOps:
         parts[0] = rows
         return Shards(shards.columns, parts, DistDesc.arbitrary())
 
-    def sort(self, child: Shards, positions) -> Shards:
+    def sort(self, child: Shards, positions: Sequence[Tuple[int, bool]]) -> Shards:
         ordered = rowops.sort_rows(child.parts[0], positions, self.clocks[0])
         parts: List[List[Row]] = [[] for _ in range(self.nseg)]
         parts[0] = ordered
@@ -826,11 +879,19 @@ class _MPPExecutor:
     :class:`_SerialOps` in-process, or ``PooledOps`` pushing operators
     into the worker pool."""
 
-    def __init__(self, cluster: MPPDatabase, ops=None) -> None:
+    def __init__(
+        self,
+        cluster: MPPDatabase,
+        ops: Optional[Any] = None,
+        static_choices: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.cluster = cluster
         self.nseg = cluster.nseg
         self.clocks = cluster.segment_clocks
         self.ops = ops if ops is not None else _SerialOps(cluster)
+        #: pre-decided broadcast-vs-redistribute choices per HashJoin
+        #: logical node (``plan_mode="static"``); None = decide adaptively
+        self.static_choices = static_choices
 
     # -- entry ---------------------------------------------------------------
 
@@ -922,21 +983,7 @@ class _MPPExecutor:
 
     def _project_dist(self, plan: Project, child: Shards) -> DistDesc:
         """Track the hash distribution through column renames."""
-        if child.dist.kind != "hash":
-            return child.dist
-        from ..relational.expr import Col
-
-        rename: Dict[str, str] = {}
-        for expr, name in plan.outputs:
-            if isinstance(expr, Col):
-                source = child.columns[resolve_column(expr.name, child.columns)]
-                rename.setdefault(source, name)
-        mapped = []
-        for column in child.dist.columns or ():
-            if column not in rename:
-                return DistDesc.arbitrary()
-            mapped.append(rename[column])
-        return DistDesc.hash_on(mapped)
+        return project_dist(plan.outputs, child.columns, child.dist)
 
     # -- joins ------------------------------------------------------------------
 
@@ -951,7 +998,7 @@ class _MPPExecutor:
         ]
 
         left, right, left_node, right_node, out_dist = self._collocate(
-            left, right, left_keys, right_keys, left_node, right_node
+            left, right, left_keys, right_keys, left_node, right_node, plan
         )
 
         out_columns = left.columns + right.columns
@@ -959,7 +1006,7 @@ class _MPPExecutor:
         rpos = [resolve_column(k, right.columns) for k in right_keys]
         if left.dist.kind == "replicated" and right.dist.kind == "replicated":
             out_dist = DistDesc.arbitrary()
-        node = PhysicalNode("Hash Join", _join_detail(left_keys, right_keys))
+        node = PhysicalNode("Hash Join", join_detail(left_keys, right_keys))
         node.children.extend([left_node, right_node])
         shards = self._timed(
             node,
@@ -977,7 +1024,8 @@ class _MPPExecutor:
         right_keys: List[str],
         left_node: PhysicalNode,
         right_node: PhysicalNode,
-    ):
+        plan: HashJoin,
+    ) -> Tuple[Shards, Shards, PhysicalNode, PhysicalNode, DistDesc]:
         """Insert motions so the two join inputs are collocated.
 
         Returns possibly-moved shards, their (possibly motion-wrapped)
@@ -991,8 +1039,8 @@ class _MPPExecutor:
 
         # a side hashed on a SUBSET of its join keys is collocatable:
         # equal join keys imply equal subset values, hence same segment
-        left_perm = _subset_perm(left.dist, left_keys)
-        right_perm = _subset_perm(right.dist, right_keys)
+        left_perm = subset_perm(left.dist, left_keys)
+        right_perm = subset_perm(right.dist, right_keys)
         if left_perm is not None and left_perm == right_perm:
             return left, right, left_node, right_node, left.dist
 
@@ -1006,14 +1054,20 @@ class _MPPExecutor:
             left, left_node = self._redistribute(left, keys, left_node)
             return left, right, left_node, right_node, right.dist
 
-        # neither collocated: cost-based redistribute-both vs broadcast-smaller
-        small, big = (left, right) if left.total_rows <= right.total_rows else (right, left)
-        redistribute_cost = left.total_rows + right.total_rows
-        broadcast_cost = small.total_rows * self.nseg
-        if broadcast_cost < redistribute_cost:
-            if small is left:
-                left, left_node = self._broadcast(left, left_node)
-                return left, right, left_node, right_node, right.dist
+        # neither collocated: cost-based redistribute-both vs
+        # broadcast-smaller — from actual sizes (adaptive) or from the
+        # static planner's estimates (plan_mode="static")
+        choice = None
+        if self.static_choices is not None:
+            choice = self.static_choices.get(id(plan))
+        if choice is None:
+            choice = choose_fallback_motion(
+                left.total_rows, right.total_rows, self.nseg
+            )
+        if choice == FALLBACK_BROADCAST_LEFT:
+            left, left_node = self._broadcast(left, left_node)
+            return left, right, left_node, right_node, right.dist
+        if choice == FALLBACK_BROADCAST_RIGHT:
             right, right_node = self._broadcast(right, right_node)
             return left, right, left_node, right_node, left.dist
         left, left_node = self._redistribute(left, left_keys, left_node)
@@ -1034,8 +1088,8 @@ class _MPPExecutor:
             right.columns[resolve_column(k, right.columns)] for k in plan.right_keys
         ]
         if right.dist.kind != "replicated":
-            left_perm = _subset_perm(left.dist, left_keys)
-            right_perm = _subset_perm(right.dist, right_keys)
+            left_perm = subset_perm(left.dist, left_keys)
+            right_perm = subset_perm(right.dist, right_keys)
             if left_perm is not None and left_perm == right_perm:
                 pass  # already collocated
             elif right_perm is not None:
@@ -1053,7 +1107,7 @@ class _MPPExecutor:
         out_dist = (
             left.dist if left.dist.kind != "replicated" else DistDesc.arbitrary()
         )
-        node = PhysicalNode("Hash Anti Join", _join_detail(left_keys, right_keys))
+        node = PhysicalNode("Hash Anti Join", join_detail(left_keys, right_keys))
         node.children.extend([left_node, right_node])
         shards = self._timed(
             node, lambda: self.ops.anti_join(left, right, lpos, rpos, out_dist)
@@ -1107,7 +1161,7 @@ class _MPPExecutor:
         if plan.group_by:
             if (
                 child.dist.kind != "hash"
-                or not set(child.dist.columns or ()) <= _qualified_set(plan.group_by, child.columns)
+                or not set(child.dist.columns or ()) <= qualified_set(plan.group_by, child.columns)
             ):
                 keys = [
                     child.columns[resolve_column(c, child.columns)]
@@ -1182,26 +1236,3 @@ class _MPPExecutor:
         return shards, node
 
 
-# -- helpers ------------------------------------------------------------
-
-
-def _join_detail(left_keys: List[str], right_keys: List[str]) -> str:
-    return "on " + " AND ".join(
-        f"{l} = {r}" for l, r in zip(left_keys, right_keys)
-    )
-
-
-def _qualified_set(names: Sequence[str], columns: Sequence[str]) -> Set[str]:
-    return {columns[resolve_column(name, columns)] for name in names}
-
-
-def _subset_perm(dist: DistDesc, keys: Sequence[str]) -> Optional[Tuple[int, ...]]:
-    """If ``dist`` hashes on a subset of ``keys``, the positions (into
-    ``keys``) of its hash columns, in hash order; else None."""
-    if dist.kind != "hash" or dist.columns is None:
-        return None
-    key_list = list(keys)
-    try:
-        return tuple(key_list.index(column) for column in dist.columns)
-    except ValueError:
-        return None

@@ -10,7 +10,7 @@ EXPLAIN ANALYZE output with per-operator timings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -44,6 +44,29 @@ class PhysicalNode:
             found.extend(child.find_all(kind))
         return found
 
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "rows": self.rows,
+            "seconds": self.seconds,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "PhysicalNode":
+        children: Sequence[Mapping[str, Any]] = payload.get("children", ())
+        return PhysicalNode(
+            kind=str(payload["kind"]),
+            detail=str(payload.get("detail", "")),
+            children=[PhysicalNode.from_dict(c) for c in children],
+            seconds=float(payload.get("seconds", 0.0)),
+            rows=int(payload.get("rows", 0)),
+        )
+
 
 @dataclass(frozen=True)
 class DistDesc:
@@ -53,7 +76,7 @@ class DistDesc:
     columns: Optional[Tuple[str, ...]] = None
 
     @staticmethod
-    def hash_on(columns) -> "DistDesc":
+    def hash_on(columns: Iterable[str]) -> "DistDesc":
         return DistDesc("hash", tuple(columns))
 
     @staticmethod
@@ -64,7 +87,7 @@ class DistDesc:
     def arbitrary() -> "DistDesc":
         return DistDesc("arbitrary")
 
-    def matches_keys(self, keys) -> Optional[Tuple[int, ...]]:
+    def matches_keys(self, keys: Sequence[str]) -> Optional[Tuple[int, ...]]:
         """If this is a hash distribution on a permutation of ``keys``,
         return that permutation (indices into ``keys``); else None.
 

@@ -1,0 +1,942 @@
+"""Statistics-driven static planner for the MPP simulator.
+
+The adaptive executor (:mod:`repro.mpp.cluster`) decides motions from
+*actual* intermediate sizes.  This module makes the same decisions from
+catalog statistics (:mod:`repro.relational.statistics`) **before any row
+is touched**: it walks a logical plan, propagates cardinality estimates
+through scans/filters/joins under the standard independence assumptions,
+mirrors the executor's distribution tracking (:class:`DistDesc`), and
+prices each operator with the :mod:`repro.relational.cost` constants.
+
+Two consumers:
+
+* ``MPPDatabase(plan_mode="static")`` takes the cost-based
+  broadcast-vs-redistribute choices from the static plan instead of the
+  adaptive sizes.  Collocation itself stays purely distribution-driven
+  (identical in both modes), so rows are unaffected by mispredictions —
+  only which motion gets paid for.
+* :mod:`repro.analyze.plans` runs the planner over each partition's
+  grounding queries and turns the estimates into PKB101+ findings and
+  ``repro explain`` output (the paper's Figure 4, statically).
+
+Cardinality model (textbook System-R assumptions):
+
+* equality with a constant selects ``1/ndv`` of the rows;
+* an equi-join on keys ``k`` produces ``|L|·|R| / max(ndv_L(k), ndv_R(k))``;
+* distinct/group-by emit ``min(rows, Π ndv(columns))`` rows;
+* column values are independent and uniformly distributed — skew is
+  tracked separately via each column's most-common-value fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..relational.cost import (
+    QUERY_OVERHEAD_S,
+    ROW_BROADCAST_S,
+    ROW_BUILD_S,
+    ROW_OUTPUT_S,
+    ROW_PROBE_S,
+    ROW_SCAN_S,
+    ROW_SHIP_S,
+)
+from ..relational.expr import (
+    And,
+    Col,
+    Compare,
+    Const,
+    Expr,
+    IsNull,
+    Not,
+    Or,
+    resolve_column,
+)
+from ..relational.plan import (
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+    Values,
+    walk,
+)
+from ..relational.statistics import (
+    StatisticsCatalog,
+    TableDistribution,
+    table_stats,
+)
+from ..relational.types import ExecutionError
+from .distribution import ReplicatedDistribution
+from .plannodes import DistDesc, PhysicalNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cluster import MPPDatabase
+
+#: Selectivity of a non-equality comparison (System R's magic 1/3).
+DEFAULT_INEQ_SELECTIVITY = 1.0 / 3.0
+#: Selectivity of a predicate the estimator cannot decompose.
+DEFAULT_SELECTIVITY = 0.5
+#: Cardinalities are capped here so products cannot overflow.
+MAX_ROWS = 1.0e18
+
+#: Fallback motion choices for a join where neither side is collocated.
+FALLBACK_BROADCAST_LEFT = "broadcast_left"
+FALLBACK_BROADCAST_RIGHT = "broadcast_right"
+FALLBACK_REDISTRIBUTE_BOTH = "redistribute_both"
+
+
+def choose_fallback_motion(left_rows: float, right_rows: float, nseg: int) -> str:
+    """The cost-based choice when neither join side is collocated:
+    broadcast the smaller input, or redistribute both on the join keys.
+
+    This is the *only* data-dependent decision in the MPP planner; the
+    adaptive executor calls it with actual shard sizes and the static
+    planner with estimates, so the two modes differ in nothing else.
+    """
+    small_rows = min(left_rows, right_rows)
+    redistribute_cost = left_rows + right_rows
+    broadcast_cost = small_rows * nseg
+    if broadcast_cost < redistribute_cost:
+        if left_rows <= right_rows:
+            return FALLBACK_BROADCAST_LEFT
+        return FALLBACK_BROADCAST_RIGHT
+    return FALLBACK_REDISTRIBUTE_BOTH
+
+
+# -- shared distribution helpers (used by the adaptive executor too) -----------
+
+
+def join_detail(left_keys: Sequence[str], right_keys: Sequence[str]) -> str:
+    return "on " + " AND ".join(
+        f"{l} = {r}" for l, r in zip(left_keys, right_keys)
+    )
+
+
+def qualified_set(names: Sequence[str], columns: Sequence[str]) -> Set[str]:
+    return {columns[resolve_column(name, columns)] for name in names}
+
+
+def subset_perm(dist: DistDesc, keys: Sequence[str]) -> Optional[Tuple[int, ...]]:
+    """If ``dist`` hashes on a subset of ``keys``, the positions (into
+    ``keys``) of its hash columns, in hash order; else None."""
+    if dist.kind != "hash" or dist.columns is None:
+        return None
+    key_list = list(keys)
+    try:
+        return tuple(key_list.index(column) for column in dist.columns)
+    except ValueError:
+        return None
+
+
+def project_dist(
+    outputs: Sequence[Tuple[Expr, str]],
+    child_columns: Sequence[str],
+    child_dist: DistDesc,
+) -> DistDesc:
+    """Track a hash distribution through a projection's column renames."""
+    if child_dist.kind != "hash":
+        return child_dist
+    rename: Dict[str, str] = {}
+    for expr, name in outputs:
+        if isinstance(expr, Col):
+            source = child_columns[resolve_column(expr.name, child_columns)]
+            rename.setdefault(source, name)
+    mapped = []
+    for column in child_dist.columns or ():
+        if column not in rename:
+            return DistDesc.arbitrary()
+        mapped.append(rename[column])
+    return DistDesc.hash_on(mapped)
+
+
+def dist_from_table(distribution: TableDistribution, alias: str) -> DistDesc:
+    """The :class:`DistDesc` of scanning a stored table under an alias."""
+    if distribution.kind == "replicated":
+        return DistDesc.replicated()
+    if distribution.kind == "hash" and distribution.columns is not None:
+        return DistDesc.hash_on(f"{alias}.{c}" for c in distribution.columns)
+    return DistDesc.arbitrary()
+
+
+# -- statistics collection ----------------------------------------------------
+
+
+def collect_mpp_statistics(
+    db: "MPPDatabase",
+    table_names: Optional[Iterable[str]] = None,
+) -> StatisticsCatalog:
+    """ANALYZE the cluster's stored tables (rows, ndv, skew, layout)."""
+    catalog = StatisticsCatalog(num_segments=db.nseg)
+    names = list(table_names) if table_names is not None else list(db.tables)
+    for name in names:
+        table = db.table(name)
+        stats = table_stats(table.schema.column_names, table.all_rows())
+        policy = table.policy
+        if isinstance(policy, ReplicatedDistribution):
+            distribution = TableDistribution.replicated()
+        elif policy.key_columns is not None:
+            distribution = TableDistribution.hash_on(policy.key_columns)
+        else:
+            distribution = TableDistribution.random()
+        catalog.add(name, stats, distribution)
+    return catalog
+
+
+# -- plan estimates -----------------------------------------------------------
+
+
+@dataclass
+class MotionEstimate:
+    """One predicted motion operator and what it would ship."""
+
+    kind: str  # "redistribute" | "broadcast" | "gather"
+    #: estimated input rows of the motion
+    rows: float
+    #: estimated row *copies* crossing the interconnect
+    shipped: float
+    #: stored tables feeding the moved side
+    source_tables: Tuple[str, ...]
+    detail: str = ""
+
+
+@dataclass
+class JoinEstimate:
+    """Static prediction for one hash join."""
+
+    detail: str
+    left_rows: float
+    right_rows: float
+    est_rows: float
+    #: True when no motion was needed (Section 4.4's collocated case)
+    collocated: bool
+    #: motions inserted to collocate this join
+    motions: List[MotionEstimate] = field(default_factory=list)
+    #: worst most-common-value fraction among the join key columns
+    key_mcv: float = 0.0
+    #: stored tables feeding either side
+    source_tables: Tuple[str, ...] = ()
+
+
+@dataclass
+class StaticPlan:
+    """The static planner's verdict on one logical plan."""
+
+    root: PhysicalNode
+    estimated_rows: int
+    estimated_seconds: float
+    #: cost-based fallback choice per HashJoin node (keyed by ``id(node)``)
+    fallback_choices: Dict[int, str] = field(default_factory=dict)
+    joins: List[JoinEstimate] = field(default_factory=list)
+    motions: List[MotionEstimate] = field(default_factory=list)
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+@dataclass
+class _Est:
+    """Estimator state for one plan node's output."""
+
+    columns: List[str]
+    rows: float
+    dist: DistDesc
+    #: per output column: estimated distinct count
+    ndv: Dict[str, float]
+    #: per output column: estimated NULL fraction
+    nulls: Dict[str, float]
+    #: per output column: most-common-value fraction
+    mcv: Dict[str, float]
+    #: stored tables feeding this node
+    tables: frozenset
+    node: PhysicalNode
+
+
+class StaticPlanner:
+    """Estimate a logical plan's cardinalities, motions, and cost."""
+
+    def __init__(self, catalog: StatisticsCatalog, nseg: Optional[int] = None) -> None:
+        self.catalog = catalog
+        self.nseg = nseg if nseg is not None else catalog.num_segments
+        ensure_positive = self.nseg >= 1
+        if not ensure_positive:
+            raise ExecutionError("need at least one segment")
+
+    def plan(self, plan: PlanNode) -> StaticPlan:
+        self._fallbacks: Dict[int, str] = {}
+        self._joins: List[JoinEstimate] = []
+        self._motions: List[MotionEstimate] = []
+        self._bind(plan)
+        est = self._est(plan)
+        return StaticPlan(
+            root=est.node,
+            estimated_rows=int(round(est.rows)),
+            estimated_seconds=est.node.total_seconds() + QUERY_OVERHEAD_S,
+            fallback_choices=self._fallbacks,
+            joins=self._joins,
+            motions=self._motions,
+        )
+
+    def _bind(self, plan: PlanNode) -> None:
+        for node in walk(plan):
+            if isinstance(node, Scan):
+                stats = self.catalog.stats(node.table_name)
+                node.set_table_columns(stats.column_names)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _parallelism(self, dist: DistDesc) -> float:
+        """How many ways an operator's work divides: replicated
+        intermediates are processed in full on every segment."""
+        if dist.kind == "replicated":
+            return 1.0
+        return float(self.nseg)
+
+    @staticmethod
+    def _cap(rows: float) -> float:
+        return max(0.0, min(rows, MAX_ROWS))
+
+    def _ndv_of(self, est: _Est, name: str) -> float:
+        column = est.columns[resolve_column(name, est.columns)]
+        return max(1.0, min(est.ndv.get(column, est.rows), max(est.rows, 1.0)))
+
+    def _mcv_of(self, est: _Est, name: str) -> float:
+        column = est.columns[resolve_column(name, est.columns)]
+        return est.mcv.get(column, 0.0)
+
+    def _scaled_ndv(self, ndv: Dict[str, float], rows: float) -> Dict[str, float]:
+        return {name: min(value, max(rows, 1.0)) for name, value in ndv.items()}
+
+    # -- selectivity --------------------------------------------------------------
+
+    def _selectivity(self, expr: Expr, est: _Est) -> float:
+        if isinstance(expr, And):
+            sel = 1.0
+            for operand in expr.operands:
+                sel *= self._selectivity(operand, est)
+            return sel
+        if isinstance(expr, Or):
+            miss = 1.0
+            for operand in expr.operands:
+                miss *= 1.0 - self._selectivity(operand, est)
+            return 1.0 - miss
+        if isinstance(expr, Not):
+            return 1.0 - self._selectivity(expr.operand, est)
+        if isinstance(expr, IsNull):
+            if isinstance(expr.operand, Col):
+                column = est.columns[
+                    resolve_column(expr.operand.name, est.columns)
+                ]
+                null_fraction = est.nulls.get(column, 0.0)
+                return 1.0 - null_fraction if expr.negated else null_fraction
+            return DEFAULT_SELECTIVITY
+        if isinstance(expr, Compare):
+            return self._compare_selectivity(expr, est)
+        return DEFAULT_SELECTIVITY
+
+    def _compare_selectivity(self, expr: Compare, est: _Est) -> float:
+        left, right = expr.left, expr.right
+        if expr.op == "=":
+            if isinstance(left, Col) and isinstance(right, Const):
+                return 1.0 / self._ndv_of(est, left.name)
+            if isinstance(left, Const) and isinstance(right, Col):
+                return 1.0 / self._ndv_of(est, right.name)
+            if isinstance(left, Col) and isinstance(right, Col):
+                return 1.0 / max(
+                    self._ndv_of(est, left.name), self._ndv_of(est, right.name)
+                )
+            return DEFAULT_SELECTIVITY
+        if expr.op == "<>":
+            inverse = Compare("=", left, right)
+            return 1.0 - self._compare_selectivity(inverse, est)
+        return DEFAULT_INEQ_SELECTIVITY
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _est(self, plan: PlanNode) -> _Est:
+        if isinstance(plan, Scan):
+            return self._est_scan(plan)
+        if isinstance(plan, Values):
+            return self._est_values(plan)
+        if isinstance(plan, Filter):
+            return self._est_filter(plan)
+        if isinstance(plan, Project):
+            return self._est_project(plan)
+        if isinstance(plan, HashJoin):
+            return self._est_join(plan)
+        if isinstance(plan, AntiJoin):
+            return self._est_anti_join(plan)
+        if isinstance(plan, Distinct):
+            return self._est_distinct(plan)
+        if isinstance(plan, Aggregate):
+            return self._est_aggregate(plan)
+        if isinstance(plan, UnionAll):
+            return self._est_union(plan)
+        if isinstance(plan, Sort):
+            return self._est_sort(plan)
+        if isinstance(plan, Limit):
+            return self._est_limit(plan)
+        raise ExecutionError(
+            f"unsupported plan node {type(plan).__name__} in static planner"
+        )
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _est_scan(self, plan: Scan) -> _Est:
+        stats = self.catalog.stats(plan.table_name)
+        dist = dist_from_table(
+            self.catalog.distribution(plan.table_name), plan.alias
+        )
+        rows = float(stats.rows)
+        ndv: Dict[str, float] = {}
+        nulls: Dict[str, float] = {}
+        mcv: Dict[str, float] = {}
+        for name in stats.column_names:
+            column = stats.column(name)
+            qualified = f"{plan.alias}.{name}"
+            ndv[qualified] = float(max(1, column.distinct)) if rows else 0.0
+            nulls[qualified] = column.null_fraction
+            mcv[qualified] = column.mcv_fraction
+        node = PhysicalNode("Seq Scan", f"on {plan.table_name}")
+        node.rows = int(round(rows))
+        node.seconds = rows / self._parallelism(dist) * ROW_SCAN_S
+        return _Est(
+            columns=plan.output_columns,
+            rows=rows,
+            dist=dist,
+            ndv=ndv,
+            nulls=nulls,
+            mcv=mcv,
+            tables=frozenset([plan.table_name]),
+            node=node,
+        )
+
+    def _est_values(self, plan: Values) -> _Est:
+        rows = float(len(plan.rows))
+        node = PhysicalNode("Values", rows=len(plan.rows))
+        return _Est(
+            columns=plan.output_columns,
+            rows=rows,
+            dist=DistDesc.arbitrary(),
+            ndv={name: rows for name in plan.output_columns},
+            nulls={},
+            mcv={},
+            tables=frozenset(),
+            node=node,
+        )
+
+    # -- unary -------------------------------------------------------------------
+
+    def _est_filter(self, plan: Filter) -> _Est:
+        child = self._est(plan.child)
+        selectivity = min(1.0, max(0.0, self._selectivity(plan.predicate, child)))
+        rows = self._cap(child.rows * selectivity)
+        ndv = self._scaled_ndv(dict(child.ndv), rows)
+        # equality with a constant pins that column to a single value
+        for conjunct in (
+            plan.predicate.operands
+            if isinstance(plan.predicate, And)
+            else [plan.predicate]
+        ):
+            if (
+                isinstance(conjunct, Compare)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, Col)
+                and isinstance(conjunct.right, Const)
+            ):
+                column = child.columns[
+                    resolve_column(conjunct.left.name, child.columns)
+                ]
+                ndv[column] = 1.0
+        node = PhysicalNode("Filter", plan.predicate.to_sql())
+        node.children.append(child.node)
+        parallelism = self._parallelism(child.dist)
+        node.seconds = (
+            child.rows * ROW_PROBE_S + rows * ROW_OUTPUT_S
+        ) / parallelism
+        node.rows = int(round(rows))
+        return _Est(
+            columns=child.columns,
+            rows=rows,
+            dist=child.dist,
+            ndv=ndv,
+            nulls=child.nulls,
+            mcv=child.mcv,
+            tables=child.tables,
+            node=node,
+        )
+
+    def _est_project(self, plan: Project) -> _Est:
+        child = self._est(plan.child)
+        dist = project_dist(plan.outputs, child.columns, child.dist)
+        ndv: Dict[str, float] = {}
+        nulls: Dict[str, float] = {}
+        mcv: Dict[str, float] = {}
+        for expr, name in plan.outputs:
+            if isinstance(expr, Col):
+                source = child.columns[resolve_column(expr.name, child.columns)]
+                ndv[name] = child.ndv.get(source, child.rows)
+                nulls[name] = child.nulls.get(source, 0.0)
+                mcv[name] = child.mcv.get(source, 0.0)
+            elif isinstance(expr, Const):
+                ndv[name] = 1.0
+                nulls[name] = 1.0 if expr.value is None else 0.0
+                mcv[name] = 1.0
+            else:
+                ndv[name] = child.rows
+        node = PhysicalNode("Project")
+        node.children.append(child.node)
+        node.seconds = (
+            child.rows * ROW_OUTPUT_S / self._parallelism(child.dist)
+        )
+        node.rows = int(round(child.rows))
+        return _Est(
+            columns=plan.output_columns,
+            rows=child.rows,
+            dist=dist,
+            ndv=ndv,
+            nulls=nulls,
+            mcv=mcv,
+            tables=child.tables,
+            node=node,
+        )
+
+    # -- joins -------------------------------------------------------------------
+
+    def _est_join(self, plan: HashJoin) -> _Est:
+        left = self._est(plan.left)
+        right = self._est(plan.right)
+        left_keys = [
+            left.columns[resolve_column(k, left.columns)] for k in plan.left_keys
+        ]
+        right_keys = [
+            right.columns[resolve_column(k, right.columns)]
+            for k in plan.right_keys
+        ]
+
+        motions: List[MotionEstimate] = []
+        left, right, out_dist = self._collocate(
+            plan, left, right, left_keys, right_keys, motions
+        )
+
+        out_columns = left.columns + right.columns
+        if left.dist.kind == "replicated" and right.dist.kind == "replicated":
+            out_dist = DistDesc.arbitrary()
+
+        # |L ⋈ R| = |L|·|R| / Π max(ndv_L(k), ndv_R(k))
+        rows = left.rows * right.rows
+        joined_ndv: Dict[str, float] = {}
+        key_mcv = 0.0
+        for lkey, rkey in zip(left_keys, right_keys):
+            ndv_l = self._ndv_of(left, lkey)
+            ndv_r = self._ndv_of(right, rkey)
+            rows /= max(ndv_l, ndv_r, 1.0)
+            joined_ndv[lkey] = joined_ndv[rkey] = min(ndv_l, ndv_r)
+            key_mcv = max(
+                key_mcv, self._mcv_of(left, lkey), self._mcv_of(right, rkey)
+            )
+        rows = self._cap(rows)
+
+        ndv = {**left.ndv, **right.ndv, **joined_ndv}
+        est = _Est(
+            columns=out_columns,
+            rows=rows,
+            dist=out_dist,
+            ndv=self._scaled_ndv(ndv, rows),
+            nulls={**left.nulls, **right.nulls},
+            mcv={**left.mcv, **right.mcv},
+            tables=left.tables | right.tables,
+            node=PhysicalNode("Hash Join", join_detail(left_keys, right_keys)),
+        )
+        if plan.residual is not None:
+            residual_sel = min(
+                1.0, max(0.0, self._selectivity(plan.residual, est))
+            )
+            rows = self._cap(rows * residual_sel)
+            est.rows = rows
+            est.ndv = self._scaled_ndv(est.ndv, rows)
+
+        est.node.children.extend([left.node, right.node])
+        est.node.rows = int(round(rows))
+        est.node.seconds = self._join_seconds(left, right, rows)
+
+        self._joins.append(
+            JoinEstimate(
+                detail=join_detail(left_keys, right_keys),
+                left_rows=left.rows,
+                right_rows=right.rows,
+                est_rows=rows,
+                collocated=not motions,
+                motions=motions,
+                key_mcv=key_mcv,
+                source_tables=tuple(sorted(left.tables | right.tables)),
+            )
+        )
+        return est
+
+    def _join_seconds(self, left: _Est, right: _Est, out_rows: float) -> float:
+        if left.dist.kind == "replicated" and right.dist.kind == "replicated":
+            build = min(left.rows, right.rows)
+            probe = max(left.rows, right.rows)
+            return build * ROW_BUILD_S + probe * ROW_PROBE_S + out_rows * ROW_OUTPUT_S
+        left_eff = left.rows / self._parallelism(left.dist)
+        right_eff = right.rows / self._parallelism(right.dist)
+        build = min(left_eff, right_eff)
+        probe = max(left_eff, right_eff)
+        out_eff = out_rows / self.nseg
+        return build * ROW_BUILD_S + probe * ROW_PROBE_S + out_eff * ROW_OUTPUT_S
+
+    def _collocate(
+        self,
+        plan: HashJoin,
+        left: _Est,
+        right: _Est,
+        left_keys: List[str],
+        right_keys: List[str],
+        motions: List[MotionEstimate],
+    ) -> Tuple[_Est, _Est, DistDesc]:
+        """Mirror of the executor's collocation logic over estimates."""
+        if left.dist.kind == "replicated":
+            return left, right, right.dist
+        if right.dist.kind == "replicated":
+            return left, right, left.dist
+
+        left_perm = subset_perm(left.dist, left_keys)
+        right_perm = subset_perm(right.dist, right_keys)
+        if left_perm is not None and left_perm == right_perm:
+            return left, right, left.dist
+
+        if left_perm is not None:
+            keys = [right_keys[i] for i in left_perm]
+            right = self._redistribute(right, keys, motions)
+            return left, right, left.dist
+        if right_perm is not None:
+            keys = [left_keys[i] for i in right_perm]
+            left = self._redistribute(left, keys, motions)
+            return left, right, right.dist
+
+        choice = choose_fallback_motion(left.rows, right.rows, self.nseg)
+        self._fallbacks[id(plan)] = choice
+        if choice == FALLBACK_BROADCAST_LEFT:
+            left = self._broadcast(left, motions)
+            return left, right, right.dist
+        if choice == FALLBACK_BROADCAST_RIGHT:
+            right = self._broadcast(right, motions)
+            return left, right, left.dist
+        left = self._redistribute(left, left_keys, motions)
+        right = self._redistribute(right, right_keys, motions)
+        return left, right, left.dist
+
+    def _est_anti_join(self, plan: AntiJoin) -> _Est:
+        left = self._est(plan.left)
+        right = self._est(plan.right)
+        left_keys = [
+            left.columns[resolve_column(k, left.columns)] for k in plan.left_keys
+        ]
+        right_keys = [
+            right.columns[resolve_column(k, right.columns)]
+            for k in plan.right_keys
+        ]
+        motions: List[MotionEstimate] = []
+        if right.dist.kind != "replicated":
+            left_perm = subset_perm(left.dist, left_keys)
+            right_perm = subset_perm(right.dist, right_keys)
+            if left_perm is not None and left_perm == right_perm:
+                pass
+            elif right_perm is not None:
+                keys = [left_keys[i] for i in right_perm]
+                left = self._redistribute(left, keys, motions)
+            elif left_perm is not None:
+                keys = [right_keys[i] for i in left_perm]
+                right = self._redistribute(right, keys, motions)
+            else:
+                left = self._redistribute(left, left_keys, motions)
+                right = self._redistribute(right, right_keys, motions)
+
+        # surviving fraction ≈ share of the key domain the right side misses
+        distinct_left = 1.0
+        distinct_right = 1.0
+        for lkey, rkey in zip(left_keys, right_keys):
+            distinct_left = min(distinct_left * self._ndv_of(left, lkey), MAX_ROWS)
+            distinct_right = min(
+                distinct_right * self._ndv_of(right, rkey), MAX_ROWS
+            )
+        distinct_left = min(distinct_left, max(left.rows, 1.0))
+        distinct_right = min(distinct_right, max(right.rows, 1.0))
+        matched = min(1.0, distinct_right / max(distinct_left, 1.0))
+        rows = self._cap(left.rows * (1.0 - matched))
+
+        out_dist = (
+            left.dist if left.dist.kind != "replicated" else DistDesc.arbitrary()
+        )
+        node = PhysicalNode("Hash Anti Join", join_detail(left_keys, right_keys))
+        node.children.extend([left.node, right.node])
+        right_eff = right.rows / self._parallelism(right.dist)
+        left_eff = left.rows / self._parallelism(left.dist)
+        node.seconds = (
+            right_eff * ROW_BUILD_S
+            + left_eff * ROW_PROBE_S
+            + rows / self.nseg * ROW_OUTPUT_S
+        )
+        node.rows = int(round(rows))
+        return _Est(
+            columns=left.columns,
+            rows=rows,
+            dist=out_dist,
+            ndv=self._scaled_ndv(dict(left.ndv), rows),
+            nulls=left.nulls,
+            mcv=left.mcv,
+            tables=left.tables | right.tables,
+            node=node,
+        )
+
+    # -- motions ------------------------------------------------------------------
+
+    def _redistribute(
+        self, est: _Est, keys: List[str], motions: List[MotionEstimate]
+    ) -> _Est:
+        if self.nseg == 1:
+            # one segment has no interconnect: the "motion" is a no-op
+            est.dist = DistDesc.hash_on(keys)
+            return est
+        node = PhysicalNode("Redistribute Motion", f"on ({', '.join(keys)})")
+        node.children.append(est.node)
+        off_segment = est.rows * (self.nseg - 1) / self.nseg
+        node.seconds = off_segment / self.nseg * ROW_SHIP_S
+        node.rows = int(round(est.rows))
+        motion = MotionEstimate(
+            kind="redistribute",
+            rows=est.rows,
+            shipped=off_segment,
+            source_tables=tuple(sorted(est.tables)),
+            detail=node.detail,
+        )
+        motions.append(motion)
+        self._motions.append(motion)
+        return _Est(
+            columns=est.columns,
+            rows=est.rows,
+            dist=DistDesc.hash_on(keys),
+            ndv=est.ndv,
+            nulls=est.nulls,
+            mcv=est.mcv,
+            tables=est.tables,
+            node=node,
+        )
+
+    def _broadcast(self, est: _Est, motions: List[MotionEstimate]) -> _Est:
+        if self.nseg == 1:
+            est.dist = DistDesc.replicated()
+            return est
+        node = PhysicalNode("Broadcast Motion")
+        node.children.append(est.node)
+        per_segment = est.rows * (self.nseg - 1) / self.nseg
+        node.seconds = per_segment * ROW_BROADCAST_S
+        node.rows = int(round(est.rows))
+        motion = MotionEstimate(
+            kind="broadcast",
+            rows=est.rows,
+            shipped=est.rows * (self.nseg - 1),
+            source_tables=tuple(sorted(est.tables)),
+        )
+        motions.append(motion)
+        self._motions.append(motion)
+        return _Est(
+            columns=est.columns,
+            rows=est.rows,
+            dist=DistDesc.replicated(),
+            ndv=est.ndv,
+            nulls=est.nulls,
+            mcv=est.mcv,
+            tables=est.tables,
+            node=node,
+        )
+
+    def _gather(self, est: _Est) -> _Est:
+        if self.nseg == 1:
+            est.dist = DistDesc.arbitrary()
+            return est
+        node = PhysicalNode("Gather Motion", "to seg0")
+        node.children.append(est.node)
+        off_segment = est.rows * (self.nseg - 1) / self.nseg
+        node.seconds = off_segment * ROW_SHIP_S
+        node.rows = int(round(est.rows))
+        motion = MotionEstimate(
+            kind="gather",
+            rows=est.rows,
+            shipped=off_segment,
+            source_tables=tuple(sorted(est.tables)),
+            detail=node.detail,
+        )
+        self._motions.append(motion)
+        return _Est(
+            columns=est.columns,
+            rows=est.rows,
+            dist=DistDesc.arbitrary(),
+            ndv=est.ndv,
+            nulls=est.nulls,
+            mcv=est.mcv,
+            tables=est.tables,
+            node=node,
+        )
+
+    # -- distinct / aggregate / union / sort / limit ------------------------------
+
+    def _est_distinct(self, plan: Distinct) -> _Est:
+        child = self._est(plan.child)
+        if child.dist.kind == "arbitrary":
+            motions: List[MotionEstimate] = []
+            child = self._redistribute(child, list(child.columns), motions)
+        distinct = 1.0
+        for column in child.columns:
+            distinct = min(distinct * self._ndv_of(child, column), MAX_ROWS)
+        rows = self._cap(min(child.rows, distinct))
+        node = PhysicalNode("Distinct")
+        node.children.append(child.node)
+        parallelism = self._parallelism(child.dist)
+        node.seconds = (
+            child.rows * ROW_PROBE_S + rows * ROW_OUTPUT_S
+        ) / parallelism
+        node.rows = int(round(rows))
+        return _Est(
+            columns=child.columns,
+            rows=rows,
+            dist=child.dist,
+            ndv=self._scaled_ndv(dict(child.ndv), rows),
+            nulls=child.nulls,
+            mcv=child.mcv,
+            tables=child.tables,
+            node=node,
+        )
+
+    def _est_aggregate(self, plan: Aggregate) -> _Est:
+        child = self._est(plan.child)
+        if plan.group_by:
+            if (
+                child.dist.kind != "hash"
+                or not set(child.dist.columns or ())
+                <= qualified_set(plan.group_by, child.columns)
+            ):
+                keys = [
+                    child.columns[resolve_column(c, child.columns)]
+                    for c in plan.group_by
+                ]
+                motions: List[MotionEstimate] = []
+                child = self._redistribute(child, keys, motions)
+        else:
+            child = self._gather(child)
+
+        if plan.group_by:
+            groups = 1.0
+            for name in plan.group_by:
+                groups = min(groups * self._ndv_of(child, name), MAX_ROWS)
+            rows = self._cap(min(child.rows, groups))
+        else:
+            rows = 1.0
+        out_columns = plan.output_columns
+        out_dist = (
+            DistDesc.hash_on(plan.group_by)
+            if plan.group_by
+            else DistDesc.arbitrary()
+        )
+        ndv: Dict[str, float] = {}
+        for name in plan.group_by:
+            ndv[name] = min(self._ndv_of(child, name), max(rows, 1.0))
+        for _, _, out_name in plan.aggregates:
+            ndv[out_name] = rows
+        node = PhysicalNode(
+            "HashAggregate", f"group by ({', '.join(plan.group_by)})"
+        )
+        node.children.append(child.node)
+        parallelism = self._parallelism(child.dist) if plan.group_by else 1.0
+        node.seconds = (
+            child.rows * ROW_PROBE_S + rows * ROW_OUTPUT_S
+        ) / parallelism
+        node.rows = int(round(rows))
+        return _Est(
+            columns=out_columns,
+            rows=rows,
+            dist=out_dist,
+            ndv=ndv,
+            nulls={},
+            mcv={},
+            tables=child.tables,
+            node=node,
+        )
+
+    def _est_union(self, plan: UnionAll) -> _Est:
+        children = [self._est(child) for child in plan.children]
+        out_columns = plan.output_columns
+        dists = set()
+        for child in children:
+            if child.dist.kind == "replicated":
+                dists.add(DistDesc.arbitrary())
+            else:
+                dists.add(child.dist)
+        dist = dists.pop() if len(dists) == 1 else DistDesc.arbitrary()
+        rows = self._cap(sum(child.rows for child in children))
+        ndv: Dict[str, float] = {}
+        for pos, name in enumerate(out_columns):
+            total = 0.0
+            for child in children:
+                total += child.ndv.get(child.columns[pos], child.rows)
+            ndv[name] = min(total, max(rows, 1.0))
+        node = PhysicalNode("Append")
+        node.children.extend(child.node for child in children)
+        node.rows = int(round(rows))
+        tables: frozenset = frozenset()
+        for child in children:
+            tables |= child.tables
+        return _Est(
+            columns=out_columns,
+            rows=rows,
+            dist=dist,
+            ndv=ndv,
+            nulls={},
+            mcv={},
+            tables=tables,
+            node=node,
+        )
+
+    def _est_sort(self, plan: Sort) -> _Est:
+        child = self._est(plan.child)
+        child = self._gather(child)
+        node = PhysicalNode("Sort", plan.describe().replace("Sort: ", ""))
+        node.children.append(child.node)
+        node.seconds = child.rows * ROW_PROBE_S
+        node.rows = int(round(child.rows))
+        return _Est(
+            columns=child.columns,
+            rows=child.rows,
+            dist=DistDesc.arbitrary(),
+            ndv=child.ndv,
+            nulls=child.nulls,
+            mcv=child.mcv,
+            tables=child.tables,
+            node=node,
+        )
+
+    def _est_limit(self, plan: Limit) -> _Est:
+        child = self._est(plan.child)
+        child = self._gather(child)
+        rows = self._cap(min(child.rows, float(plan.limit)))
+        node = PhysicalNode("Limit", str(plan.limit))
+        node.children.append(child.node)
+        node.rows = int(round(rows))
+        return _Est(
+            columns=child.columns,
+            rows=rows,
+            dist=DistDesc.arbitrary(),
+            ndv=self._scaled_ndv(dict(child.ndv), rows),
+            nulls=child.nulls,
+            mcv=child.mcv,
+            tables=child.tables,
+            node=node,
+        )

@@ -40,14 +40,15 @@ import queue
 import signal
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..relational.cost import CostClock
+from ..relational.expr import Expr
 from ..relational.schema import TableSchema
 from ..relational.table import Table
 from ..relational.types import Row
 from . import rowops
-from .cluster import MPPDatabase, Shards
+from .cluster import MPPDatabase, MPPTable, Shards
 from .plannodes import DistDesc
 
 __all__ = ["WorkerCrashError", "WorkerPool", "PooledOps", "RemoteShards"]
@@ -305,7 +306,9 @@ class PooledOps:
                 self.clocks[seg].merge(delta)
         return RemoteShards(columns, dist, handle, counts)
 
-    def scan(self, table, columns: List[str], dist: DistDesc) -> RemoteShards:
+    def scan(
+        self, table: MPPTable, columns: List[str], dist: DistDesc
+    ) -> RemoteShards:
         return self._run(
             ("scan", self.pool.next_handle(), table.name), columns, dist
         )
@@ -317,7 +320,7 @@ class PooledOps:
             DistDesc.arbitrary(),
         )
 
-    def filter(self, child: RemoteShards, predicate) -> RemoteShards:
+    def filter(self, child: RemoteShards, predicate: Expr) -> RemoteShards:
         command = (
             "filter", self.pool.next_handle(), child.handle,
             predicate, child.columns,
@@ -325,7 +328,11 @@ class PooledOps:
         return self._run(command, child.columns, child.dist)
 
     def project(
-        self, child: RemoteShards, outputs, out_columns: List[str], dist: DistDesc
+        self,
+        child: RemoteShards,
+        outputs: Sequence[Tuple[Expr, str]],
+        out_columns: List[str],
+        dist: DistDesc,
     ) -> RemoteShards:
         command = (
             "project", self.pool.next_handle(), child.handle,
@@ -339,7 +346,7 @@ class PooledOps:
         right: RemoteShards,
         lpos: List[int],
         rpos: List[int],
-        residual,
+        residual: Optional[Expr],
         out_columns: List[str],
         out_dist: DistDesc,
     ) -> RemoteShards:
@@ -373,9 +380,9 @@ class PooledOps:
         self,
         child: RemoteShards,
         group_pos: List[int],
-        aggregates,
-        agg_pos,
-        having,
+        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        agg_pos: Sequence[Optional[int]],
+        having: Optional[Expr],
         out_columns: List[str],
         global_agg: bool,
         out_dist: DistDesc,
@@ -420,7 +427,9 @@ class PooledOps:
         )
         return self._run(command, shards.columns, DistDesc.arbitrary())
 
-    def sort(self, child: RemoteShards, positions) -> RemoteShards:
+    def sort(
+        self, child: RemoteShards, positions: Sequence[Tuple[int, bool]]
+    ) -> RemoteShards:
         command = (
             "sort", self.pool.next_handle(), child.handle, list(positions)
         )
@@ -544,7 +553,7 @@ class _WorkerState:
         return self._store(handle, frame)
 
     def _cmd_filter(
-        self, handle: int, source: int, predicate, columns: List[str]
+        self, handle: int, source: int, predicate: Expr, columns: List[str]
     ) -> dict:
         bound = predicate.bind(columns)
         deltas = self._fresh_clocks()
@@ -555,7 +564,11 @@ class _WorkerState:
         return self._store(handle, frame, deltas)
 
     def _cmd_project(
-        self, handle: int, source: int, outputs, columns: List[str]
+        self,
+        handle: int,
+        source: int,
+        outputs: Sequence[Tuple[Expr, str]],
+        columns: List[str],
     ) -> dict:
         evaluators = [expr.bind(columns) for expr, _ in outputs]
         deltas = self._fresh_clocks()
@@ -574,7 +587,7 @@ class _WorkerState:
         right: int,
         lpos: List[int],
         rpos: List[int],
-        residual,
+        residual: Optional[Expr],
         out_columns: List[str],
         left_rep: bool,
         right_rep: bool,
@@ -627,9 +640,9 @@ class _WorkerState:
         handle: int,
         source: int,
         group_pos: List[int],
-        aggregates,
-        agg_pos,
-        having,
+        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        agg_pos: Sequence[Optional[int]],
+        having: Optional[Expr],
         out_columns: List[str],
         global_agg: bool,
     ) -> dict:
@@ -646,7 +659,9 @@ class _WorkerState:
             )
         return self._store(handle, frame, deltas)
 
-    def _cmd_union(self, handle: int, sources) -> dict:
+    def _cmd_union(
+        self, handle: int, sources: Sequence[Tuple[int, bool]]
+    ) -> dict:
         frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
         for source, replicated in sources:
             if replicated:
@@ -740,7 +755,9 @@ class _WorkerState:
             frame[0] = rows
         return self._store(handle, frame, deltas)
 
-    def _cmd_sort(self, handle: int, source: int, positions) -> dict:
+    def _cmd_sort(
+        self, handle: int, source: int, positions: Sequence[Tuple[int, bool]]
+    ) -> dict:
         deltas = self._fresh_clocks()
         frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
         if self.owns_first:
@@ -757,7 +774,9 @@ class _WorkerState:
 
     # -- result fetch / cleanup ----------------------------------------------
 
-    def _cmd_fetch(self, handle: int, segments) -> dict:
+    def _cmd_fetch(
+        self, handle: int, segments: Optional[Sequence[int]]
+    ) -> dict:
         frame = self.frames[handle]
         if segments is None:
             wanted = self.segments
@@ -824,9 +843,9 @@ def _worker_main(
     segments: List[int],
     nseg: int,
     seg_worker: Sequence[int],
-    command_queue,
-    reply_queue,
-    exchange_queues,
+    command_queue: Any,
+    reply_queue: Any,
+    exchange_queues: Sequence[Any],
 ) -> None:
     """Entry point of one worker process: a command loop in lockstep
     with the master.  Every command gets exactly one ack."""

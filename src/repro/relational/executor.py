@@ -9,7 +9,7 @@ comparisons.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .cost import CostClock
 from .expr import resolve_column
@@ -43,7 +43,7 @@ class Result:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
 
     def sorted_rows(self) -> List[Row]:
@@ -65,7 +65,7 @@ def _null_safe_key(row: Row) -> Tuple:
 class Executor:
     """Evaluates logical plans against a table catalog."""
 
-    def __init__(self, tables, clock: CostClock) -> None:
+    def __init__(self, tables: Mapping[str, object], clock: CostClock) -> None:
         # ``tables``: mapping name -> Table; kept duck-typed so the MPP
         # segment executor can reuse this class with its own catalogs.
         self._tables = tables

@@ -9,7 +9,7 @@ or rendered to SQL text for the sqlite conformance tests.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .expr import Expr
 from .types import PlanError, Row, ensure
@@ -343,7 +343,7 @@ class Limit(PlanNode):
         return f"Limit {self.limit}"
 
 
-def walk(plan: PlanNode):
+def walk(plan: PlanNode) -> Iterator[PlanNode]:
     """Yield every node of the plan tree (pre-order)."""
     yield plan
     for child in plan.children:

@@ -11,7 +11,7 @@ snapshot export (``repro.serve.snapshot.export_sqlite``) rides on that.
 from __future__ import annotations
 
 import sqlite3
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from .database import Database
 from .executor import _null_safe_key
@@ -60,5 +60,5 @@ class SqliteMirror:
     def __enter__(self) -> "SqliteMirror":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()

@@ -16,7 +16,7 @@ raise :class:`SqlParseError` with the offending token.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .expr import Col, Compare, Const, Expr, IsNull, Or, conj
 from .plan import (
@@ -330,7 +330,12 @@ class _AggCall:
 class _SelectItem:
     __slots__ = ("expression", "alias", "star")
 
-    def __init__(self, expression=None, alias=None, star=False):
+    def __init__(
+        self,
+        expression: Optional[Union[Expr, "_AggCall"]] = None,
+        alias: Optional[str] = None,
+        star: bool = False,
+    ) -> None:
         self.expression = expression
         self.alias = alias
         self.star = star
@@ -339,7 +344,12 @@ class _SelectItem:
 class _AntiSpec:
     __slots__ = ("table", "alias", "conditions")
 
-    def __init__(self, table, alias, conditions):
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        conditions: List[Tuple[Any, str, Any]],
+    ) -> None:
         self.table = table
         self.alias = alias
         self.conditions = conditions
@@ -351,7 +361,12 @@ class _Predicate:
 
     __slots__ = ("expr", "raw", "anti")
 
-    def __init__(self, expr=None, raw=None, anti=None):
+    def __init__(
+        self,
+        expr: Optional[Expr] = None,
+        raw: Optional[Tuple[Any, str, Any]] = None,
+        anti: Optional[_AntiSpec] = None,
+    ) -> None:
         self.expr = expr
         self.raw = raw
         self.anti = anti
@@ -552,7 +567,9 @@ def _apply_aggregate(spec: _SelectSpec, plan: PlanNode) -> PlanNode:
     return Project(aggregate, outputs)
 
 
-def _rewrite_having(predicate: _Predicate, register) -> Expr:
+def _rewrite_having(
+    predicate: _Predicate, register: Callable[["_AggCall", Optional[str]], str]
+) -> Expr:
     if predicate.raw is None:
         if predicate.expr is not None:
             return predicate.expr
@@ -561,7 +578,9 @@ def _rewrite_having(predicate: _Predicate, register) -> Expr:
     return Compare(op, _having_operand(left, register), _having_operand(right, register))
 
 
-def _having_operand(operand, register) -> Expr:
+def _having_operand(
+    operand: Any, register: Callable[["_AggCall", Optional[str]], str]
+) -> Expr:
     if isinstance(operand, _AggCall):
         return Col(register(operand, None))
     return _as_expr(operand)
@@ -584,7 +603,7 @@ def _apply_projection(spec: _SelectSpec, plan: PlanNode) -> PlanNode:
     return Project(plan, outputs)
 
 
-def _as_expr(value) -> Expr:
+def _as_expr(value: Any) -> Expr:
     if isinstance(value, Expr):
         return value
     raise SqlParseError(f"expected scalar expression, got {value!r}")

@@ -178,7 +178,7 @@ class _Raw(Expr):
     def to_sql(self) -> str:
         return self.text
 
-    def referenced_columns(self):  # pragma: no cover - render only
+    def referenced_columns(self) -> List[str]:  # pragma: no cover - render only
         return []
 
 

@@ -204,6 +204,16 @@ class KBService:
         with self.lock.read_locked():
             return self.probkb.fact_count()
 
+    def explain(self) -> dict:
+        """Static plan report for the current KB (a read: nothing
+        executes, no table changes — safe under concurrent ingest)."""
+        with self.lock.read_locked():
+            report = self.probkb.explain()
+            generation = self.probkb.generation
+        payload = report.to_dict()
+        payload["generation"] = generation
+        return payload
+
     @property
     def generation(self) -> int:
         with self.lock.read_locked():

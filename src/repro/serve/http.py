@@ -4,6 +4,7 @@ Endpoints::
 
     GET  /healthz              liveness + current generation
     GET  /stats                service metrics (counters, cache, latency)
+    GET  /explain              static plan report for the current KB
     GET  /facts?relation=&subject=&object=&min_probability=
     POST /evidence             {"facts": [...], "flush": false}
     POST /rules                {"rules": [...]} — gated by static analysis
@@ -182,6 +183,8 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 self._get_healthz()
             elif url.path == "/stats":
                 self._respond(200, self.server.service.stats())
+            elif url.path == "/explain":
+                self._respond(200, self.server.service.explain())
             elif url.path == "/facts":
                 self._get_facts(parse_qs(url.query))
             else:

@@ -67,6 +67,57 @@ def test_load_kb_strict_vs_off(broken_dir):
     assert len(kb.rules) == 2
 
 
+@pytest.fixture
+def warned_dir(tmp_path):
+    """A KB with warnings (a duplicate rule, PKB008) but no errors."""
+    directory = str(tmp_path / "warned")
+    save_kb(make_kb(rules=[good_rule(), good_rule()]), directory)
+    return directory
+
+
+def test_fail_on_error_tolerates_warnings(warned_dir, capsys):
+    assert main(["analyze", "--kb", warned_dir]) == 0
+    assert "PKB008" in capsys.readouterr().out
+
+
+def test_fail_on_warn_gates_warnings(warned_dir, capsys):
+    assert main(["analyze", "--kb", warned_dir, "--fail-on", "warn"]) == 1
+    assert "PKB008" in capsys.readouterr().out
+
+
+def test_analyze_missing_kb_exits_two(tmp_path, capsys):
+    assert main(["analyze", "--kb", str(tmp_path / "nowhere")]) == 2
+
+
+def test_explain_renders_plan_trees(clean_dir, capsys):
+    assert main(["explain", "--kb", clean_dir]) == 0
+    out = capsys.readouterr().out
+    assert "static plan analysis" in out
+    assert "Query 1-1" in out and "Query 2-1" in out
+    assert "Seq Scan" in out
+    assert "total estimated" in out
+
+
+def test_explain_single_backend_has_no_motions(clean_dir, capsys):
+    assert main(["explain", "--kb", clean_dir, "--backend", "single"]) == 0
+    out = capsys.readouterr().out
+    assert "backend=single" in out
+    assert "Motion" not in out
+
+
+def test_explain_json_round_trips(clean_dir, capsys):
+    from repro.analyze import StaticPlanReport
+
+    assert main(["explain", "--kb", clean_dir, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    report = StaticPlanReport.from_dict(payload)
+    assert report.to_dict() == payload
+    assert report.environment.num_segments == 8
+    assert [q.name for q in report.queries] == [
+        q["name"] for q in payload["queries"]
+    ]
+
+
 def test_ground_strict_refuses_broken_kb(broken_dir, tmp_path, capsys):
     code = main(
         [

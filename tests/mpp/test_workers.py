@@ -229,6 +229,7 @@ class TestCrashRecovery:
                 "segments": 4,
                 "workers": 0,
                 "degraded": True,
+                "plan": "adaptive",
             }
             # the degraded cluster still accepts DML and queries
             pooled.insert_rows("person", [(999, "late", 0)])

@@ -120,6 +120,37 @@ def test_stats_endpoint(base_url):
     assert "query_latency" in stats and "p99_seconds" in stats["query_latency"]
 
 
+def test_explain_endpoint(base_url):
+    from repro.analyze import StaticPlanReport
+
+    status, payload = get_json(base_url + "/explain")
+    assert status == 200
+    # pinned to a generation like every other read
+    generation = payload.pop("generation")
+    _, health = get_json(base_url + "/healthz")
+    assert generation <= health["generation"]
+    report = StaticPlanReport.from_dict(payload)
+    assert report.environment.kind == "single"
+    assert {q.name for q in report.queries} >= {"Query 1-1", "Query 2-1"}
+    assert report.total_estimated_seconds > 0
+
+
+def test_explain_tracks_rule_ingest(base_url):
+    """New rules change the plan report the endpoint serves."""
+    _, before = get_json(base_url + "/explain")
+    rule = {
+        "weight": 2.0,
+        "head": {"relation": "born_in", "args": ["x", "y"]},
+        "body": [{"relation": "live_in", "args": ["x", "y"]}],
+        "classes": {"x": "Writer", "y": "Place"},
+    }
+    status, _ = post_json(base_url + "/rules", {"rules": [rule]})
+    assert status == 200
+    _, after = get_json(base_url + "/explain")
+    assert after["generation"] > before["generation"]
+    assert len(after["queries"]) >= len(before["queries"])
+
+
 def test_snapshot_endpoint_writes_configured_path(base_url, tmp_path):
     status, payload = post_json(base_url + "/snapshot", {})
     assert status == 200
