@@ -22,7 +22,8 @@ bench-mpp:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_mpp_wallclock.py -m mpp -q
 
 # Static checks: ruff (style/imports) + mypy (strict on repro.analyze,
-# repro.core, repro.quality — see pyproject.toml).  Each tool is skipped
+# repro.core, repro.quality, repro.serve — see pyproject.toml).  Each
+# tool is skipped
 # with a notice when not installed, so `make lint` is safe in minimal
 # environments; CI installs both and runs them for real.
 lint:

@@ -158,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument("--sweeps", type=int, default=200)
     serve_cmd.add_argument("--cache-size", type=int, default=256)
+    serve_cmd.add_argument(
+        "--cache-policy",
+        choices=("lru", "lfu", "ttl"),
+        default="lru",
+        help="query-cache eviction policy",
+    )
+    serve_cmd.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="entry lifetime in seconds (required with --cache-policy ttl)",
+    )
     serve_cmd.add_argument("--flush-size", type=int, default=64)
     serve_cmd.add_argument("--flush-interval", type=float, default=0.2)
     serve_cmd.add_argument("--max-queue", type=int, default=4096)
@@ -168,6 +180,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    # hardening flags; each defaults to None so the PROBKB_SERVE_* env
+    # vars show through unless the flag is given explicitly
+    serve_cmd.add_argument(
+        "--auth-token",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help="require 'Authorization: Bearer TOKEN' (repeatable; "
+        "env PROBKB_SERVE_AUTH_TOKEN, comma-separated)",
+    )
+    serve_cmd.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="sustained requests/second allowed per client, 0 disables "
+        "(env PROBKB_SERVE_RATE_LIMIT)",
+    )
+    serve_cmd.add_argument(
+        "--rate-burst",
+        type=int,
+        default=None,
+        help="token-bucket burst size (env PROBKB_SERVE_RATE_BURST)",
+    )
+    serve_cmd.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request handler budget in seconds, 0 disables "
+        "(env PROBKB_SERVE_TIMEOUT)",
+    )
+    serve_cmd.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        help="largest accepted request body, 0 = unlimited "
+        "(env PROBKB_SERVE_MAX_BODY)",
+    )
+    serve_cmd.add_argument(
+        "--log-json",
+        action="store_true",
+        default=None,
+        help="one JSON log line per request/flush/error on stderr "
+        "(env PROBKB_SERVE_LOG_JSON)",
     )
     return parser
 
@@ -412,7 +468,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def build_serve_service(args):
+def build_serve_service(args, logger=None):
     """Build the KBService for ``serve`` (separate for testability)."""
     import os
 
@@ -452,6 +508,8 @@ def build_serve_service(args):
 
     config = ServiceConfig(
         cache_size=args.cache_size,
+        cache_policy=getattr(args, "cache_policy", "lru"),
+        cache_ttl=getattr(args, "cache_ttl", None),
         ingest=IngestConfig(
             max_queue=args.max_queue,
             flush_size=args.flush_size,
@@ -460,32 +518,79 @@ def build_serve_service(args):
         infer_on_flush=args.infer_on_flush,
         inference=InferenceConfig(num_sweeps=args.sweeps),
     )
-    return KBService(system, config)
+    return KBService(system, config, logger=logger)
 
 
 def cmd_serve(args) -> int:
-    from .serve import make_server, save_snapshot
+    import signal
+    import threading
 
-    service = build_serve_service(args)
+    from .serve import JsonLogger, ServeConfig, make_server, save_snapshot
+
+    serve_config = ServeConfig.resolve(
+        auth_tokens=tuple(args.auth_token) if args.auth_token else None,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        request_timeout=args.request_timeout,
+        max_body_bytes=args.max_body_bytes,
+        log_json=args.log_json,
+    )
+    logger = JsonLogger(enabled=serve_config.log_json)
+    service = build_serve_service(args, logger=logger)
     server = make_server(
         service,
         host=args.host,
         port=args.port,
         snapshot_path=args.snapshot,
         quiet=not args.verbose,
+        config=serve_config,
+        logger=logger,
     )
     host, port = server.server_address[:2]
     service.start()
+
+    # Graceful drain: on SIGTERM/SIGINT stop admitting evidence (healthz
+    # flips to "draining"), flush everything already accepted into the
+    # KB, write the final snapshot, then stop the listener and exit 0.
+    drain_lock = threading.Lock()
+    drained = threading.Event()
+
+    def _drain() -> None:
+        with drain_lock:
+            if drained.is_set():
+                return
+            server.draining = True
+            logger.log("drain_begin", queue_depth=service.queue.depth)
+            try:
+                service.stop()  # stops the worker, then drains the queue
+                if args.snapshot:
+                    save_snapshot(service.probkb, args.snapshot)
+                    logger.log("snapshot", path=args.snapshot)
+            finally:
+                drained.set()
+                server.shutdown()
+
+    def _on_signal(signum, frame) -> None:
+        # serve_forever blocks the main thread; shutdown() must come
+        # from another thread or it deadlocks waiting on its own loop
+        threading.Thread(target=_drain, name="probkb-drain", daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_signal)
+        except ValueError:  # not the main thread (embedded use)
+            break
+
     print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if not drained.is_set():
+            _drain()
         server.server_close()
-        service.stop()
         if args.snapshot:
-            save_snapshot(service.probkb, args.snapshot)
             print(f"snapshot written to {args.snapshot}")
         service.probkb.close()
     return 0

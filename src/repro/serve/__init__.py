@@ -2,8 +2,11 @@
 
 Wraps a :class:`~repro.ProbKB` in a long-lived, concurrency-safe
 service: readers-writer locking for pattern queries vs evidence ingest,
-micro-batched ingest with backpressure, an LRU query cache invalidated
-by KB generation, warm-restart snapshots, and a stdlib JSON HTTP API.
+micro-batched ingest with backpressure and a dead-letter list, a query
+cache (lru/lfu/ttl eviction) invalidated by KB generation, warm-restart
+snapshots, and a stdlib JSON HTTP API hardened with bearer-token auth,
+per-client rate limiting, request bounds, structured JSON logs, and
+graceful drain (see ``docs/serve.md``).
 
 Typical embedding::
 
@@ -17,24 +20,31 @@ Typical embedding::
 ``python -m repro.cli serve --kb <dir>`` runs the HTTP front end.
 """
 
-from .cache import QueryCache
+from .cache import EVICTION_POLICIES, QueryCache
+from .config import ServeConfig
 from .engine import KBService, QueryResult, RWLock, ServiceConfig
 from .http import KBServer, make_server
 from .ingest import EvidenceQueue, IngestConfig, IngestOverflow, IngestWorker, coalesce
+from .limiter import RateLimiter
+from .logging import JsonLogger
 from .metrics import LatencyRing, ServiceMetrics
 from .snapshot import export_sqlite, load_snapshot, save_snapshot, snapshot_dict
 
 __all__ = [
+    "EVICTION_POLICIES",
     "EvidenceQueue",
     "IngestConfig",
     "IngestOverflow",
     "IngestWorker",
+    "JsonLogger",
     "KBServer",
     "KBService",
     "LatencyRing",
     "QueryCache",
     "QueryResult",
     "RWLock",
+    "RateLimiter",
+    "ServeConfig",
     "ServiceConfig",
     "ServiceMetrics",
     "coalesce",

@@ -1,36 +1,84 @@
-"""An LRU query-result cache with generation-based invalidation.
+"""A query-result cache with generation-based invalidation.
 
 Every ingest flush bumps the KB generation; cached entries are tagged
 with the generation they were computed under and a lookup only returns
 entries from the *current* generation.  Stale entries are dropped lazily
 on access (and wholesale on :meth:`bump`), so invalidation is O(1) per
 flush no matter how large the cache is.
+
+Eviction is pluggable (``policy=``):
+
+``lru``
+    Least-recently-used (the default, and the previous behavior): a hit
+    refreshes the entry, the coldest entry goes first.
+``lfu``
+    Least-frequently-used: each hit increments a use count and the entry
+    with the fewest uses goes first (ties: least recently touched).
+    Better when a few hot patterns dominate but occasionally a scan of
+    one-off queries would otherwise flush them out.
+``ttl``
+    Insertion-ordered with an expiry: entries older than ``ttl`` seconds
+    are dropped on access and swept on insert; capacity overflow evicts
+    the oldest entry.  Useful when staleness is bounded by wall clock
+    rather than by generation alone (e.g. probabilities drift as
+    materialization reruns).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+EVICTION_POLICIES = ("lru", "lfu", "ttl")
+
+
+class _Entry:
+    __slots__ = ("generation", "value", "uses", "stored_at")
+
+    def __init__(self, generation: int, value: Any, stored_at: float) -> None:
+        self.generation = generation
+        self.value = value
+        self.uses = 0
+        self.stored_at = stored_at
 
 
 class QueryCache:
-    """A thread-safe LRU cache keyed by query pattern.
+    """A thread-safe query cache keyed by query pattern.
 
     Keys are whatever tuple the caller builds — the serving layer uses
     ``(relation, subject, object, min_probability)``.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        policy: str = "lru",
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {policy!r}; "
+                f"choose from {', '.join(EVICTION_POLICIES)}"
+            )
+        if policy == "ttl":
+            if ttl is None or ttl <= 0:
+                raise ValueError("ttl policy needs ttl > 0 seconds")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self.policy = policy
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._generation = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expirations = 0
 
     @property
     def generation(self) -> int:
@@ -55,18 +103,36 @@ class QueryCache:
                 self._generation = generation
             self._entries.clear()
 
+    def _expired(self, entry: _Entry, now: float) -> bool:
+        return (
+            self.policy == "ttl"
+            and self.ttl is not None
+            and now - entry.stored_at > self.ttl
+        )
+
     def get(self, key: Hashable) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; only current-generation entries hit."""
+        """Return ``(hit, value)``; only live current-generation entries hit."""
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or entry[0] != self._generation:
-                if entry is not None:
-                    del self._entries[key]
+            if entry is None:
                 self.misses += 1
                 return False, None
-            self._entries.move_to_end(key)
+            if entry.generation != self._generation:
+                del self._entries[key]
+                self.misses += 1
+                return False, None
+            if self._expired(entry, self._clock()):
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return False, None
+            entry.uses += 1
+            if self.policy in ("lru", "lfu"):
+                # recency is the primary (lru) or tie-breaking (lfu) signal;
+                # ttl keeps insertion order so the oldest entry stays first
+                self._entries.move_to_end(key)
             self.hits += 1
-            return True, entry[1]
+            return True, entry.value
 
     def put(self, key: Hashable, value: Any, generation: Optional[int] = None) -> None:
         """Store a result computed under ``generation`` (default: current).
@@ -79,11 +145,41 @@ class QueryCache:
                 generation = self._generation
             if generation != self._generation:
                 return
-            self._entries[key] = (generation, value)
+            now = self._clock()
+            if self.policy == "ttl":
+                self._sweep_expired(now)
+            if key not in self._entries:
+                # evict before inserting so the newcomer never competes
+                # (an lfu entry starts at 0 uses and would evict itself)
+                while len(self._entries) >= self.capacity:
+                    self._evict_one()
+            self._entries[key] = _Entry(generation, value, now)
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+
+    def _sweep_expired(self, now: float) -> None:
+        expired = [
+            key for key, entry in self._entries.items() if self._expired(entry, now)
+        ]
+        for key in expired:
+            del self._entries[key]
+            self.expirations += 1
+
+    def _evict_one(self) -> None:
+        if self.policy == "lfu":
+            # O(capacity) scan; capacities here are hundreds, not millions.
+            # Iteration order is least-recently-touched first, so `<` makes
+            # recency the tie-breaker for equal use counts.
+            victim = None
+            fewest = None
+            for key, entry in self._entries.items():
+                if fewest is None or entry.uses < fewest:
+                    victim, fewest = key, entry.uses
+            assert victim is not None
+            del self._entries[victim]
+        else:
+            # lru: coldest first; ttl: oldest insertion first
+            self._entries.popitem(last=False)
+        self.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,15 +191,18 @@ class QueryCache:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, object]:
         with self._lock:
             total = self.hits + self.misses
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "policy": self.policy,
+                "ttl": self.ttl,
                 "generation": self._generation,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "expirations": self.expirations,
                 "hit_rate": self.hits / total if total else 0.0,
             }

@@ -22,8 +22,9 @@ from ..core.clauses import HornClause
 from ..core.config import InferenceConfig
 from ..core.model import Fact
 from ..core.probkb import ProbKB
-from .cache import QueryCache
+from .cache import EVICTION_POLICIES, QueryCache
 from .ingest import EvidenceQueue, IngestConfig, IngestWorker
+from .logging import NULL_LOGGER, JsonLogger
 from .metrics import ServiceMetrics
 
 
@@ -94,6 +95,10 @@ class ServiceConfig:
     """Serving-layer tuning, independent of the wrapped KB's own config."""
 
     cache_size: int = 256
+    #: query-cache eviction policy: "lru" (default), "lfu", or "ttl"
+    cache_policy: str = "lru"
+    #: entry lifetime in seconds; required when ``cache_policy="ttl"``
+    cache_ttl: Optional[float] = None
     ingest: IngestConfig = field(default_factory=IngestConfig)
     #: rerun marginal inference + TProb after each flush; costly, so off
     #: by default — queries then report None for fresh inferred facts
@@ -108,6 +113,11 @@ class ServiceConfig:
     inference: Optional[InferenceConfig] = None
 
     def __post_init__(self) -> None:
+        if self.cache_policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r}; "
+                f"choose from {', '.join(EVICTION_POLICIES)}"
+            )
         overrides = {}
         if self.num_sweeps is not None:
             overrides["num_sweeps"] = self.num_sweeps
@@ -140,15 +150,30 @@ class QueryResult(NamedTuple):
 class KBService:
     """A long-lived, concurrency-safe front end over one ProbKB."""
 
-    def __init__(self, probkb: ProbKB, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        probkb: ProbKB,
+        config: Optional[ServiceConfig] = None,
+        logger: Optional[JsonLogger] = None,
+    ) -> None:
         self.probkb = probkb
         self.config = config or ServiceConfig()
+        self.logger = logger if logger is not None else NULL_LOGGER
         self.lock = RWLock()
-        self.cache = QueryCache(self.config.cache_size)
+        self.cache = QueryCache(
+            self.config.cache_size,
+            policy=self.config.cache_policy,
+            ttl=self.config.cache_ttl,
+        )
         self.cache.bump(probkb.generation)
         self.metrics = ServiceMetrics(self.config.latency_window)
         self.queue = EvidenceQueue(self.config.ingest)
-        self.worker = IngestWorker(self.queue, self._apply_batch)
+        self.worker = IngestWorker(
+            self.queue,
+            self._apply_batch,
+            on_drop=self.metrics.record_dead_letter,
+            logger=self.logger,
+        )
         self.started_at = time.time()
         self._running = False
 
@@ -168,7 +193,7 @@ class KBService:
     def __enter__(self) -> "KBService":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # -- read side ---------------------------------------------------------
@@ -257,12 +282,21 @@ class KBService:
 
     def _apply_batch(self, batch: List[Fact]) -> None:
         """The single writer: evidence -> delta regrounding -> new generation."""
+        started = time.perf_counter()
         with self.lock.write_locked():
             self.probkb.add_evidence(batch)
             if self.config.infer_on_flush:
                 self.probkb.materialize_marginals(config=self.config.inference)
-            self.cache.bump(self.probkb.generation)
+            generation = self.probkb.generation
+            self.cache.bump(generation)
         self.metrics.record_ingest(len(batch))
+        self.logger.log(
+            "flush",
+            facts=len(batch),
+            generation=generation,
+            queue_depth=self.queue.depth,
+            latency_ms=round((time.perf_counter() - started) * 1000, 3),
+        )
 
     def materialize(self, num_sweeps: Optional[int] = None) -> int:
         """Recompute + store marginals under the write lock."""
@@ -287,6 +321,8 @@ class KBService:
             "factors": factors,
             "queue_depth": self.queue.depth,
             "ingest_flushes": self.worker.flushes,
+            "ingest_retries": self.worker.retries,
+            "dead_letter": self.worker.dead_letter_stats(),
             "uptime_seconds": time.time() - self.started_at,
             "backend": self.probkb.backend.name,
             "executor": self.probkb.backend.executor_info(),

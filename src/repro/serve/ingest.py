@@ -9,7 +9,14 @@ pending fact has waited ``flush_interval`` seconds.
 
 Backpressure: when the queue is full, ``put`` blocks the producer (up to
 ``put_timeout``) instead of buffering unboundedly; a timeout raises
-:class:`IngestOverflow`, which the HTTP layer maps to 503.
+:class:`IngestOverflow`, which the HTTP layer maps to 503.  Admission is
+all-or-nothing per batch — a 503 means *none* of the batch was queued,
+so the client may retry without duplicating evidence.
+
+Failure policy: a batch whose ``apply`` raises is retried once (the KB
+write lock makes transient contention plausible) and then moved to a
+bounded dead-letter list — accepted evidence is never silently dropped,
+and the drop is visible in ``GET /stats``.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import Fact
+from .logging import NULL_LOGGER, JsonLogger
 
 
 class IngestOverflow(RuntimeError):
@@ -34,6 +42,8 @@ class IngestConfig:
     flush_size: int = 64
     flush_interval: float = 0.2
     put_timeout: float = 5.0
+    #: most facts retained in the dead-letter list (oldest evicted first)
+    dead_letter_max: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -42,6 +52,10 @@ class IngestConfig:
             raise ValueError(f"flush_size must be >= 1, got {self.flush_size}")
         if self.flush_interval < 0:
             raise ValueError("flush_interval must be >= 0")
+        if self.dead_letter_max < 0:
+            raise ValueError(
+                f"dead_letter_max must be >= 0, got {self.dead_letter_max}"
+            )
 
 
 def coalesce(facts: Sequence[Fact]) -> List[Fact]:
@@ -51,44 +65,58 @@ def coalesce(facts: Sequence[Fact]) -> List[Fact]:
     applying them once per batch keeps the anti-join guard's work
     proportional to *distinct* new knowledge.
     """
-    by_key = {}
+    by_key: Dict[object, Fact] = {}
     for fact in facts:
         by_key[fact.key] = fact
     return list(by_key.values())
 
 
 class EvidenceQueue:
-    """A bounded FIFO of pending evidence facts."""
+    """A bounded FIFO of pending evidence facts.
+
+    Each entry remembers when it was enqueued, so the age trigger always
+    measures the oldest fact *still in the queue* — a partial drain must
+    not restart the clock for the facts it left behind.
+    """
 
     def __init__(self, config: IngestConfig) -> None:
         self.config = config
-        self._items: List[Fact] = []
-        self._oldest_at: Optional[float] = None
+        self._items: List[Tuple[float, Fact]] = []
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
 
     def put(self, facts: Sequence[Fact], timeout: Optional[float] = None) -> int:
-        """Enqueue facts, blocking while the queue is full.
+        """Enqueue a batch atomically, blocking while there is no room.
 
-        Returns the queue depth after the enqueue.  Raises
-        :class:`IngestOverflow` if room does not open up in time.
+        The whole batch is admitted or none of it: capacity is reserved
+        up front, so a producer that sees :class:`IngestOverflow` knows
+        the queue depth is exactly what it was before the call and can
+        retry without duplicating a partially-admitted prefix.  A batch
+        larger than ``max_queue`` can never fit and fails immediately.
+
+        Returns the queue depth after the enqueue.
         """
+        count = len(facts)
+        if count > self.config.max_queue:
+            raise IngestOverflow(
+                f"batch of {count} facts can never fit the evidence queue "
+                f"(max_queue={self.config.max_queue}); split the batch"
+            )
         if timeout is None:
             timeout = self.config.put_timeout
         deadline = time.monotonic() + timeout
         with self._lock:
-            for fact in facts:
-                while len(self._items) >= self.config.max_queue:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self._not_full.wait(remaining):
-                        raise IngestOverflow(
-                            f"evidence queue full ({self.config.max_queue}) "
-                            f"for {timeout:.1f}s"
-                        )
-                if self._oldest_at is None:
-                    self._oldest_at = time.monotonic()
-                self._items.append(fact)
+            while len(self._items) + count > self.config.max_queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._not_full.wait(remaining):
+                    raise IngestOverflow(
+                        f"evidence queue full ({self.config.max_queue}) "
+                        f"for {timeout:.1f}s"
+                    )
+            now = time.monotonic()
+            self._items.extend((now, fact) for fact in facts)
+            if count:
                 self._not_empty.notify_all()
             return len(self._items)
 
@@ -96,14 +124,20 @@ class EvidenceQueue:
         """Dequeue up to ``max_items`` facts (all, if None)."""
         with self._lock:
             if max_items is None or max_items >= len(self._items):
-                batch, self._items = self._items, []
+                taken, self._items = self._items, []
             else:
-                batch = self._items[:max_items]
+                taken = self._items[:max_items]
                 self._items = self._items[max_items:]
-            self._oldest_at = time.monotonic() if self._items else None
-            if batch:
+            if taken:
                 self._not_full.notify_all()
-            return batch
+            return [fact for _, fact in taken]
+
+    def oldest_age(self) -> Optional[float]:
+        """Seconds the oldest *remaining* fact has been queued, if any."""
+        with self._lock:
+            if not self._items:
+                return None
+            return time.monotonic() - self._items[0][0]
 
     def wait_ready(self, stop: threading.Event) -> bool:
         """Block until a flush is due (size or age trigger) or ``stop``.
@@ -116,7 +150,7 @@ class EvidenceQueue:
                 if len(self._items) >= config.flush_size:
                     return True
                 if self._items:
-                    age = time.monotonic() - (self._oldest_at or 0.0)
+                    age = time.monotonic() - self._items[0][0]
                     if age >= config.flush_interval:
                         return True
                     self._not_empty.wait(config.flush_interval - age)
@@ -147,11 +181,20 @@ class IngestWorker:
         self,
         queue: EvidenceQueue,
         apply: Callable[[List[Fact]], None],
+        on_drop: Optional[Callable[[int], None]] = None,
+        logger: Optional[JsonLogger] = None,
     ) -> None:
         self.queue = queue
         self.apply = apply
+        self.on_drop = on_drop
+        self.logger = logger if logger is not None else NULL_LOGGER
         self.flushes = 0
+        self.retries = 0
         self.last_error: Optional[BaseException] = None
+        self.dead_letter: List[Fact] = []
+        self.dead_letter_batches = 0
+        self.dead_letter_evicted = 0
+        self._dead_letter_lock = threading.Lock()
         self._stop = threading.Event()
         self._idle = threading.Event()
         self._idle.set()
@@ -184,13 +227,72 @@ class IngestWorker:
                 return 0
             self._idle.clear()
             try:
-                self.apply(batch)
-                self.flushes += 1
-            except BaseException as error:  # keep serving; surface via stats
-                self.last_error = error
+                self._apply_with_retry(batch)
             finally:
                 self._idle.set()
             return len(batch)
+
+    def _apply_with_retry(self, batch: List[Fact]) -> None:
+        """Apply a drained batch; retry once, then dead-letter it.
+
+        Only ``Exception`` is treated as an apply failure —
+        ``KeyboardInterrupt``/``SystemExit`` propagate, because hiding an
+        interpreter shutdown inside ``last_error`` is how a Ctrl-C turns
+        into a hung process.
+        """
+        try:
+            self.apply(batch)
+            self.flushes += 1
+            return
+        except Exception as error:
+            self.last_error = error
+            self.logger.log(
+                "flush_error",
+                error=repr(error),
+                facts=len(batch),
+                retrying=True,
+                queue_depth=self.queue.depth,
+            )
+        self.retries += 1
+        try:
+            self.apply(batch)
+            self.flushes += 1
+        except Exception as error:
+            self.last_error = error
+            self._to_dead_letter(batch, error)
+
+    def _to_dead_letter(self, batch: List[Fact], error: Exception) -> None:
+        limit = self.queue.config.dead_letter_max
+        with self._dead_letter_lock:
+            self.dead_letter_batches += 1
+            self.dead_letter.extend(batch)
+            overflow = len(self.dead_letter) - limit
+            if overflow > 0:
+                del self.dead_letter[:overflow]
+                self.dead_letter_evicted += overflow
+        if self.on_drop is not None:
+            self.on_drop(len(batch))
+        self.logger.log(
+            "dead_letter",
+            error=repr(error),
+            facts=len(batch),
+            queue_depth=self.queue.depth,
+        )
+
+    def dead_letter_stats(self) -> Dict[str, int]:
+        """Counters for ``GET /stats``: what failed and what was kept."""
+        with self._dead_letter_lock:
+            return {
+                "batches": self.dead_letter_batches,
+                "facts": len(self.dead_letter),
+                "evicted": self.dead_letter_evicted,
+            }
+
+    def take_dead_letter(self) -> List[Fact]:
+        """Remove and return the retained dead-letter facts (for replay)."""
+        with self._dead_letter_lock:
+            taken, self.dead_letter = self.dead_letter, []
+            return taken
 
     def flush(self) -> int:
         """Synchronously apply everything queued right now (caller thread).

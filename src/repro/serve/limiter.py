@@ -1,0 +1,82 @@
+"""Per-client token-bucket rate limiting for the HTTP front end.
+
+Classic token bucket: each client key owns a bucket that refills at
+``rate`` tokens/second up to ``burst``; a request spends one token, and
+an empty bucket means 429 with a computed ``Retry-After``.  Keys are
+whatever the caller identifies clients by — the serving layer uses the
+presented bearer token when there is one and the remote address
+otherwise, so authenticated clients are limited per credential rather
+than per NAT.
+
+Buckets are created lazily and the table is bounded: past
+``max_clients`` the least-recently-seen bucket is dropped (a dropped
+client simply starts over with a full bucket, which only ever errs in
+the client's favour).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, Tuple
+
+
+class _Bucket:
+    __slots__ = ("tokens", "updated")
+
+    def __init__(self, tokens: float, updated: float) -> None:
+        self.tokens = tokens
+        self.updated = updated
+
+
+class RateLimiter:
+    """Token buckets keyed per client, safe for concurrent requests."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/second, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = rate
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[Hashable, _Bucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def check(self, key: Hashable) -> Tuple[bool, float]:
+        """Admit or reject one request from ``key``.
+
+        Returns ``(allowed, retry_after_seconds)``; ``retry_after`` is
+        0.0 when allowed, otherwise the time until one token refills.
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = _Bucket(tokens=self.burst, updated=now)
+                self._buckets[key] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                elapsed = max(0.0, now - bucket.updated)
+                bucket.tokens = min(self.burst, bucket.tokens + elapsed * self.rate)
+                bucket.updated = now
+                self._buckets.move_to_end(key)
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - bucket.tokens) / self.rate
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,60 @@
+"""Structured JSON logging for the serving layer.
+
+One event per line, one JSON object per event — the format every log
+shipper ingests without configuration.  The request handler logs a line
+per HTTP request, the ingest path a line per flush/error, always with
+the fields an operator greps for first: the KB generation the event saw,
+the latency it took, and the queue depth behind it.
+
+A :class:`JsonLogger` is cheap to construct and safe to share across
+threads; a disabled logger reduces every call to one attribute check, so
+call sites never need their own ``if``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional, TextIO
+
+
+class JsonLogger:
+    """Thread-safe one-line-per-event JSON logger.
+
+    Events go to ``stream`` (default: stderr, keeping stdout clean for
+    the CLI's human-readable output).  Non-serializable field values are
+    rendered with ``repr`` rather than raising — a log line must never
+    take the request down with it.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.stream: TextIO = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit one ``{"ts": ..., "event": event, ...fields}`` line."""
+        if not self.enabled:
+            return
+        record: dict = {"ts": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        line = json.dumps(record, default=repr)
+        with self._lock:
+            try:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                # closed/broken stream: logging must never break serving
+                self.enabled = False
+
+
+#: shared no-op logger for call sites that were not handed one
+NULL_LOGGER = JsonLogger(enabled=False)

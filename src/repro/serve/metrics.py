@@ -70,6 +70,11 @@ class ServiceMetrics:
         self.ingested_facts = 0
         self.ingest_batches = 0
         self.snapshots_saved = 0
+        self.auth_failures = 0
+        self.rate_limited = 0
+        self.request_timeouts = 0
+        self.oversize_rejected = 0
+        self.dead_letter_facts = 0
         self.query_latency = LatencyRing(latency_window)
 
     def record_query(self, seconds: float, cache_hit: bool) -> None:
@@ -90,6 +95,27 @@ class ServiceMetrics:
         with self._lock:
             self.snapshots_saved += 1
 
+    def record_auth_failure(self) -> None:
+        with self._lock:
+            self.auth_failures += 1
+
+    def record_rate_limited(self) -> None:
+        with self._lock:
+            self.rate_limited += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.request_timeouts += 1
+
+    def record_oversize(self) -> None:
+        with self._lock:
+            self.oversize_rejected += 1
+
+    def record_dead_letter(self, facts: int) -> None:
+        """Facts that failed to apply (after retry) and were dead-lettered."""
+        with self._lock:
+            self.dead_letter_facts += facts
+
     @property
     def cache_hit_rate(self) -> float:
         with self._lock:
@@ -98,15 +124,21 @@ class ServiceMetrics:
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            counters = {
+            counters: Dict[str, object] = {
                 "queries": self.queries,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "ingested_facts": self.ingested_facts,
                 "ingest_batches": self.ingest_batches,
                 "snapshots_saved": self.snapshots_saved,
+                "auth_failures": self.auth_failures,
+                "rate_limited": self.rate_limited,
+                "request_timeouts": self.request_timeouts,
+                "oversize_rejected": self.oversize_rejected,
+                "dead_letter_facts": self.dead_letter_facts,
             }
-        total = counters["cache_hits"] + counters["cache_misses"]
-        counters["cache_hit_rate"] = counters["cache_hits"] / total if total else 0.0
+            hits, misses = self.cache_hits, self.cache_misses
+        total = hits + misses
+        counters["cache_hit_rate"] = hits / total if total else 0.0
         counters["query_latency"] = self.query_latency.snapshot()
         return counters

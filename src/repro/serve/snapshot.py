@@ -107,7 +107,7 @@ _NSEG_UNSET = object()
 def load_snapshot(
     path: str,
     backend: Union[BackendConfig, Backend, str] = "single",
-    nseg=_NSEG_UNSET,
+    nseg: object = _NSEG_UNSET,
 ) -> ProbKB:
     """Rebuild a warm ProbKB from a snapshot — no grounding run.
 

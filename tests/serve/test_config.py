@@ -1,0 +1,134 @@
+"""ServeConfig resolution, the JSON logger, and the token-bucket limiter."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve import JsonLogger, RateLimiter, ServeConfig
+
+
+class TestServeConfig:
+    def test_defaults_are_open_except_body_cap(self):
+        config = ServeConfig()
+        assert not config.auth_enabled
+        assert not config.rate_limit_enabled
+        assert config.request_timeout == 30.0
+        assert config.max_body_bytes == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(rate_limit=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(rate_burst=0)
+        with pytest.raises(ValueError):
+            ServeConfig(request_timeout=-0.1)
+        with pytest.raises(ValueError):
+            ServeConfig(max_body_bytes=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(auth_tokens=("ok", ""))
+
+    def test_from_env_reads_every_knob(self):
+        env = {
+            "PROBKB_SERVE_AUTH_TOKEN": "alpha, beta",
+            "PROBKB_SERVE_RATE_LIMIT": "2.5",
+            "PROBKB_SERVE_RATE_BURST": "7",
+            "PROBKB_SERVE_TIMEOUT": "1.5",
+            "PROBKB_SERVE_MAX_BODY": "2048",
+            "PROBKB_SERVE_LOG_JSON": "true",
+        }
+        config = ServeConfig.from_env(env)
+        assert config.auth_tokens == ("alpha", "beta")
+        assert config.rate_limit == 2.5
+        assert config.rate_burst == 7
+        assert config.request_timeout == 1.5
+        assert config.max_body_bytes == 2048
+        assert config.log_json is True
+
+    def test_from_env_ignores_unset_variables(self):
+        assert ServeConfig.from_env({}) == ServeConfig()
+
+    def test_from_env_rejects_garbage(self):
+        with pytest.raises(ValueError, match="PROBKB_SERVE_RATE_LIMIT"):
+            ServeConfig.from_env({"PROBKB_SERVE_RATE_LIMIT": "fast"})
+        with pytest.raises(ValueError, match="PROBKB_SERVE_LOG_JSON"):
+            ServeConfig.from_env({"PROBKB_SERVE_LOG_JSON": "maybe"})
+
+    def test_resolve_cli_overrides_env(self):
+        env = {"PROBKB_SERVE_RATE_LIMIT": "2.0", "PROBKB_SERVE_RATE_BURST": "5"}
+        config = ServeConfig.resolve(env, rate_limit=9.0, rate_burst=None)
+        assert config.rate_limit == 9.0  # explicit flag wins
+        assert config.rate_burst == 5  # None means "not given": env shows through
+
+    def test_resolve_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            ServeConfig.resolve({}, no_such_knob=1)
+
+
+class TestJsonLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, clock=lambda: 12.0)
+        logger.log("request", method="GET", path="/facts", status=200)
+        logger.log("flush", facts=3)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "ts": 12.0,
+            "event": "request",
+            "method": "GET",
+            "path": "/facts",
+            "status": 200,
+        }
+        assert json.loads(lines[1])["event"] == "flush"
+
+    def test_disabled_logger_writes_nothing(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, enabled=False)
+        logger.log("request", status=200)
+        assert stream.getvalue() == ""
+
+    def test_unserializable_fields_fall_back_to_repr(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.log("error", error=ValueError("boom"))
+        payload = json.loads(stream.getvalue())
+        assert "boom" in payload["error"]
+
+
+class TestRateLimiter:
+    def test_burst_then_reject_with_retry_after(self):
+        clock = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=3, clock=lambda: clock[0])
+        assert [limiter.check("c")[0] for _ in range(3)] == [True] * 3
+        allowed, retry_after = limiter.check("c")
+        assert not allowed
+        assert retry_after == pytest.approx(1.0)
+
+    def test_tokens_refill_over_time(self):
+        clock = [0.0]
+        limiter = RateLimiter(rate=2.0, burst=2, clock=lambda: clock[0])
+        assert limiter.check("c")[0] and limiter.check("c")[0]
+        assert not limiter.check("c")[0]
+        clock[0] += 0.5  # one token refills at 2/s
+        assert limiter.check("c")[0]
+        assert not limiter.check("c")[0]
+
+    def test_clients_do_not_share_buckets(self):
+        limiter = RateLimiter(rate=1.0, burst=1)
+        assert limiter.check("a")[0]
+        assert not limiter.check("a")[0]
+        assert limiter.check("b")[0]  # fresh bucket for a new client
+
+    def test_client_table_is_bounded(self):
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=3)
+        for i in range(10):
+            limiter.check(f"client-{i}")
+        assert len(limiter) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1, burst=0)

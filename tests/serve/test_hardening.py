@@ -1,0 +1,330 @@
+"""HTTP hardening: auth, rate limiting, body caps, timeouts, draining.
+
+Each test boots a real in-process server (threaded, random port) with
+the hardening knob under test switched on, and exercises it with plain
+``urllib`` — exactly what an external client sees.
+"""
+
+import contextlib
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ProbKB
+from repro.datasets import paper_kb
+from repro.serve import (
+    IngestConfig,
+    JsonLogger,
+    KBService,
+    ServeConfig,
+    ServiceConfig,
+    make_server,
+)
+
+
+def build_service(**service_kwargs) -> KBService:
+    system = ProbKB(paper_kb(), backend="single")
+    system.ground()
+    return KBService(system, ServiceConfig(**service_kwargs))
+
+
+@contextlib.contextmanager
+def serving(service, config=None, logger=None, start_worker=True, snapshot_path=None):
+    server = make_server(
+        service, port=0, config=config, logger=logger, snapshot_path=snapshot_path
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    if start_worker:
+        service.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.stop()
+
+
+def request(url, payload=None, token=None, method=None):
+    """Fire one request; returns (status, parsed body, headers)."""
+    headers = {}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+EVIDENCE_FACT = {
+    "relation": "born_in",
+    "subject": "Saul Bellow",
+    "subject_class": "Person",
+    "object": "Brooklyn",
+    "object_class": "City",
+    "weight": 0.9,
+}
+
+
+class TestAuth:
+    def test_requests_without_token_answer_401(self):
+        service = build_service()
+        config = ServeConfig(auth_tokens=("sekrit",))
+        with serving(service, config) as (base, _):
+            status, payload, headers = request(base + "/stats")
+            assert status == 401
+            assert "bearer" in payload["error"].lower()
+            assert headers.get("WWW-Authenticate", "").startswith("Bearer")
+
+    def test_wrong_token_401_right_token_200(self):
+        service = build_service()
+        config = ServeConfig(auth_tokens=("sekrit",))
+        with serving(service, config) as (base, _):
+            status, _, _ = request(base + "/stats", token="wrong")
+            assert status == 401
+            status, payload, _ = request(base + "/stats", token="sekrit")
+            assert status == 200
+            assert payload["auth_failures"] >= 1  # counted in metrics
+
+    def test_any_configured_token_is_accepted(self):
+        service = build_service()
+        config = ServeConfig(auth_tokens=("alpha", "beta"))
+        with serving(service, config) as (base, _):
+            assert request(base + "/stats", token="beta")[0] == 200
+
+    def test_healthz_stays_open_without_token(self):
+        service = build_service()
+        config = ServeConfig(auth_tokens=("sekrit",))
+        with serving(service, config) as (base, _):
+            status, payload, _ = request(base + "/healthz")
+            assert status == 200 and payload["status"] == "ok"
+
+    def test_posts_are_gated_too(self):
+        service = build_service()
+        config = ServeConfig(auth_tokens=("sekrit",))
+        with serving(service, config) as (base, _):
+            status, _, _ = request(
+                base + "/evidence", {"facts": [EVIDENCE_FACT], "flush": True}
+            )
+            assert status == 401
+            status, _, _ = request(
+                base + "/evidence",
+                {"facts": [EVIDENCE_FACT], "flush": True},
+                token="sekrit",
+            )
+            assert status == 202
+
+
+class TestRateLimit:
+    def test_burst_past_bucket_answers_429_with_retry_after(self):
+        service = build_service()
+        config = ServeConfig(rate_limit=1.0, rate_burst=3)
+        with serving(service, config) as (base, _):
+            statuses = [request(base + "/stats")[0] for _ in range(3)]
+            assert statuses == [200, 200, 200]
+            status, payload, headers = request(base + "/stats")
+            assert status == 429
+            assert "rate limit" in payload["error"]
+            assert int(headers["Retry-After"]) >= 1
+
+    def test_healthz_is_never_rate_limited(self):
+        service = build_service()
+        config = ServeConfig(rate_limit=1.0, rate_burst=1)
+        with serving(service, config) as (base, _):
+            for _ in range(5):
+                assert request(base + "/healthz")[0] == 200
+
+    def test_rate_limited_counted_in_stats(self):
+        service = build_service()
+        config = ServeConfig(rate_limit=1.0, rate_burst=2)
+        with serving(service, config) as (base, _):
+            for _ in range(4):
+                request(base + "/stats")
+            assert service.metrics.rate_limited >= 1
+
+
+class TestBodyCap:
+    def test_oversized_body_answers_413(self):
+        service = build_service()
+        config = ServeConfig(max_body_bytes=128)
+        with serving(service, config) as (base, _):
+            big = {"facts": [dict(EVIDENCE_FACT, subject="x" * 500)]}
+            status, payload, _ = request(base + "/evidence", big)
+            assert status == 413
+            assert "exceeds" in payload["error"]
+            assert service.metrics.oversize_rejected == 1
+
+    def test_malformed_content_length_answers_400(self):
+        service = build_service()
+        with serving(service) as (base, _):
+            req = urllib.request.Request(
+                base + "/evidence", data=b"{}", headers={"Content-Length": "banana"}
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(req, timeout=10)
+            assert caught.value.code == 400
+            assert "Content-Length" in json.loads(caught.value.read())["error"]
+
+    def test_negative_content_length_answers_400(self):
+        service = build_service()
+        with serving(service) as (base, _):
+            req = urllib.request.Request(
+                base + "/evidence", data=b"{}", headers={"Content-Length": "-5"}
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(req, timeout=10)
+            assert caught.value.code == 400
+
+
+class TestRequestTimeout:
+    def test_slow_handler_answers_504(self):
+        service = build_service()
+
+        def glacial(**kwargs):
+            time.sleep(2.0)
+            return {}
+
+        service.stats = glacial
+        config = ServeConfig(request_timeout=0.2)
+        with serving(service, config) as (base, _):
+            started = time.monotonic()
+            status, payload, _ = request(base + "/stats")
+            assert status == 504
+            assert time.monotonic() - started < 1.5
+            assert "budget" in payload["error"]
+            assert service.metrics.request_timeouts == 1
+
+    def test_fast_handler_unaffected(self):
+        service = build_service()
+        config = ServeConfig(request_timeout=5.0)
+        with serving(service, config) as (base, _):
+            assert request(base + "/stats")[0] == 200
+
+
+class TestOverflowAtomicity:
+    """The acceptance scenario: 503 must leave the queue depth unchanged."""
+
+    def test_overflowing_post_answers_503_queue_unchanged(self):
+        service = build_service(
+            ingest=IngestConfig(max_queue=2, put_timeout=0.05)
+        )
+        config = ServeConfig(auth_tokens=("sekrit",), rate_limit=50.0, rate_burst=50)
+        # worker deliberately not started: queued facts stay put
+        with serving(service, config, start_worker=False) as (base, _):
+            batch = {
+                "facts": [
+                    dict(EVIDENCE_FACT, subject=f"Person {i}") for i in range(2)
+                ]
+            }
+            status, accepted, _ = request(base + "/evidence", batch, token="sekrit")
+            assert status == 202 and accepted["queue_depth"] == 2
+            status, payload, _ = request(
+                base + "/evidence",
+                {"facts": [dict(EVIDENCE_FACT, subject="One More")]},
+                token="sekrit",
+            )
+            assert status == 503
+            assert service.queue.depth == 2  # nothing partially admitted
+
+    def test_batch_that_can_never_fit_fails_fast_503(self):
+        service = build_service(
+            ingest=IngestConfig(max_queue=2, put_timeout=30.0)
+        )
+        with serving(service, start_worker=False) as (base, _):
+            batch = {
+                "facts": [
+                    dict(EVIDENCE_FACT, subject=f"Person {i}") for i in range(3)
+                ]
+            }
+            started = time.monotonic()
+            status, payload, _ = request(base + "/evidence", batch)
+            assert status == 503
+            assert time.monotonic() - started < 5.0  # not the 30s put timeout
+            assert service.queue.depth == 0
+
+
+class TestDeadLetterVisibility:
+    def test_failed_flush_is_dead_lettered_and_visible_in_stats(self):
+        service = build_service()
+
+        def explode(batch):
+            raise RuntimeError("regrounding blew up")
+
+        service.probkb.add_evidence = explode
+        with serving(service, start_worker=False) as (base, _):
+            status, _, _ = request(
+                base + "/evidence", {"facts": [EVIDENCE_FACT], "flush": True}
+            )
+            assert status == 202  # accepted; the flush failure is async-visible
+            status, stats, _ = request(base + "/stats")
+            assert status == 200
+            assert stats["dead_letter"]["facts"] == 1
+            assert stats["dead_letter"]["batches"] == 1
+            assert stats["dead_letter_facts"] == 1  # metrics counter
+            assert "last_ingest_error" in stats
+            # the accepted fact is retained, not silently dropped
+            assert [f.subject for f in service.worker.dead_letter] == ["Saul Bellow"]
+
+
+class TestDraining:
+    def test_healthz_flips_to_draining_and_evidence_rejected(self):
+        service = build_service()
+        with serving(service) as (base, server):
+            assert request(base + "/healthz")[1]["status"] == "ok"
+            server.draining = True
+            status, payload, _ = request(base + "/healthz")
+            assert status == 200 and payload["status"] == "draining"
+            status, payload, _ = request(
+                base + "/evidence", {"facts": [EVIDENCE_FACT]}
+            )
+            assert status == 503
+            assert "draining" in payload["error"]
+
+
+class TestRequestLogging:
+    def test_one_json_line_per_request(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        service = build_service()
+        with serving(service, logger=logger) as (base, _):
+            request(base + "/healthz")
+            request(base + "/facts?relation=born_in")
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        requests = [e for e in events if e["event"] == "request"]
+        assert len(requests) == 2
+        facts_line = requests[1]
+        assert facts_line["method"] == "GET"
+        assert facts_line["path"] == "/facts"
+        assert facts_line["status"] == 200
+        assert facts_line["latency_ms"] >= 0
+        assert isinstance(facts_line["generation"], int)
+        assert facts_line["queue_depth"] == 0
+
+    def test_flush_logged_with_generation_and_latency(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        system = ProbKB(paper_kb(), backend="single")
+        system.ground()
+        service = KBService(system, ServiceConfig(), logger=logger)
+        with serving(service, logger=logger) as (base, _):
+            request(
+                base + "/evidence", {"facts": [EVIDENCE_FACT], "flush": True}
+            )
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        flushes = [e for e in events if e["event"] == "flush"]
+        assert flushes and flushes[0]["facts"] == 1
+        assert flushes[0]["generation"] >= 1
+        assert flushes[0]["latency_ms"] >= 0

@@ -150,3 +150,168 @@ class TestIngestWorker:
         worker.flush()
         assert isinstance(worker.last_error, RuntimeError)
         assert queue.depth == 0
+
+
+class TestAtomicPut:
+    """Regression: a batch must be admitted whole or not at all."""
+
+    def test_overflow_leaves_queue_depth_unchanged(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=4, put_timeout=0.05))
+        queue.put([fact(1), fact(2), fact(3)])
+        with pytest.raises(IngestOverflow):
+            queue.put([fact(4), fact(5)])  # only 1 slot free for 2 facts
+        # the old one-at-a-time loop would have queued fact(4) before
+        # raising, ghosting it into the KB when the client retried
+        assert queue.depth == 3
+        assert [f.subject for f in queue.drain()] == ["p1", "p2", "p3"]
+
+    def test_batch_larger_than_queue_fails_fast(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=2, put_timeout=30.0))
+        started = time.monotonic()
+        with pytest.raises(IngestOverflow) as caught:
+            queue.put([fact(i) for i in range(3)])
+        # can never fit: must not sit out the 30s producer timeout
+        assert time.monotonic() - started < 1.0
+        assert "never fit" in str(caught.value)
+        assert queue.depth == 0
+
+    def test_blocked_put_admits_batch_whole_once_room_opens(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=3, put_timeout=5.0))
+        queue.put([fact(1), fact(2)])
+        admitted = []
+
+        def producer():
+            queue.put([fact(3), fact(4)])
+            admitted.append(queue.depth)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted  # 2 slots needed, 1 free: still blocked
+        assert queue.depth == 2  # and nothing partially admitted
+        queue.drain(max_items=1)
+        thread.join(timeout=5)
+        assert admitted == [3]
+
+
+class TestAgeTrigger:
+    """Regression: a partial drain must not restart the age clock."""
+
+    def test_oldest_age_survives_partial_drain(self):
+        queue = EvidenceQueue(IngestConfig(max_queue=10, flush_interval=10.0))
+        queue.put([fact(1), fact(2)])
+        time.sleep(0.06)
+        queue.drain(max_items=1)
+        age = queue.oldest_age()
+        # fact(2) has been queued ~0.06s; the old code reset its age to 0
+        # on every partial drain, starving leftovers indefinitely
+        assert age is not None and age >= 0.05
+
+    def test_age_trigger_fires_for_leftovers_after_partial_drain(self):
+        config = IngestConfig(max_queue=10, flush_size=1000, flush_interval=0.15)
+        queue = EvidenceQueue(config)
+        queue.put([fact(1), fact(2)])
+        time.sleep(0.2)  # both facts are now older than flush_interval
+        queue.drain(max_items=1)
+        stop = threading.Event()
+        started = time.monotonic()
+        # the leftover fact is already over-age: wait_ready must fire
+        # immediately instead of waiting another full flush_interval
+        assert queue.wait_ready(stop) is True
+        assert time.monotonic() - started < 0.1
+
+    def test_empty_queue_has_no_age(self):
+        queue = EvidenceQueue(IngestConfig())
+        assert queue.oldest_age() is None
+        queue.put([fact(1)])
+        queue.drain()
+        assert queue.oldest_age() is None
+
+
+class TestFlushFailurePolicy:
+    """Regression: accepted evidence must never vanish silently."""
+
+    def test_failed_batch_lands_in_dead_letter(self):
+        queue = EvidenceQueue(IngestConfig())
+
+        def explode(batch):
+            raise RuntimeError("backend down")
+
+        dropped = []
+        worker = IngestWorker(queue, explode, on_drop=dropped.append)
+        queue.put([fact(1), fact(2)])
+        worker.flush()
+        assert queue.depth == 0
+        stats = worker.dead_letter_stats()
+        assert stats == {"batches": 1, "facts": 2, "evicted": 0}
+        assert {f.subject for f in worker.dead_letter} == {"p1", "p2"}
+        assert dropped == [2]
+        assert worker.retries == 1  # it tried twice before giving up
+
+    def test_transient_failure_is_retried_and_applied(self):
+        queue = EvidenceQueue(IngestConfig())
+        applied = []
+        attempts = []
+
+        def flaky(batch):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            applied.extend(batch)
+
+        worker = IngestWorker(queue, flaky)
+        queue.put([fact(1)])
+        worker.flush()
+        assert applied == [fact(1)]
+        assert worker.retries == 1
+        assert worker.dead_letter_stats()["facts"] == 0
+
+    def test_dead_letter_is_bounded(self):
+        queue = EvidenceQueue(IngestConfig(dead_letter_max=3))
+
+        def explode(batch):
+            raise RuntimeError("down")
+
+        worker = IngestWorker(queue, explode)
+        queue.put([fact(i) for i in range(5)])
+        worker.flush()
+        stats = worker.dead_letter_stats()
+        assert stats["facts"] == 3  # oldest two evicted
+        assert stats["evicted"] == 2
+        assert [f.subject for f in worker.dead_letter] == ["p2", "p3", "p4"]
+
+    def test_take_dead_letter_empties_the_list(self):
+        queue = EvidenceQueue(IngestConfig())
+
+        def explode(batch):
+            raise RuntimeError("down")
+
+        worker = IngestWorker(queue, explode)
+        queue.put([fact(1)])
+        worker.flush()
+        taken = worker.take_dead_letter()
+        assert [f.subject for f in taken] == ["p1"]
+        assert worker.dead_letter_stats()["facts"] == 0
+
+    def test_keyboard_interrupt_propagates(self):
+        """Ctrl-C must not be swallowed into last_error."""
+        queue = EvidenceQueue(IngestConfig())
+
+        def interrupt(batch):
+            raise KeyboardInterrupt
+
+        worker = IngestWorker(queue, interrupt)
+        queue.put([fact(1)])
+        with pytest.raises(KeyboardInterrupt):
+            worker.flush()
+
+    def test_system_exit_propagates(self):
+        queue = EvidenceQueue(IngestConfig())
+
+        def exit_(batch):
+            raise SystemExit(3)
+
+        worker = IngestWorker(queue, exit_)
+        queue.put([fact(1)])
+        with pytest.raises(SystemExit):
+            worker.flush()
