@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-mpp bench bench-mpp lint
+.PHONY: test test-mpp bench bench-mpp bench-delta lint
 
 # Tier-1 suite: serial executors only (the `mpp` marker is excluded
 # via addopts in pyproject.toml).
@@ -15,6 +15,11 @@ test-mpp:
 # Modelled-cost paper figures (benchmarks/results/*.txt).
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -m "not mpp" -q
+
+# Delta vs full expansion wall-clock on a 10k-fact KB (bit-identical
+# marginals asserted; single-fact flushes must be >=5x cheaper).
+bench-delta:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_delta_expansion.py -q
 
 # Real wall-clock of serial vs pooled grounding; needs >=2 cores for
 # the speedup target, always checks bit-identical output.

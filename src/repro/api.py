@@ -25,7 +25,10 @@ still work but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from .delta import DeltaExpander, DeltaResult
 
 from .analyze import (
     AnalysisReport,
@@ -87,6 +90,7 @@ class ExpansionSession:
         self.probkb = ProbKB(
             kb, backend=backend, grounding=grounding, inference=inference
         )
+        self._delta: Optional["DeltaExpander"] = None
 
     @classmethod
     def from_snapshot(
@@ -102,6 +106,7 @@ class ExpansionSession:
         session = cls.__new__(cls)
         session.probkb = load_snapshot(path, backend=backend)
         session.probkb.inference_config = inference
+        session._delta = None
         return session
 
     # -- config & lifecycle -------------------------------------------------
@@ -156,6 +161,28 @@ class ExpansionSession:
     ) -> GroundingResult:
         """Incrementally expand with new extracted evidence."""
         return self.probkb.add_evidence(facts, max_iterations=max_iterations)
+
+    def expand_delta(
+        self,
+        facts: Sequence[Fact],
+        max_iterations: Optional[int] = None,
+    ) -> "DeltaResult":
+        """Incrementally expand *and* refresh marginals at O(delta) cost.
+
+        Unlike :meth:`add_evidence` (which rebuilds TΦ and leaves new
+        facts unscored until the next :meth:`materialize_marginals`),
+        this grounds only the flush's consequences, re-samples only the
+        factor-graph components the new ground clauses touch, and
+        splices the refreshed marginals into TProb — bit-identical to a
+        full componentwise re-expansion at the same seed.  The first
+        call primes the baseline (one full expansion); see
+        ``docs/incremental.md``.
+        """
+        if self._delta is None:
+            from .delta import DeltaExpander
+
+            self._delta = DeltaExpander(self.probkb)
+        return self._delta.expand_delta(facts, max_iterations)
 
     def add_rules(
         self,

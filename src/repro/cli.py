@@ -179,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-materialize marginals after every ingest flush",
     )
     serve_cmd.add_argument(
+        "--expansion",
+        choices=("full", "delta"),
+        default=None,
+        help="how flushes refresh the KB: 'full' re-expansion or the "
+        "incremental 'delta' path (env PROBKB_SERVE_EXPANSION)",
+    )
+    serve_cmd.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     # hardening flags; each defaults to None so the PROBKB_SERVE_* env
@@ -468,7 +475,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def build_serve_service(args, logger=None):
+def build_serve_service(args, logger=None, expansion="full"):
     """Build the KBService for ``serve`` (separate for testability)."""
     import os
 
@@ -517,6 +524,7 @@ def build_serve_service(args, logger=None):
         ),
         infer_on_flush=args.infer_on_flush,
         inference=InferenceConfig(num_sweeps=args.sweeps),
+        expansion=expansion,
     )
     return KBService(system, config, logger=logger)
 
@@ -534,9 +542,12 @@ def cmd_serve(args) -> int:
         request_timeout=args.request_timeout,
         max_body_bytes=args.max_body_bytes,
         log_json=args.log_json,
+        expansion=args.expansion,
     )
     logger = JsonLogger(enabled=serve_config.log_json)
-    service = build_serve_service(args, logger=logger)
+    service = build_serve_service(
+        args, logger=logger, expansion=serve_config.expansion
+    )
     server = make_server(
         service,
         host=args.host,

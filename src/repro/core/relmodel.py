@@ -64,6 +64,25 @@ TEV_SCHEMA = schema(
     "TEv", "R:int", "x:int", "C1:int", "y:int", "C2:int", "w:float",
     unique_key=FACT_KEY_COLUMNS,
 )
+#: full (id-bearing) copies of every fact merged while delta capture is
+#: active — the seed relation for incremental factor grounding
+#: (:mod:`repro.delta`); accumulates across the iterations of one flush
+TDACC_SCHEMA = schema(
+    "TDAcc", "I:int", "R:int", "x:int", "C1:int", "y:int", "C2:int", "w:float"
+)
+#: scratch for one merge statement: ids are assigned here first, then the
+#: rows flow unchanged into TΠ and (when capturing) TDAcc
+TDCUR_SCHEMA = schema(
+    "TDCur", "I:int", "R:int", "x:int", "C1:int", "y:int", "C2:int", "w:float"
+)
+#: staging for one partition's incremental factors: the delta-join
+#: variants overlap when several participants are new, and the unique
+#: key removes exactly that overlap (within a partition Query 2-i output
+#: is duplicate-free — Proposition 1 — so nothing legitimate collides)
+TFNEW_SCHEMA = schema(
+    "TFNew", "I1:int", "I2:int", "I3:int", "w:float",
+    unique_key=("I1", "I2", "I3", "w"),
+)
 TC_SCHEMA = schema("TC", "C:int", "e:int")
 TR_SCHEMA = schema("TR", "R:int", "C1:int", "C2:int")
 FC_SCHEMA = schema("FC", "R:int", "arg:int", "deg:int")
@@ -145,6 +164,7 @@ class RelationalKB:
         self.relations = Dictionary()
         self._fact_keys: Set[FactKey] = set()
         self._next_fact_id = 0
+        self._capture_delta = False
         self.nonempty_partitions: List[int] = []
         #: identifier tuples already stored per partition — Proposition 1
         #: requires the M_i duplicate-free, both at bulkload and across
@@ -240,6 +260,9 @@ class RelationalKB:
         backend.create_table(TDEL_SCHEMA, dist_keys=["x"])
         backend.create_table(TDELTA_SCHEMA, dist_keys=["x"])
         backend.create_table(TEV_SCHEMA, dist_keys=["x"])
+        backend.create_table(TDACC_SCHEMA, dist_keys=["I"])
+        backend.create_table(TDCUR_SCHEMA, dist_keys=["I"])
+        backend.create_table(TFNEW_SCHEMA, dist_keys=["I1"])
         backend.create_table(TC_SCHEMA, dist_keys=["e"])
         backend.create_table(TR_SCHEMA, dist_keys=["R"])
         backend.create_table(TF_SCHEMA, dist_keys=["I1"])
@@ -353,6 +376,8 @@ class RelationalKB:
         self.backend.insert_from(
             "TDelta", self.guard_candidates(Scan("TNew", "N"))
         )
+        if self._capture_delta:
+            return self._merge_with_capture(Scan("TDelta", "D"), pad_nulls=1)
         inserted, self._next_fact_id = self.backend.insert_from_with_ids(
             "TP", Scan("TDelta", "D"), self._next_fact_id, pad_nulls=1
         )
@@ -382,9 +407,47 @@ class RelationalKB:
                 [(col(f"E.{c}"), c) for c in FACT_KEY_COLUMNS],
             ),
         )
+        if self._capture_delta:
+            return self._merge_with_capture(guarded, pad_nulls=0)
         inserted, self._next_fact_id = self.backend.insert_from_with_ids(
             "TP", guarded, self._next_fact_id, pad_nulls=0
         )
+        return inserted
+
+    # -- delta capture (incremental factor grounding) ------------------------------
+
+    def begin_delta_capture(self) -> None:
+        """Start accumulating every merged fact — with its id — in TDAcc.
+
+        :class:`repro.delta.DeltaGrounder` wraps one flush's grounding in
+        a capture window; at the end TDAcc holds exactly the facts the
+        flush added to TΠ, which is the seed relation for the
+        incremental Query 2-i variants.
+        """
+        self.backend.truncate("TDAcc")
+        self._capture_delta = True
+
+    def end_delta_capture(self) -> None:
+        self._capture_delta = False
+
+    def delta_capture_rows(self) -> List[Row]:
+        """The captured (I, R, x, C1, y, C2, w) rows of the current window."""
+        from ..relational import Scan
+
+        return self.backend.query(Scan("TDAcc", "D")).rows
+
+    def _merge_with_capture(self, plan: PlanNode, pad_nulls: int) -> int:
+        """Merge new facts into TΠ via the TDCur scratch table so their
+        id-bearing rows can also be appended to TDAcc — the plan runs
+        once, keeping id assignment identical to the direct merge."""
+        from ..relational import Scan
+
+        self.backend.truncate("TDCur")
+        inserted, self._next_fact_id = self.backend.insert_from_with_ids(
+            "TDCur", plan, self._next_fact_id, pad_nulls=pad_nulls
+        )
+        self.backend.insert_from("TP", Scan("TDCur", "D"))
+        self.backend.insert_from("TDAcc", Scan("TDCur", "D"))
         return inserted
 
     def add_rules(self, rules: Sequence[HornClause]) -> int:

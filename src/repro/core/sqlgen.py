@@ -36,6 +36,10 @@ from .clauses import PARTITION_BODY_PATTERNS
 #: the previous iteration's newly derived facts (semi-naive grounding)
 DELTA_TABLE = "TDelta"
 
+#: every fact merged during the current delta-capture window, with ids —
+#: the seed relation for incremental factor grounding (repro.delta)
+DELTA_FACTS_TABLE = "TDAcc"
+
 #: class column of the MLN tables for each canonical variable
 _CLASS_COLUMN = {"x": "C1", "y": "C2", "z": "C3"}
 #: entity/class column pairs of a TΠ scan by argument position
@@ -91,11 +95,13 @@ def _mln_body_join(
     mln_alias: str = "M",
     delta_scans: Optional[Sequence[int]] = None,
     mln_filter: Optional[Expr] = None,
+    delta_table: str = DELTA_TABLE,
 ) -> Tuple[PlanNode, List[str], Dict[str, str]]:
     """Join M_i with the body TΠ scans; returns (plan, aliases, head map).
 
     ``delta_scans`` (semi-naive grounding) lists the body positions that
-    should scan the last iteration's delta table instead of full TΠ.
+    should scan ``delta_table`` instead of full TΠ (TDelta for atom
+    grounding; TDAcc, which carries ids, for factor grounding).
     ``mln_filter`` restricts the MLN table (e.g. to one rule — used by
     weight learning, which needs per-rule ground factors).
     """
@@ -109,7 +115,7 @@ def _mln_body_join(
         plan = Filter(plan, mln_filter)
     for index, (pattern, alias) in enumerate(zip(patterns, aliases)):
         if index in delta_set:
-            scan = Scan(DELTA_TABLE, alias)
+            scan = Scan(delta_table, alias)
         else:
             scan = backend.tpi_scan(alias, _entity_join_columns(partition, index))
         left_keys = [f"{mln_alias}.R{index + 2}"]
@@ -191,10 +197,32 @@ def ground_factors_plan(
     Per Proposition 1 the output is duplicate-free, so factors merge
     into TΦ with bag union.
     """
+    return _ground_factors_variant(partition, backend, mln_alias, mln_filter)
+
+
+def _ground_factors_variant(
+    partition: int,
+    backend: Backend,
+    mln_alias: str = "M",
+    mln_filter: Optional[Expr] = None,
+    delta_scans: Optional[Sequence[int]] = None,
+    delta_head: bool = False,
+    delta_table: str = DELTA_FACTS_TABLE,
+) -> PlanNode:
+    """One Query 2-i shape, with body/head occurrences of TΠ optionally
+    replaced by the id-bearing delta relation (incremental factors)."""
     plan, aliases, head = _mln_body_join(
-        partition, backend, mln_alias, mln_filter=mln_filter
+        partition,
+        backend,
+        mln_alias,
+        delta_scans=delta_scans,
+        mln_filter=mln_filter,
+        delta_table=delta_table,
     )
-    head_scan = backend.tpi_scan("T1", ["x", "y"])
+    if delta_head:
+        head_scan: PlanNode = Scan(delta_table, "T1")
+    else:
+        head_scan = backend.tpi_scan("T1", ["x", "y"])
     left_keys = [
         f"{mln_alias}.R1",
         f"{mln_alias}.C1",
@@ -216,12 +244,48 @@ def ground_factors_plan(
     return Project(plan, outputs)
 
 
-def singleton_factors_plan(backend: Backend) -> PlanNode:
+def ground_factors_delta_plans(
+    partition: int,
+    backend: Backend,
+    mln_alias: str = "M",
+    delta_table: str = DELTA_FACTS_TABLE,
+) -> List[PlanNode]:
+    """Incremental variants of Query 2-i (semi-naive factor grounding).
+
+    TΠ and the M_i only grow on the delta path, so a factor is new iff
+    at least one participating fact is new: one variant per body
+    occurrence substitutes the delta relation there, and a final variant
+    substitutes it for the head probe.  The variants overlap exactly
+    when several participants are new; staging them through a
+    unique-keyed table (TFNew) removes that overlap, and Proposition 1
+    guarantees the dedup never merges two legitimate within-partition
+    factors.
+    """
+    body_size = len(PARTITION_BODY_PATTERNS[partition])
+    variants: List[Tuple[Tuple[int, ...], bool]] = [((0,), False)]
+    if body_size == 2:
+        variants.append(((1,), False))
+    variants.append(((), True))
+    return [
+        _ground_factors_variant(
+            partition,
+            backend,
+            mln_alias,
+            delta_scans=delta_scans,
+            delta_head=delta_head,
+            delta_table=delta_table,
+        )
+        for delta_scans, delta_head in variants
+    ]
+
+
+def singleton_factors_plan(backend: Backend, table: str = "TP") -> PlanNode:
     """groundFactors(TΠ): the uncertain extracted facts (w NOT NULL)
-    become singleton factors (I, NULL, NULL, w)."""
+    become singleton factors (I, NULL, NULL, w).  ``table`` lets the
+    incremental path derive only the delta's singletons (TDAcc)."""
     from ..relational.expr import IsNull
 
-    scan = Scan("TP", "T")
+    scan = Scan(table, "T")
     filtered = Filter(scan, IsNull(col("T.w"), negated=True))
     return Project(
         filtered,

@@ -1,0 +1,120 @@
+"""Incremental connected-component index over the ground factor graph.
+
+Facts are variables; each ground factor (a TΦ row) connects the facts it
+mentions.  Marginals factorise over connected components, so a flush
+that adds factors only perturbs the components those factors touch —
+everything else keeps its marginals verbatim (see
+:mod:`repro.delta.inference`).
+
+The index is a union-find with union by size and path halving, extended
+with per-root member and factor-row lists merged small-to-large, so
+``add_factors`` over a delta is near-linear in the delta size and the
+touched components' payloads are available without a full scan of TΦ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..relational.types import Row
+
+
+class ComponentIndex:
+    """Union-find over fact ids, carrying each component's payload.
+
+    Per canonical root the index keeps the component's member fact ids,
+    the TΦ rows whose participants all lie in the component, and the
+    minimum member id (a stable anchor for per-component seeding —
+    unions can only shrink it deterministically).
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+        self._members: Dict[int, List[int]] = {}
+        self._factors: Dict[int, List[Row]] = {}
+        self._min: Dict[int, int] = {}
+
+    @classmethod
+    def from_factor_rows(cls, variable_ids: Iterable[int], rows: Iterable[Row]) -> "ComponentIndex":
+        index = cls()
+        for var in variable_ids:
+            index.add_variable(var)
+        index.add_factors(rows)
+        return index
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._parent
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add_variable(self, var: int) -> None:
+        """Register a fact id as its own singleton component (idempotent)."""
+        if var in self._parent:
+            return
+        self._parent[var] = var
+        self._size[var] = 1
+        self._members[var] = [var]
+        self._factors[var] = []
+        self._min[var] = var
+
+    def find(self, var: int) -> int:
+        root = var
+        while self._parent[root] != root:
+            # path halving: point every other node at its grandparent
+            self._parent[root] = self._parent[self._parent[root]]
+            root = self._parent[root]
+        return root
+
+    def _union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        # small-to-large: rb's payload folds into ra's
+        self._parent[rb] = ra
+        self._size[ra] += self._size.pop(rb)
+        self._members[ra].extend(self._members.pop(rb))
+        self._factors[ra].extend(self._factors.pop(rb))
+        self._min[ra] = min(self._min[ra], self._min.pop(rb))
+        return ra
+
+    def add_factors(self, rows: Iterable[Row]) -> Set[int]:
+        """Fold new TΦ rows into the index; return the touched roots.
+
+        Participants absent from the index are registered on the fly
+        (singleton evidence facts appear in TΦ only via their unit
+        factor).  The returned roots are canonical *after* all unions,
+        so they index directly into :meth:`members` / :meth:`factors`.
+        """
+        dirty: List[int] = []
+        for row in rows:
+            participants = [var for var in row[:3] if var is not None]
+            for var in participants:
+                self.add_variable(var)
+            root = participants[0]
+            for var in participants[1:]:
+                root = self._union(root, var)
+            self._factors[self.find(root)].append(row)
+            dirty.append(root)
+        return {self.find(root) for root in dirty}
+
+    def members(self, root: int) -> List[int]:
+        """Sorted member fact ids of the component rooted at ``root``."""
+        return sorted(self._members[self.find(root)])
+
+    def factors(self, root: int) -> List[Row]:
+        return list(self._factors[self.find(root)])
+
+    def anchor(self, root: int) -> int:
+        """Minimum member id — the component's deterministic seed anchor."""
+        return self._min[self.find(root)]
+
+    def roots(self) -> List[int]:
+        """All canonical roots, ordered by their anchors (deterministic)."""
+        return sorted(self._members, key=lambda root: self._min[root])
+
+    def component_count(self) -> int:
+        return len(self._members)

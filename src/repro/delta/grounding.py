@@ -1,0 +1,137 @@
+"""Delta grounding: O(delta) factor maintenance for a flush of evidence.
+
+Atom closure already costs O(delta) under the semi-naive grounder; the
+expensive part of the existing ingest path is rebuilding TΦ from
+scratch (factors are a function of the final atom set).  This module
+avoids the rebuild: every fact merged during the flush — evidence and
+derived — is captured with its id in TDAcc, and for each partition the
+Query 2-i join is re-run with TDAcc substituted for each occurrence of
+the facts table (both body positions and the head).  A ground factor is
+*new* exactly when at least one participant is new (the rules are
+monotone), so the union of the per-occurrence delta joins is exactly
+TΦ_new; staging it through TFNew's unique key removes the overlap
+between variants (a factor whose head *and* a body atom are both new
+appears in two variants) without disturbing the cross-partition bag
+semantics of TΦ (Proposition 1: within a partition the join output is
+duplicate-free).
+
+Constraint violations break monotonicity — applyConstraints deletes
+facts, which can orphan existing factors — so a flush that removed
+anything falls back to a full TΦ rebuild (reported via
+``full_rebuild``; see docs/incremental.md for the ops guidance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, TYPE_CHECKING
+
+from ..core.grounding import Grounder, IterationStats
+from ..core.sqlgen import (
+    DELTA_FACTS_TABLE,
+    ground_factors_delta_plans,
+    singleton_factors_plan,
+)
+from ..relational import Scan
+from ..relational.types import Row
+
+if TYPE_CHECKING:
+    from ..core.model import Fact
+    from ..core.probkb import ProbKB
+
+
+@dataclass
+class DeltaGroundingResult:
+    """What one delta-grounding pass merged into TΠ and TΦ."""
+
+    added_evidence: int  # genuinely new evidence facts (post anti-join)
+    new_fact_rows: List[Row]  # captured (I, R, x, C1, y, C2, w) TΠ rows
+    new_factor_rows: List[Row]  # TΦ rows added (or ALL rows on rebuild)
+    iterations: List[IterationStats] = field(default_factory=list)
+    converged: bool = True
+    removed_facts: int = 0
+    full_rebuild: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def new_facts(self) -> int:
+        return len(self.new_fact_rows)
+
+    @property
+    def new_factors(self) -> int:
+        return len(self.new_factor_rows)
+
+    @property
+    def touched_relation_ids(self) -> Set[int]:
+        """Relation ids of every fact the flush added (column R)."""
+        return {row[1] for row in self.new_fact_rows}
+
+
+class DeltaGrounder:
+    """Grounds one evidence flush incrementally against a ProbKB."""
+
+    def __init__(self, probkb: "ProbKB") -> None:
+        self.probkb = probkb
+        self.rkb = probkb.rkb
+        self.backend = probkb.backend
+
+    def expand(
+        self, facts: Sequence["Fact"], max_iterations: Optional[int] = None
+    ) -> DeltaGroundingResult:
+        """Merge ``facts``, close the atoms, and maintain TΦ in O(delta)."""
+        started = time.perf_counter()
+        rkb = self.rkb
+        grounder = Grounder(
+            rkb,
+            apply_constraints=self.probkb.grounding_config.apply_constraints,
+            semi_naive=True,
+        )
+        rkb.begin_delta_capture()
+        try:
+            added = rkb.add_evidence(facts)
+            iterations, converged = grounder.ground_atoms(max_iterations)
+        finally:
+            rkb.end_delta_capture()
+        result = DeltaGroundingResult(
+            added_evidence=added,
+            new_fact_rows=rkb.delta_capture_rows(),
+            new_factor_rows=[],
+            iterations=iterations,
+            converged=converged,
+            removed_facts=sum(stats.removed_facts for stats in iterations),
+        )
+        if result.removed_facts > 0:
+            # applyConstraints deleted facts: existing factors may now be
+            # orphaned, so incremental maintenance is unsound — rebuild.
+            result.full_rebuild = True
+            self.backend.truncate("TF")
+            grounder.ground_factors()
+            result.new_factor_rows = self.backend.query(Scan("TF")).rows
+        else:
+            result.new_factor_rows = self._ground_delta_factors()
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _ground_delta_factors(self) -> List[Row]:
+        """Query 2-i with TDAcc substituted per facts-table occurrence."""
+        backend = self.backend
+        staged: List[Row] = []
+        for partition in self.rkb.nonempty_partitions:
+            backend.truncate("TFNew")
+            for plan in ground_factors_delta_plans(partition, backend):
+                backend.insert_from("TFNew", plan)
+            rows = backend.query(Scan("TFNew", "F")).rows
+            if rows:
+                backend.insert_from("TF", Scan("TFNew", "F"))
+                staged.extend(rows)
+        # unit factors for the flush's new *evidence* facts (non-NULL w)
+        backend.truncate("TFNew")
+        backend.insert_from(
+            "TFNew", singleton_factors_plan(backend, table=DELTA_FACTS_TABLE)
+        )
+        rows = backend.query(Scan("TFNew", "F")).rows
+        if rows:
+            backend.insert_from("TF", Scan("TFNew", "F"))
+            staged.extend(rows)
+        return staged

@@ -4,7 +4,9 @@ Wraps a :class:`~repro.ProbKB` in a long-lived, concurrency-safe
 service: readers-writer locking for pattern queries vs evidence ingest,
 micro-batched ingest with backpressure and a dead-letter list, a query
 cache (lru/lfu/ttl eviction) invalidated by KB generation, warm-restart
-snapshots, and a stdlib JSON HTTP API hardened with bearer-token auth,
+snapshots, optional O(delta) flush expansion (``expansion="delta"``,
+see :mod:`repro.delta` and ``docs/incremental.md``), and a stdlib JSON
+HTTP API hardened with bearer-token auth,
 per-client rate limiting, request bounds, structured JSON logs, and
 graceful drain (see ``docs/serve.md``).
 
@@ -22,7 +24,14 @@ Typical embedding::
 
 from .cache import EVICTION_POLICIES, QueryCache
 from .config import ServeConfig
-from .engine import KBService, QueryResult, RWLock, ServiceConfig
+from .engine import (
+    EXPANSION_MODES,
+    DeltaPipeline,
+    KBService,
+    QueryResult,
+    RWLock,
+    ServiceConfig,
+)
 from .http import KBServer, make_server
 from .ingest import EvidenceQueue, IngestConfig, IngestOverflow, IngestWorker, coalesce
 from .limiter import RateLimiter
@@ -31,7 +40,9 @@ from .metrics import LatencyRing, ServiceMetrics
 from .snapshot import export_sqlite, load_snapshot, save_snapshot, snapshot_dict
 
 __all__ = [
+    "DeltaPipeline",
     "EVICTION_POLICIES",
+    "EXPANSION_MODES",
     "EvidenceQueue",
     "IngestConfig",
     "IngestOverflow",

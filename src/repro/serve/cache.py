@@ -6,6 +6,12 @@ entries from the *current* generation.  Stale entries are dropped lazily
 on access (and wholesale on :meth:`bump`), so invalidation is O(1) per
 flush no matter how large the cache is.
 
+Writers that know their blast radius can do better than wholesale:
+:meth:`QueryCache.invalidate_predicates` advances the generation but
+evicts only entries tagged (via ``put(..., predicates=...)``) with one
+of the touched relation names — a delta flush over ``born_in`` leaves
+cached ``works_at`` answers warm.
+
 Eviction is pluggable (``policy=``):
 
 ``lru``
@@ -29,19 +35,37 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Tuple,
+)
 
 EVICTION_POLICIES = ("lru", "lfu", "ttl")
 
 
 class _Entry:
-    __slots__ = ("generation", "value", "uses", "stored_at")
+    __slots__ = ("generation", "value", "uses", "stored_at", "predicates")
 
-    def __init__(self, generation: int, value: Any, stored_at: float) -> None:
+    def __init__(
+        self,
+        generation: int,
+        value: Any,
+        stored_at: float,
+        predicates: Optional[FrozenSet[str]] = None,
+    ) -> None:
         self.generation = generation
         self.value = value
         self.uses = 0
         self.stored_at = stored_at
+        #: the predicates (relation names) the result depends on; None
+        #: means "unknown / all" — such entries fall to any invalidation
+        self.predicates = predicates
 
 
 class QueryCache:
@@ -79,6 +103,8 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        #: entries evicted by predicate-scoped invalidation
+        self.invalidations = 0
 
     @property
     def generation(self) -> int:
@@ -102,6 +128,43 @@ class QueryCache:
             else:
                 self._generation = generation
             self._entries.clear()
+
+    def invalidate_predicates(
+        self,
+        predicates: Iterable[str],
+        generation: Optional[int] = None,
+    ) -> int:
+        """Advance the generation but evict only entries whose results
+        could depend on one of ``predicates``.
+
+        A delta flush knows exactly which relations it touched; entries
+        over disjoint predicate sets are still correct, so they survive
+        the generation advance (their tags are re-stamped to the new
+        generation — "computed earlier, still valid here").  Entries
+        with no predicate tag (``predicates=None`` at :meth:`put`) are
+        conservatively evicted.  Returns the number of evictions.
+        """
+        touched = frozenset(predicates)
+        with self._lock:
+            if generation is None:
+                self._generation += 1
+            elif generation < self._generation:
+                raise ValueError(
+                    f"generation moved backwards: {generation} < {self._generation}"
+                )
+            else:
+                self._generation = generation
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.predicates is None or entry.predicates & touched
+            ]
+            for key in doomed:
+                del self._entries[key]
+            for entry in self._entries.values():
+                entry.generation = self._generation
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def _expired(self, entry: _Entry, now: float) -> bool:
         return (
@@ -134,11 +197,20 @@ class QueryCache:
             self.hits += 1
             return True, entry.value
 
-    def put(self, key: Hashable, value: Any, generation: Optional[int] = None) -> None:
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        generation: Optional[int] = None,
+        predicates: Optional[FrozenSet[str]] = None,
+    ) -> None:
         """Store a result computed under ``generation`` (default: current).
 
         A result computed under an older generation is silently dropped —
         it was already stale when the computation finished.
+        ``predicates`` tags the entry with the relation names its result
+        depends on, enabling :meth:`invalidate_predicates` to keep it
+        across unrelated flushes; None means "depends on everything".
         """
         with self._lock:
             if generation is None:
@@ -153,7 +225,7 @@ class QueryCache:
                 # (an lfu entry starts at 0 uses and would evict itself)
                 while len(self._entries) >= self.capacity:
                     self._evict_one()
-            self._entries[key] = _Entry(generation, value, now)
+            self._entries[key] = _Entry(generation, value, now, predicates)
             self._entries.move_to_end(key)
 
     def _sweep_expired(self, now: float) -> None:
@@ -204,5 +276,6 @@ class QueryCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / total if total else 0.0,
             }

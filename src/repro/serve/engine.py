@@ -11,21 +11,27 @@ under, which is what the torn-read assertions in the concurrency tests
 
 from __future__ import annotations
 
+import queue as queue_module
 import threading
 import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..core.clauses import HornClause
 from ..core.config import InferenceConfig
 from ..core.model import Fact
 from ..core.probkb import ProbKB
+from ..delta import DeltaExpander, PendingDelta
 from .cache import EVICTION_POLICIES, QueryCache
 from .ingest import EvidenceQueue, IngestConfig, IngestWorker
 from .logging import NULL_LOGGER, JsonLogger
 from .metrics import ServiceMetrics
+
+#: how a flush refreshes the KB: "full" re-expands globally (the PR-1
+#: behavior), "delta" routes through :mod:`repro.delta`
+EXPANSION_MODES = ("full", "delta")
 
 
 class RWLock:
@@ -111,12 +117,22 @@ class ServiceConfig:
     #: how flush/materialize inference runs (fewer sweeps than the
     #: offline default: serving favours latency)
     inference: Optional[InferenceConfig] = None
+    #: "full" (default) re-expands and leaves fresh facts unscored until
+    #: materialize; "delta" incrementally grounds each flush and
+    #: re-samples only the touched factor-graph components
+    #: (:mod:`repro.delta`), keeping marginals continuously fresh
+    expansion: str = "full"
 
     def __post_init__(self) -> None:
         if self.cache_policy not in EVICTION_POLICIES:
             raise ValueError(
                 f"unknown cache_policy {self.cache_policy!r}; "
                 f"choose from {', '.join(EVICTION_POLICIES)}"
+            )
+        if self.expansion not in EXPANSION_MODES:
+            raise ValueError(
+                f"unknown expansion {self.expansion!r}; "
+                f"choose from {', '.join(EXPANSION_MODES)}"
             )
         overrides = {}
         if self.num_sweeps is not None:
@@ -147,6 +163,65 @@ class QueryResult(NamedTuple):
     cache_hit: bool
 
 
+class DeltaPipeline:
+    """FIFO handoff from delta grounding to delta inference.
+
+    Stage A (grounding, under the write lock) submits a
+    :class:`~repro.delta.PendingDelta`; this single consumer thread runs
+    stages B+C (re-sample off-lock, then commit under the write lock).
+    Double buffering falls out of the split: while batch N's components
+    are being re-sampled here, the ingest worker is free to ground batch
+    N+1.  FIFO order plus A-time payload snapshots make the interleaving
+    sequentially equivalent — if N+1 merged one of N's components, N+1's
+    own re-sample is queued behind N's and overwrites any stale splice.
+    """
+
+    def __init__(self, finish: Callable[[PendingDelta], None]) -> None:
+        self._finish = finish
+        self._queue: "queue_module.Queue[Optional[PendingDelta]]" = (
+            queue_module.Queue()
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="probkb-delta-infer", daemon=True
+        )
+        self._started = False
+        self._lock = threading.Lock()
+
+    def submit(self, pending: PendingDelta) -> None:
+        with self._lock:
+            if not self._started:
+                self._thread.start()
+                self._started = True
+        self._queue.put(pending)
+
+    def drain(self) -> None:
+        """Block until every submitted delta has been committed."""
+        self._queue.join()
+
+    def stop(self) -> None:
+        with self._lock:
+            started = self._started
+            self._started = False
+        if started:
+            self._queue.put(None)
+            self._thread.join()
+
+    @property
+    def depth(self) -> int:
+        """Deltas grounded but not yet committed (approximate)."""
+        return self._queue.qsize()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                self._finish(item)
+            finally:
+                self._queue.task_done()
+
+
 class KBService:
     """A long-lived, concurrency-safe front end over one ProbKB."""
 
@@ -174,6 +249,11 @@ class KBService:
             on_drop=self.metrics.record_dead_letter,
             logger=self.logger,
         )
+        self.delta: Optional[DeltaExpander] = None
+        self.pipeline: Optional[DeltaPipeline] = None
+        if self.config.expansion == "delta":
+            self.delta = DeltaExpander(probkb, inference=self.config.inference)
+            self.pipeline = DeltaPipeline(self._finish_delta)
         self.started_at = time.time()
         self._running = False
 
@@ -188,6 +268,9 @@ class KBService:
     def stop(self) -> None:
         if self._running:
             self.worker.stop(drain=True)
+            if self.pipeline is not None:
+                self.pipeline.drain()
+                self.pipeline.stop()
             self._running = False
 
     def __enter__(self) -> "KBService":
@@ -221,7 +304,13 @@ class KBService:
                 object=object,
                 min_probability=min_probability,
             )
-        self.cache.put(key, (generation, facts), generation=generation)
+        # tag the entry with the one relation it can depend on, so a
+        # delta flush over other predicates leaves it warm; pattern-free
+        # queries depend on everything (None = evict on any flush)
+        predicates = frozenset((relation,)) if relation is not None else None
+        self.cache.put(
+            key, (generation, facts), generation=generation, predicates=predicates
+        )
         self.metrics.record_query(time.perf_counter() - started, cache_hit=False)
         return QueryResult(generation, facts, False)
 
@@ -259,8 +348,27 @@ class KBService:
         return depth
 
     def flush(self) -> int:
-        """Apply all pending evidence now; returns facts applied."""
-        return self.worker.flush()
+        """Apply all pending evidence now; returns facts applied.
+
+        In delta mode this also waits for the inference pipeline, so on
+        return the refreshed marginals are committed and queryable.
+        """
+        applied = self.worker.flush()
+        if self.pipeline is not None:
+            self.pipeline.drain()
+        return applied
+
+    def retry_dead_letter(self) -> Tuple[int, int]:
+        """Requeue dead-lettered facts (``POST /dead-letter/retry``).
+
+        Returns ``(facts requeued, queue depth after)``; raises
+        :class:`~repro.serve.ingest.IngestOverflow` (nothing lost — the
+        facts stay dead-lettered) when the queue cannot absorb them.
+        """
+        requeued, depth = self.worker.retry_dead_letter()
+        if requeued:
+            self.metrics.record_dead_letter_retry(requeued)
+        return requeued, depth
 
     def add_rules(self, rules: Sequence[HornClause]) -> int:
         """Synchronously ingest new deductive rules under the write lock.
@@ -273,15 +381,25 @@ class KBService:
         :class:`~repro.analyze.AnalysisError` and nothing changes.
         Returns the number of new facts the rules derived.
         """
+        if self.pipeline is not None:
+            # let in-flight delta commits land before the rules reshape TΦ
+            self.pipeline.drain()
         with self.lock.write_locked():
             outcome = self.probkb.add_rules(rules)
-            if self.config.infer_on_flush:
+            if self.delta is not None:
+                # new rules invalidate the component index and every
+                # marginal; re-prime = one full componentwise expansion
+                self.delta.prime()
+            elif self.config.infer_on_flush:
                 self.probkb.materialize_marginals(config=self.config.inference)
             self.cache.bump(self.probkb.generation)
         return outcome.total_new_facts
 
     def _apply_batch(self, batch: List[Fact]) -> None:
         """The single writer: evidence -> delta regrounding -> new generation."""
+        if self.delta is not None:
+            self._apply_batch_delta(batch)
+            return
         started = time.perf_counter()
         with self.lock.write_locked():
             self.probkb.add_evidence(batch)
@@ -298,11 +416,100 @@ class KBService:
             latency_ms=round((time.perf_counter() - started) * 1000, 3),
         )
 
+    def _apply_batch_delta(self, batch: List[Fact]) -> None:
+        """Stage A of a delta flush: ground + snapshot under the write
+        lock, then hand the pending delta to the inference pipeline."""
+        assert self.delta is not None and self.pipeline is not None
+        started = time.perf_counter()
+        try:
+            with self.lock.write_locked():
+                primed_now = not self.delta.primed  # first flush primes
+                pending = self.delta.ground(batch)
+                generation = self.probkb.generation
+                if pending.full_rebuild or primed_now:
+                    self.cache.bump(generation)
+                else:
+                    self.cache.invalidate_predicates(
+                        pending.touched_relations, generation
+                    )
+        except Exception:
+            # a half-grounded delta leaves the expander's index stale;
+            # re-prime on the next flush rather than splice garbage
+            self.delta.invalidate()
+            raise
+        ground_seconds = time.perf_counter() - started
+        self.metrics.record_ingest(len(batch))
+        self.metrics.record_delta_ground(
+            facts=pending.grounding.new_facts,
+            factors=pending.grounding.new_factors,
+            touched_components=pending.touched_components,
+            full_rebuild=pending.full_rebuild,
+            seconds=ground_seconds,
+        )
+        self.logger.log(
+            "delta_flush",
+            facts=len(batch),
+            new_facts=pending.grounding.new_facts,
+            new_factors=pending.grounding.new_factors,
+            touched_components=pending.touched_components,
+            touched_relations=sorted(pending.touched_relations),
+            full_rebuild=pending.full_rebuild,
+            generation=generation,
+            queue_depth=self.queue.depth,
+            latency_ms=round(ground_seconds * 1000, 3),
+        )
+        self.pipeline.submit(pending)
+
+    def _finish_delta(self, pending: PendingDelta) -> None:
+        """Stages B+C, on the pipeline thread: re-sample the snapshot
+        components lock-free, then splice under the write lock."""
+        assert self.delta is not None
+        started = time.perf_counter()
+        try:
+            refreshed = self.delta.infer(pending)
+            inferred = time.perf_counter()
+            with self.lock.write_locked():
+                self.delta.commit(pending, refreshed)
+                generation = self.probkb.generation
+                if pending.full_rebuild:
+                    self.cache.bump(generation)
+                else:
+                    self.cache.invalidate_predicates(
+                        pending.touched_relations, generation
+                    )
+            committed = time.perf_counter()
+            self.metrics.record_delta_refresh(
+                resampled_variables=pending.resampled_variables,
+                infer_seconds=inferred - started,
+                commit_seconds=committed - inferred,
+            )
+            self.logger.log(
+                "delta_refresh",
+                resampled_variables=pending.resampled_variables,
+                touched_components=pending.touched_components,
+                generation=generation,
+                infer_ms=round((inferred - started) * 1000, 3),
+                commit_ms=round((committed - inferred) * 1000, 3),
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            self.delta.invalidate()
+            self.logger.log("delta_error", error=repr(error))
+
     def materialize(self, num_sweeps: Optional[int] = None) -> int:
         """Recompute + store marginals under the write lock."""
         inference = self.config.inference
         if num_sweeps is not None:
             inference = replace(inference, num_sweeps=num_sweeps)
+        if self.delta is not None:
+            # the delta path keeps TProb fresh; an explicit materialize
+            # re-primes the baseline under the requested config
+            self.pipeline.drain()  # type: ignore[union-attr]
+            with self.lock.write_locked():
+                self.delta.inference = inference
+                self.delta.prime()
+                stored = len(self.delta.marginals)
+                self.cache.bump(self.probkb.generation)
+            return stored
         with self.lock.write_locked():
             stored = self.probkb.materialize_marginals(config=inference)
             self.cache.bump(self.probkb.generation)
@@ -319,6 +526,7 @@ class KBService:
             "generation": generation,
             "facts": facts,
             "factors": factors,
+            "expansion": self.config.expansion,
             "queue_depth": self.queue.depth,
             "ingest_flushes": self.worker.flushes,
             "ingest_retries": self.worker.retries,
@@ -328,6 +536,13 @@ class KBService:
             "executor": self.probkb.backend.executor_info(),
             "cache": self.cache.stats(),
         }
+        if self.delta is not None and self.pipeline is not None:
+            report["delta_state"] = {
+                "primed": self.delta.primed,
+                "components": self.delta.index.component_count(),
+                "scored_facts": len(self.delta.marginals),
+                "pending_inference": self.pipeline.depth,
+            }
         if self.worker.last_error is not None:
             report["last_ingest_error"] = repr(self.worker.last_error)
         report.update(self.metrics.snapshot())

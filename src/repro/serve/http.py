@@ -10,6 +10,7 @@ Endpoints::
     POST /evidence             {"facts": [...], "flush": false}
     POST /rules                {"rules": [...]} — gated by static analysis
     POST /snapshot             write the configured snapshot file
+    POST /dead-letter/retry    requeue dead-lettered evidence batches
 
 ``ThreadingHTTPServer`` gives one thread per request, which is exactly
 the concurrency shape KBService is built for: many readers on the read
@@ -395,6 +396,8 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 return lambda: self._post_rules(rules)
             if path == "/snapshot":
                 return self._post_snapshot
+            if path == "/dead-letter/retry":
+                return self._post_dead_letter_retry
         raise BadRequest(f"unknown path {path!r}", status=404)
 
     # -- routes --------------------------------------------------------------
@@ -490,6 +493,27 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         return 200, {
             "added": len(rules),
             "new_facts": new_facts,
+            "generation": service.generation,
+        }
+
+    def _post_dead_letter_retry(self) -> Response:
+        """Operator re-ingest: drain the dead-letter list back through
+        the evidence queue.  Failed batches get the normal retry +
+        dead-letter treatment again; 503 (queue full) loses nothing —
+        the facts stay dead-lettered for a later attempt."""
+        if self.server.draining:
+            raise BadRequest(
+                "service is draining; not accepting evidence", status=503
+            )
+        service = self.server.service
+        try:
+            requeued, depth = service.retry_dead_letter()
+        except IngestOverflow as error:
+            raise BadRequest(str(error), status=503) from None
+        return 200, {
+            "requeued": requeued,
+            "queue_depth": depth,
+            "dead_letter": service.worker.dead_letter_stats(),
             "generation": service.generation,
         }
 

@@ -294,6 +294,38 @@ class IngestWorker:
             taken, self.dead_letter = self.dead_letter, []
             return taken
 
+    def retry_dead_letter(self) -> Tuple[int, int]:
+        """Drain the dead-letter list back through the evidence queue.
+
+        The operator's re-ingest path (``POST /dead-letter/retry``): the
+        retained facts re-enter the normal micro-batch flow, so they get
+        the same coalescing, retry, and — if they fail again — the same
+        dead-lettering as fresh evidence.  If the queue cannot take them
+        (:class:`IngestOverflow`) the facts are put back at the *front*
+        of the dead-letter list (oldest-first order preserved, bounded
+        as usual) and the overflow propagates, so nothing is lost.
+
+        Returns ``(facts requeued, queue depth after)``.
+        """
+        batch = self.take_dead_letter()
+        if not batch:
+            return 0, self.queue.depth
+        try:
+            depth = self.queue.put(batch)
+        except IngestOverflow:
+            limit = self.queue.config.dead_letter_max
+            with self._dead_letter_lock:
+                self.dead_letter[:0] = batch
+                overflow = len(self.dead_letter) - limit
+                if overflow > 0:
+                    del self.dead_letter[:overflow]
+                    self.dead_letter_evicted += overflow
+            raise
+        self.logger.log(
+            "dead_letter_retry", facts=len(batch), queue_depth=depth
+        )
+        return len(batch), depth
+
     def flush(self) -> int:
         """Synchronously apply everything queued right now (caller thread).
 

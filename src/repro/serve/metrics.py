@@ -75,7 +75,17 @@ class ServiceMetrics:
         self.request_timeouts = 0
         self.oversize_rejected = 0
         self.dead_letter_facts = 0
+        self.dead_letter_retries = 0
+        self.delta_flushes = 0
+        self.delta_facts = 0
+        self.delta_factors = 0
+        self.delta_touched_components = 0
+        self.delta_resampled_variables = 0
+        self.delta_full_rebuilds = 0
         self.query_latency = LatencyRing(latency_window)
+        self.delta_ground_latency = LatencyRing(latency_window)
+        self.delta_infer_latency = LatencyRing(latency_window)
+        self.delta_commit_latency = LatencyRing(latency_window)
 
     def record_query(self, seconds: float, cache_hit: bool) -> None:
         with self._lock:
@@ -116,6 +126,38 @@ class ServiceMetrics:
         with self._lock:
             self.dead_letter_facts += facts
 
+    def record_dead_letter_retry(self, facts: int) -> None:
+        """Dead-lettered facts an operator requeued for another attempt."""
+        with self._lock:
+            self.dead_letter_retries += facts
+
+    def record_delta_ground(
+        self,
+        facts: int,
+        factors: int,
+        touched_components: int,
+        full_rebuild: bool,
+        seconds: float,
+    ) -> None:
+        """Stage A of a delta flush: what the delta grounding produced."""
+        with self._lock:
+            self.delta_flushes += 1
+            self.delta_facts += facts
+            self.delta_factors += factors
+            self.delta_touched_components += touched_components
+            if full_rebuild:
+                self.delta_full_rebuilds += 1
+        self.delta_ground_latency.observe(seconds)
+
+    def record_delta_refresh(
+        self, resampled_variables: int, infer_seconds: float, commit_seconds: float
+    ) -> None:
+        """Stages B+C of a delta flush: the marginal refresh."""
+        with self._lock:
+            self.delta_resampled_variables += resampled_variables
+        self.delta_infer_latency.observe(infer_seconds)
+        self.delta_commit_latency.observe(commit_seconds)
+
     @property
     def cache_hit_rate(self) -> float:
         with self._lock:
@@ -136,9 +178,22 @@ class ServiceMetrics:
                 "request_timeouts": self.request_timeouts,
                 "oversize_rejected": self.oversize_rejected,
                 "dead_letter_facts": self.dead_letter_facts,
+                "dead_letter_retries": self.dead_letter_retries,
             }
             hits, misses = self.cache_hits, self.cache_misses
+            delta: Dict[str, object] = {
+                "flushes": self.delta_flushes,
+                "facts": self.delta_facts,
+                "factors": self.delta_factors,
+                "touched_components": self.delta_touched_components,
+                "resampled_variables": self.delta_resampled_variables,
+                "full_rebuilds": self.delta_full_rebuilds,
+            }
         total = hits + misses
         counters["cache_hit_rate"] = hits / total if total else 0.0
         counters["query_latency"] = self.query_latency.snapshot()
+        delta["ground_latency"] = self.delta_ground_latency.snapshot()
+        delta["infer_latency"] = self.delta_infer_latency.snapshot()
+        delta["commit_latency"] = self.delta_commit_latency.snapshot()
+        counters["delta"] = delta
         return counters

@@ -1,0 +1,187 @@
+"""KBService with ``expansion="delta"``: fresh marginals on the ingest path.
+
+Serve-level contract: a flush grounds the delta under the write lock,
+re-samples only the touched components on the pipeline thread, and
+splices — so queries see scored probabilities continuously, without an
+operator ``materialize``, and cached queries over untouched predicates
+stay warm across flushes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Fact, InferenceConfig, ProbKB
+from repro.datasets import paper_kb
+from repro.delta import componentwise_marginals
+from repro.serve import IngestConfig, KBService, ServiceConfig
+
+SWEEPS = 80
+SEED = 5
+
+
+def expandable_kb():
+    kb = paper_kb()
+    kb.classes["Writer"].update({"Saul Bellow", "Grace Paley"})
+    return kb
+
+
+def delta_config(**overrides):
+    return ServiceConfig(
+        expansion="delta",
+        ingest=IngestConfig(flush_size=4, flush_interval=0.05),
+        inference=InferenceConfig(num_sweeps=SWEEPS, seed=SEED),
+        **overrides,
+    )
+
+
+@pytest.fixture
+def service():
+    system = ProbKB(expandable_kb(), backend="single")
+    system.ground()
+    svc = KBService(system, delta_config())
+    with svc:
+        yield svc
+
+
+BATCH = [Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.88)]
+
+
+class TestDeltaFlush:
+    def test_flush_scores_fresh_facts_without_materialize(self, service):
+        service.ingest(BATCH, flush=True)
+        result = service.query(subject="Saul Bellow", min_probability=0.01)
+        assert result.facts  # live_in / grow_up_in derived and scored
+        assert all(probability is not None for _, probability in result.facts)
+
+    def test_flush_matches_offline_componentwise_reference(self, service):
+        batches = [
+            BATCH,
+            [Fact("born_in", "Grace Paley", "Writer", "New York City", "City", 0.93)],
+        ]
+        for batch in batches:
+            service.ingest(batch, flush=True)
+        reference = ProbKB(expandable_kb(), backend="single")
+        reference.ground()
+        for batch in batches:
+            reference.add_evidence(batch)
+        expected = componentwise_marginals(reference.factor_rows(), SWEEPS, SEED)
+        assert service.delta is not None
+        assert service.delta.marginals == expected
+
+    def test_worker_flush_drains_through_pipeline(self, service):
+        facts = [
+            Fact("born_in", "Grace Paley", "Writer", "New York City", "City", 0.93),
+            Fact("live_in", "Grace Paley", "Writer", "Brooklyn", "Place", 0.81),
+            Fact("born_in", "Saul Bellow", "Writer", "Brooklyn", "Place", 0.88),
+            Fact("live_in", "Saul Bellow", "Writer", "New York City", "City", 0.7),
+        ]
+        service.ingest(facts)  # == flush_size: the worker thread fires
+        deadline = time.monotonic() + 5
+        while service.worker.flushes == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        service.flush()  # waits out the inference pipeline too
+        result = service.query(subject="Grace Paley", min_probability=0.01)
+        assert len(result.facts) >= 2
+        assert all(probability is not None for _, probability in result.facts)
+
+    def test_interleaved_queries_never_see_torn_generations(self, service):
+        service.materialize()  # prime before the readers start
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                result = service.query(relation="born_in")
+                probkb_generation = service.generation
+                if result.generation > probkb_generation:
+                    torn.append((result.generation, probkb_generation))
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        batches = [
+            BATCH,
+            [Fact("born_in", "Grace Paley", "Writer", "New York City", "City", 0.93)],
+            [Fact("live_in", "Grace Paley", "Writer", "Brooklyn", "Place", 0.7)],
+        ]
+        for batch in batches:
+            service.ingest(batch, flush=True)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not torn
+        reference = ProbKB(expandable_kb(), backend="single")
+        reference.ground()
+        for batch in batches:
+            reference.add_evidence(batch)
+        expected = componentwise_marginals(reference.factor_rows(), SWEEPS, SEED)
+        assert service.delta.marginals == expected
+
+
+class TestScopedInvalidation:
+    def test_flush_keeps_unrelated_predicate_queries_warm(self, service):
+        service.materialize()  # prime, so the next flush is incremental
+        warm = service.query(relation="located_in")
+        assert not warm.cache_hit
+        doomed = service.query(relation="born_in")
+        assert not doomed.cache_hit
+        service.ingest(BATCH, flush=True)
+        # Saul Bellow's flush touches born_in/live_in/grow_up_in, not
+        # located_in: the located_in entry survives the flush warm
+        assert service.query(relation="located_in").cache_hit
+        after = service.query(relation="born_in")
+        assert not after.cache_hit
+        assert any(fact.subject == "Saul Bellow" for fact, _ in after.facts)
+
+    def test_pattern_free_queries_still_invalidate(self, service):
+        service.materialize()
+        service.query(subject="Ruth Gruber")  # no relation -> depends on all
+        service.ingest(BATCH, flush=True)
+        assert not service.query(subject="Ruth Gruber").cache_hit
+
+
+class TestStats:
+    def test_stats_report_delta_state_and_metrics(self, service):
+        service.ingest(BATCH, flush=True)
+        stats = service.stats()
+        assert stats["expansion"] == "delta"
+        state = stats["delta_state"]
+        assert state["primed"] is True
+        assert state["components"] >= 1
+        assert state["scored_facts"] == len(service.delta.marginals)
+        assert state["pending_inference"] == 0
+        delta = stats["delta"]
+        assert delta["flushes"] >= 1
+        assert delta["facts"] >= 3
+        assert delta["full_rebuilds"] == 0
+        assert delta["ground_latency"]["count"] >= 1
+        assert delta["infer_latency"]["count"] >= 1
+        assert delta["commit_latency"]["count"] >= 1
+
+
+class TestDeadLetterRetry:
+    def test_retry_requeues_and_applies(self, service):
+        real_apply = service.worker.apply
+
+        def exploding(batch):
+            raise RuntimeError("backend offline")
+
+        service.worker.apply = exploding
+        service.ingest(BATCH, flush=True)
+        assert service.worker.dead_letter_stats()["facts"] == 1
+        assert service.metrics.dead_letter_facts == 1
+
+        service.worker.apply = real_apply
+        requeued, depth = service.retry_dead_letter()
+        assert requeued == 1 and depth == 1
+        assert service.worker.dead_letter_stats()["facts"] == 0
+        service.flush()
+        result = service.query(subject="Saul Bellow", min_probability=0.01)
+        assert result.facts
+        assert service.stats()["dead_letter_retries"] == 1
+
+    def test_retry_with_empty_dead_letter_is_a_noop(self, service):
+        assert service.retry_dead_letter() == (0, 0)
+        assert service.stats()["dead_letter_retries"] == 0

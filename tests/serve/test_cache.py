@@ -74,6 +74,51 @@ def test_capacity_validated():
         QueryCache(capacity=0)
 
 
+class TestPredicateScopedInvalidation:
+    def test_only_intersecting_entries_are_evicted(self):
+        cache = QueryCache(capacity=8)
+        cache.put("q1", 1, predicates=frozenset({"born_in"}))
+        cache.put("q2", 2, predicates=frozenset({"works_at"}))
+        evicted = cache.invalidate_predicates({"born_in", "live_in"})
+        assert evicted == 1
+        assert cache.get("q1") == (False, None)
+        assert cache.get("q2") == (True, 2)  # disjoint: survived warm
+        assert cache.invalidations == 1
+        assert cache.stats()["invalidations"] == 1
+
+    def test_untagged_entries_are_conservatively_evicted(self):
+        cache = QueryCache(capacity=8)
+        cache.put("pattern_free", 1)  # predicates=None: depends on all
+        assert cache.invalidate_predicates({"born_in"}) == 1
+        assert cache.get("pattern_free") == (False, None)
+
+    def test_survivors_are_restamped_to_the_new_generation(self):
+        """A surviving entry must keep hitting after the generation
+        advance — the whole point of scoped invalidation."""
+        cache = QueryCache(capacity=8)
+        cache.put("warm", 7, predicates=frozenset({"works_at"}))
+        cache.invalidate_predicates({"born_in"}, generation=5)
+        assert cache.generation == 5
+        assert cache.get("warm") == (True, 7)
+
+    def test_generation_cannot_move_backwards(self):
+        cache = QueryCache(capacity=8)
+        cache.bump(9)
+        with pytest.raises(ValueError):
+            cache.invalidate_predicates({"born_in"}, generation=3)
+
+    def test_self_incrementing_generation(self):
+        cache = QueryCache(capacity=8)
+        before = cache.generation
+        cache.invalidate_predicates({"born_in"})
+        assert cache.generation == before + 1
+
+    def test_put_without_predicates_stays_backward_compatible(self):
+        cache = QueryCache(capacity=8)
+        cache.put("a", 1, generation=cache.generation)  # legacy call shape
+        assert cache.get("a") == (True, 1)
+
+
 class TestEvictionPolicies:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):

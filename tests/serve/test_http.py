@@ -157,6 +157,61 @@ def test_snapshot_endpoint_writes_configured_path(base_url, tmp_path):
     assert os.path.exists(payload["path"])
 
 
+def test_dead_letter_retry_on_healthy_service(base_url):
+    status, payload = post_json(base_url + "/dead-letter/retry", {})
+    assert status == 200
+    assert payload["requeued"] == 0
+    assert payload["dead_letter"] == {"batches": 0, "facts": 0, "evicted": 0}
+    assert isinstance(payload["generation"], int)
+
+
+def test_dead_letter_retry_replays_failed_evidence():
+    """End to end: a failing flush dead-letters, the endpoint requeues,
+    and the next flush applies the facts for real."""
+    kb = paper_kb()
+    kb.classes["Writer"].add("Saul Bellow")
+    system = ProbKB(kb, backend="single")
+    system.ground()
+    service = KBService(
+        system,
+        ServiceConfig(ingest=IngestConfig(flush_size=4, flush_interval=0.05)),
+    ).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        real_apply = service.worker.apply
+        service.worker.apply = lambda batch: (_ for _ in ()).throw(
+            RuntimeError("backend offline")
+        )
+        status, accepted = post_json(base + "/evidence", EVIDENCE)
+        assert status == 202
+        _, stats = get_json(base + "/stats")
+        assert stats["dead_letter"] == {"batches": 1, "facts": 1, "evicted": 0}
+
+        service.worker.apply = real_apply
+        status, payload = post_json(base + "/dead-letter/retry", {})
+        assert status == 200
+        assert payload["requeued"] == 1
+        assert payload["dead_letter"]["facts"] == 0
+        service.flush()
+        _, facts = get_json(base + "/facts?subject=Saul+Bellow")
+        assert {fact["relation"] for fact in facts["facts"]} >= {
+            "born_in",
+            "live_in",
+            "grow_up_in",
+        }
+        _, stats = get_json(base + "/stats")
+        assert stats["dead_letter_retries"] == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.stop()
+
+
 def http_error(url, payload=None, method=None):
     try:
         if payload is None:
