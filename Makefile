@@ -1,16 +1,17 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-mpp bench bench-mpp bench-delta lint
+.PHONY: test test-mpp bench bench-mpp bench-delta bench-infer lint
 
 # Tier-1 suite: serial executors only (the `mpp` marker is excluded
 # via addopts in pyproject.toml).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Multi-process executor tests: spawn real worker processes.
+# Multi-process tests: spawn real worker processes (the MPP executor
+# plus the color-parallel inference driver in tests/infer).
 test-mpp:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/mpp -m mpp -q
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests -m mpp -q
 
 # Modelled-cost paper figures (benchmarks/results/*.txt).
 bench:
@@ -25,6 +26,11 @@ bench-delta:
 # the speedup target, always checks bit-identical output.
 bench-mpp:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_mpp_wallclock.py -m mpp -q
+
+# Serial vs color-parallel gibbs through the engine registry; the
+# bit-identity gate runs everywhere, the speedup target needs >=2 cores.
+bench-infer:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_inference_engines.py -m mpp -q
 
 # Static checks: ruff (style/imports) + mypy (strict on repro.analyze,
 # repro.core, repro.quality, repro.serve — see pyproject.toml).  Each

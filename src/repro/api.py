@@ -50,6 +50,12 @@ from .core.grounding import GroundingResult, IterationStats
 from .core.model import Fact, KnowledgeBase
 from .core.probkb import ProbKB
 from .core.results import ConstraintResult, InferenceResult
+from .infer.registry import (
+    InferenceEngine,
+    build_engine,
+    register_engine,
+    registered_engines,
+)
 
 __all__ = [
     "ANALYSIS_MODES",
@@ -60,10 +66,14 @@ __all__ = [
     "GroundingConfig",
     "GroundingResult",
     "InferenceConfig",
+    "InferenceEngine",
     "InferenceResult",
     "IterationStats",
     "MPPConfig",
     "build_backend",
+    "build_engine",
+    "register_engine",
+    "registered_engines",
 ]
 
 
@@ -135,6 +145,11 @@ class ExpansionSession:
         """How the backend executes work (serial / multiprocess, workers)."""
         return self.probkb.backend.executor_info()
 
+    def inference_info(self) -> Dict[str, object]:
+        """How marginal inference runs (engine, workers, colours, last
+        wall clock) — the inference counterpart of :meth:`executor_info`."""
+        return self.probkb.inference_info()
+
     def close(self) -> None:
         self.probkb.close()
 
@@ -166,6 +181,7 @@ class ExpansionSession:
         self,
         facts: Sequence[Fact],
         max_iterations: Optional[int] = None,
+        inference: Optional[InferenceConfig] = None,
     ) -> "DeltaResult":
         """Incrementally expand *and* refresh marginals at O(delta) cost.
 
@@ -177,11 +193,22 @@ class ExpansionSession:
         full componentwise re-expansion at the same seed.  The first
         call primes the baseline (one full expansion); see
         ``docs/incremental.md``.
+
+        ``inference`` pins the delta sampler's config on the first call
+        (default: the session's); gibbs configs with ``num_workers >= 2``
+        re-sample big touched components on the worker pool.  Passing a
+        different config after the baseline is primed raises — the
+        splice contract requires one config per expander lifetime.
         """
         if self._delta is None:
             from .delta import DeltaExpander
 
-            self._delta = DeltaExpander(self.probkb)
+            self._delta = DeltaExpander(self.probkb, inference=inference)
+        elif inference is not None and inference != self._delta.inference:
+            raise ValueError(
+                "expand_delta inference config cannot change after the "
+                "baseline is primed; keep one config per session"
+            )
         return self._delta.expand_delta(facts, max_iterations)
 
     def add_rules(

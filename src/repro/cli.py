@@ -105,8 +105,25 @@ def build_parser() -> argparse.ArgumentParser:
         "infer", help="ground + marginal inference; print the top new facts"
     )
     _add_pipeline_arguments(infer_cmd)
-    infer_cmd.add_argument("--method", choices=("gibbs", "bp"), default="gibbs")
+    infer_cmd.add_argument(
+        "--engine",
+        default=None,
+        help="inference engine (see repro.infer.registry; default gibbs)",
+    )
+    infer_cmd.add_argument(
+        "--method",
+        choices=("gibbs", "bp"),
+        default=None,
+        help="deprecated alias of --engine",
+    )
     infer_cmd.add_argument("--sweeps", type=int, default=500)
+    infer_cmd.add_argument(
+        "--infer-workers",
+        type=int,
+        default=0,
+        help="worker processes for color-parallel Gibbs (0 = serial; "
+        "marginals are bit-identical either way)",
+    )
     infer_cmd.add_argument("--top", type=int, default=20)
 
     evaluate_cmd = commands.add_parser(
@@ -437,10 +454,29 @@ def cmd_ground(args) -> int:
 
 
 def cmd_infer(args) -> int:
+    engine = args.engine
+    if args.method is not None:
+        if engine is None:
+            print("warning: --method is deprecated; use --engine", file=sys.stderr)
+            engine = args.method
+        else:
+            print("error: pass --engine or --method, not both", file=sys.stderr)
+            return 2
+    config = InferenceConfig(
+        engine=engine or "gibbs",
+        sweeps=args.sweeps,
+        num_workers=args.infer_workers,
+    )
     system = _build_system(args)
     system.ground(args.iterations)
-    marginals = system.infer(
-        InferenceConfig(method=args.method, num_sweeps=args.sweeps)
+    marginals = system.infer(config)
+    info = system.inference_info(config)
+    workers = info.get("num_workers", 0)
+    mode = "pooled" if info.get("pooled") else "serial"
+    print(
+        f"engine={info.get('engine')} workers={workers} ({mode}) "
+        f"colors={info.get('colors', '-')} "
+        f"wall={info.get('wall_seconds', 0.0):.3f}s"
     )
     new = system.new_facts(marginals)
     new.sort(key=lambda item: -(item[1] or 0.0))
@@ -502,7 +538,7 @@ def build_serve_service(args, logger=None, expansion="full"):
         )
         if args.materialize:
             stored = system.materialize_marginals(
-                config=InferenceConfig(num_sweeps=args.sweeps)
+                config=InferenceConfig(sweeps=args.sweeps)
             )
             print(f"materialized {stored} marginals ({args.sweeps} sweeps)")
         if args.snapshot:
@@ -523,7 +559,7 @@ def build_serve_service(args, logger=None, expansion="full"):
             flush_interval=args.flush_interval,
         ),
         infer_on_flush=args.infer_on_flush,
-        inference=InferenceConfig(num_sweeps=args.sweeps),
+        inference=InferenceConfig(sweeps=args.sweeps),
         expansion=expansion,
     )
     return KBService(system, config, logger=logger)

@@ -13,11 +13,16 @@ key, and passed to several sessions without aliasing surprises.  Use
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from ..mpp import PLAN_MODES
 from .backends import Backend, MPPBackend, SingleNodeBackend
+
+#: Distinguishes "caller did not pass this" from any real value, so the
+#: legacy-keyword shims fire only on explicit use.
+_UNSET: Any = object()
 
 #: TΠ-view policies for the MPP backend (Section 4.4): ``"matviews"``
 #: maintains the four redistributed materialized views, ``"naive"``
@@ -113,19 +118,95 @@ class GroundingConfig:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class InferenceConfig:
-    """How marginal inference runs over the ground factor graph."""
+    """How marginal inference runs over the ground factor graph.
 
-    method: str = "gibbs"
-    num_sweeps: int = 500
+    ``engine`` names a factory in :mod:`repro.infer.registry` (built-ins:
+    ``"gibbs"``, ``"bp"``); unknown names raise a :class:`ValueError`
+    listing what is registered.  ``num_workers=0`` (the default) samples
+    serially in the master process; ``num_workers >= 2`` runs the gibbs
+    engine's componentwise sweep on a persistent worker pool
+    (:mod:`repro.infer.parallel`) — marginals are bit-identical either
+    way at a fixed seed.  ``shard_threshold`` is the component size at
+    which a single component is swept by all workers together instead of
+    one.
+
+    The legacy spellings ``method=`` and ``num_sweeps=`` still work but
+    emit one :class:`DeprecationWarning` each; read access through the
+    ``.method`` / ``.num_sweeps`` properties stays silent.
+    """
+
+    engine: str = "gibbs"
+    sweeps: int = 500
     seed: int = 0
+    num_workers: int = 0
+    worker_timeout: float = 60.0
+    shard_threshold: int = 512
 
-    def __post_init__(self) -> None:
-        if self.method not in ("gibbs", "bp"):
-            raise ValueError(
-                f"unknown inference method {self.method!r} (gibbs|bp)"
+    def __init__(
+        self,
+        engine: str = "gibbs",
+        sweeps: int = 500,
+        seed: int = 0,
+        num_workers: int = 0,
+        worker_timeout: float = 60.0,
+        shard_threshold: int = 512,
+        *,
+        method: Any = _UNSET,
+        num_sweeps: Any = _UNSET,
+    ) -> None:
+        if method is not _UNSET:
+            warnings.warn(
+                "InferenceConfig(method=...) is deprecated; pass engine= "
+                "(see repro.infer.registry)",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            engine = method
+        if num_sweeps is not _UNSET:
+            warnings.warn(
+                "InferenceConfig(num_sweeps=...) is deprecated; pass sweeps=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            sweeps = num_sweeps
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "sweeps", sweeps)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "num_workers", num_workers)
+        object.__setattr__(self, "worker_timeout", worker_timeout)
+        object.__setattr__(self, "shard_threshold", shard_threshold)
+        self._validate()
+
+    def _validate(self) -> None:
+        from ..infer.registry import registered_engines
+
+        if self.engine not in registered_engines():
+            raise ValueError(
+                f"unknown inference engine {self.engine!r} "
+                f"(registered: {', '.join(registered_engines())})"
+            )
+        if self.sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {self.sweeps}")
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.shard_threshold < 2:
+            raise ValueError(
+                f"shard_threshold must be >= 2, got {self.shard_threshold}"
+            )
+
+    @property
+    def method(self) -> str:
+        """Deprecated spelling of :attr:`engine` (silent on read)."""
+        return self.engine
+
+    @property
+    def num_sweeps(self) -> int:
+        """Deprecated spelling of :attr:`sweeps` (silent on read)."""
+        return self.sweeps
 
 
 BackendSpec = Union[BackendConfig, Backend, str]

@@ -24,7 +24,8 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..infer import FactorGraph, bp_marginals, gibbs_marginals
+from ..infer import FactorGraph
+from ..infer.registry import InferenceEngine, build_engine
 from ..relational import Scan, to_sql
 from ..relational.expr import IsNull, col
 from ..relational.plan import Filter
@@ -130,6 +131,9 @@ class ProbKB:
             semi_naive=self.grounding_config.semi_naive,
         )
         self.grounding: Optional[GroundingResult] = None
+        #: live engines keyed by their construction-relevant tuning, so
+        #: repeated infer() calls reuse one worker pool per shape
+        self._engines: Dict[Tuple[str, int, float, int], InferenceEngine] = {}
         #: monotone counter, bumped every time stored state mutates
         self.generation = 0
 
@@ -233,7 +237,10 @@ class ProbKB:
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Release backend resources (MPP worker pools); idempotent."""
+        """Release backend resources (worker pools); idempotent."""
+        engines, self._engines = self._engines, {}
+        for engine in engines.values():
+            engine.close()
         self.backend.close()
 
     def __enter__(self) -> "ProbKB":
@@ -380,14 +387,13 @@ class ProbKB:
         and factor-graph size.
         """
         config = self._inference_config(config, method, num_sweeps, seed)
-        graph = self.factor_graph()
+        engine = self.inference_engine(config)
+        rows = self.factor_rows()
+        num_variables = len(
+            {var for row in rows for var in row[:3] if var is not None}
+        )
         started = time.perf_counter()
-        if config.method == "gibbs":
-            marginals = gibbs_marginals(
-                graph, num_sweeps=config.num_sweeps, seed=config.seed
-            )
-        else:
-            marginals = bp_marginals(graph).marginals
+        marginals = engine.marginals(rows, config)
         elapsed = time.perf_counter() - started
         by_id = self._facts_by_id()
         resolved = {
@@ -397,13 +403,62 @@ class ProbKB:
         }
         return InferenceResult(
             resolved,
-            method=config.method,
-            num_sweeps=config.num_sweeps,
+            method=config.engine,
+            num_sweeps=config.sweeps,
             seed=config.seed,
             elapsed_seconds=elapsed,
-            num_variables=graph.num_variables,
-            num_factors=len(graph.factors),
+            num_variables=num_variables,
+            num_factors=len(rows),
         )
+
+    def inference_engine(
+        self, config: Optional[InferenceConfig] = None
+    ) -> InferenceEngine:
+        """The live engine for ``config`` (default: the session's).
+
+        Engines are cached per construction-relevant tuning — one
+        worker pool per shape, reused across infer() calls — and closed
+        with the ProbKB.
+        """
+        config = config or self.inference_config
+        key = (
+            config.engine,
+            config.num_workers,
+            config.worker_timeout,
+            config.shard_threshold,
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = build_engine(config)
+            self._engines[key] = engine
+        return engine
+
+    def inference_info(
+        self, config: Optional[InferenceConfig] = None
+    ) -> Dict[str, Any]:
+        """Engine introspection (engine, workers, colours, last wall
+        clock) — the inference counterpart of ``executor_info()``."""
+        config = config or self.inference_config
+        return {
+            "sweeps": config.sweeps,
+            "seed": config.seed,
+            **self.inference_engine(config).info(),
+        }
+
+    def inference_driver(
+        self, config: Optional[InferenceConfig] = None
+    ) -> Optional[Any]:
+        """The gibbs engine's pool driver, or ``None`` for other engines.
+
+        The delta path hands this to
+        :func:`repro.delta.inference.sample_components` so big touched
+        components ride the worker pool too.
+        """
+        config = config or self.inference_config
+        if config.engine != "gibbs":
+            return None
+        engine = self.inference_engine(config)
+        return getattr(engine, "driver", None)
 
     def _inference_config(
         self,
@@ -417,9 +472,9 @@ class ProbKB:
             method, config = config, None
         overrides = {}
         if method is not _UNSET:
-            overrides["method"] = method
+            overrides["engine"] = method
         if num_sweeps is not _UNSET:
-            overrides["num_sweeps"] = num_sweeps
+            overrides["sweeps"] = num_sweeps
         if seed is not _UNSET:
             overrides["seed"] = seed
         if overrides:

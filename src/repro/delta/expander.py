@@ -32,7 +32,7 @@ from ..relational import schema as make_schema
 from ..relational.types import Row
 from .components import ComponentIndex
 from .grounding import DeltaGrounder, DeltaGroundingResult
-from .inference import sample_component
+from .inference import sample_components
 
 if TYPE_CHECKING:
     from ..core.model import Fact
@@ -90,6 +90,9 @@ class DeltaExpander:
     ) -> None:
         self.probkb = probkb
         self.inference = inference or probkb.inference_config
+        #: pool driver for gibbs configs (None for other engines); big
+        #: touched components ride the worker pool through it
+        self.driver = probkb.inference_driver(self.inference)
         self.grounder = DeltaGrounder(probkb)
         self.index = ComponentIndex()
         self.marginals: Dict[int, float] = {}
@@ -116,16 +119,17 @@ class DeltaExpander:
             var for row in rows for var in row[:3] if var is not None
         }
         self.index = ComponentIndex.from_factor_rows(variable_ids, rows)
-        self.marginals = {}
-        for root in self.index.roots():
-            self.marginals.update(
-                sample_component(
-                    self.index.members(root),
-                    self.index.factors(root),
-                    self.inference.num_sweeps,
-                    self.inference.seed,
-                )
+        self.marginals = dict(
+            sample_components(
+                [
+                    (self.index.members(root), self.index.factors(root))
+                    for root in self.index.roots()
+                ],
+                self.inference.sweeps,
+                self.inference.seed,
+                driver=self.driver,
             )
+        )
         self._relation_of = {
             row[0]: row[1]
             for row in self.probkb.backend.project("TP", ("I", "R"))
@@ -212,14 +216,12 @@ class DeltaExpander:
     def infer(self, pending: PendingDelta) -> Dict[int, float]:
         """Phase B (no lock): re-sample the snapshot components.  Pure —
         reads only the snapshots, so it may overlap a later ground()."""
-        refreshed: Dict[int, float] = {}
-        for _anchor, members, rows in pending.snapshots:
-            refreshed.update(
-                sample_component(
-                    members, rows, self.inference.num_sweeps, self.inference.seed
-                )
-            )
-        return refreshed
+        return sample_components(
+            [(members, rows) for _anchor, members, rows in pending.snapshots],
+            self.inference.sweeps,
+            self.inference.seed,
+            driver=self.driver,
+        )
 
     def commit(self, pending: PendingDelta, refreshed: Dict[int, float]) -> None:
         """Phase C (write lock): splice the refreshed marginals in."""

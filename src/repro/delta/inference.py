@@ -15,16 +15,27 @@ Two ingredients make that hold:
 2. **Per-component seeds** — each component derives its RNG seed from
    the base seed and its minimum member id via a splitmix-style mix, so
    sampling order and the fate of other components are irrelevant.
+
+Sampling uses the counter-based stream kernel
+(:meth:`~repro.infer.gibbs.GibbsSampler.run_stream`), whose draws are a
+pure function of ``(seed, sweep, color, var)`` — the same property that
+lets :mod:`repro.infer.parallel` shard a component across worker
+processes with bit-identical marginals.  Callers that hold a parallel
+driver pass it via the ``driver=`` parameters here; ``None`` means
+sample serially in-process.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..infer.factor_graph import FactorGraph
 from ..infer.gibbs import GibbsSampler
 from ..relational.types import Row
 from .components import ComponentIndex
+
+if TYPE_CHECKING:
+    from ..infer.parallel import ParallelGibbsDriver
 
 _MASK = (1 << 64) - 1
 
@@ -76,13 +87,34 @@ def sample_component(
     members = sorted(member_ids)
     graph = build_component_graph(members, rows)
     sampler = GibbsSampler(graph, seed=component_seed(seed, members[0]))
-    return sampler.run(num_sweeps=num_sweeps).marginals
+    return sampler.run_stream(num_sweeps=num_sweeps).marginals
+
+
+def sample_components(
+    snapshots: Sequence[Tuple[List[int], List[Row]]],
+    num_sweeps: int,
+    seed: int,
+    driver: Optional["ParallelGibbsDriver"] = None,
+) -> Dict[int, float]:
+    """Marginals over a batch of ``(members, rows)`` component snapshots.
+
+    With a driver the batch runs on the worker pool; without one it runs
+    serially in-process.  Either way the result is bit-identical — the
+    driver's contract (see :mod:`repro.infer.parallel`).
+    """
+    if driver is not None:
+        return driver.sample_components(snapshots, num_sweeps, seed)
+    marginals: Dict[int, float] = {}
+    for members, rows in snapshots:
+        marginals.update(sample_component(members, rows, num_sweeps, seed))
+    return marginals
 
 
 def componentwise_marginals(
     rows: Sequence[Row],
     num_sweeps: int,
     seed: int,
+    driver: Optional["ParallelGibbsDriver"] = None,
 ) -> Dict[int, float]:
     """Marginals over a full TΦ, sampled one component at a time.
 
@@ -92,9 +124,7 @@ def componentwise_marginals(
     """
     variable_ids = {var for row in rows for var in row[:3] if var is not None}
     index = ComponentIndex.from_factor_rows(variable_ids, rows)
-    marginals: Dict[int, float] = {}
-    for root in index.roots():
-        marginals.update(
-            sample_component(index.members(root), index.factors(root), num_sweeps, seed)
-        )
-    return marginals
+    snapshots = [
+        (index.members(root), index.factors(root)) for root in index.roots()
+    ]
+    return sample_components(snapshots, num_sweeps, seed, driver=driver)

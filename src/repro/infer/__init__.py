@@ -16,6 +16,15 @@ from .gibbs import (
     gibbs_with_diagnostics,
 )
 from .map_inference import MAPResult, annealed_map, icm_map
+from .registry import (
+    InferenceEngine,
+    build_engine,
+    register_engine,
+    registered_engines,
+)
+
+# NOTE: .parallel is intentionally not imported here — it pulls in the
+# worker-pool machinery; engines load it lazily when num_workers >= 2.
 
 __all__ = [
     "BPResult",
@@ -23,13 +32,17 @@ __all__ = [
     "ClauseFactor",
     "FactorGraph",
     "GibbsResult",
+    "InferenceEngine",
     "MAPResult",
     "GibbsSampler",
     "bp_marginals",
+    "build_engine",
     "exact_map",
     "exact_marginals",
     "annealed_map",
     "gibbs_marginals",
     "gibbs_with_diagnostics",
     "icm_map",
+    "register_engine",
+    "registered_engines",
 ]

@@ -5,10 +5,20 @@ on GraphLab.  That algorithm colours the Markov blanket graph and updates
 all variables of one colour simultaneously — valid because same-coloured
 variables are conditionally independent.  We reproduce it faithfully:
 a greedy colouring (networkx) partitions variables into colour classes,
-and each sweep updates the classes in sequence.  On a single machine the
-"parallel" update is a loop, but the sampling semantics (and results)
-are identical, and the colour structure is exposed so the simulated
-speedup can be reported.
+and each sweep updates the classes in sequence.
+
+Two sweep kernels share the colour structure:
+
+- :meth:`GibbsSampler.run` — the original sequential-stream kernel: one
+  ``random.Random(seed)`` stream consumed in iteration order.  Kept for
+  backwards compatibility (``gibbs_marginals``, chain diagnostics).
+- :meth:`GibbsSampler.run_stream` — the *shardable* kernel behind
+  :mod:`repro.infer.parallel`: every draw comes from a counter-based
+  stream keyed by ``(seed, sweep, color, variable)``, so the draw for a
+  variable is a pure function of its key, independent of which process
+  samples it or in what order.  Splitting a colour class across worker
+  processes (states synchronized at a per-colour barrier) therefore
+  yields marginals bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -16,11 +26,55 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import networkx as nx
 
 from .factor_graph import FactorGraph
+
+_MASK = (1 << 64) - 1
+#: pseudo-sweep index reserved for drawing the initial state
+_INIT_SWEEP = -1
+
+
+def _mix64(z: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit value."""
+    z = (z + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+def stream_key(seed: int, sweep: int, color: int) -> int:
+    """The per-(seed, sweep, color) stream for the shardable kernel."""
+    z = _mix64(seed & _MASK)
+    z = _mix64(z ^ (((sweep + 2) * 0xD1B54A32D192ED03) & _MASK))
+    return _mix64(z ^ (((color + 1) * 0x8CB92BA72F3D8DD7) & _MASK))
+
+
+def stream_uniform(key: int, var: int) -> float:
+    """Uniform in [0, 1) for one variable of one stream.
+
+    A pure function of ``(key, var)`` — the property that makes the
+    chromatic sweep shardable: any process sampling ``var`` at a given
+    (seed, sweep, color) draws exactly this number.
+    """
+    z = _mix64(key ^ (((var + 1) * 0x9E3779B97F4A7C15) & _MASK))
+    return (z >> 11) * (2.0 ** -53)
+
+
+def stream_state(seed: int, num_variables: int) -> List[int]:
+    """Deterministic initial assignment for the stream kernel."""
+    key = stream_key(seed, _INIT_SWEEP, 0)
+    return [
+        1 if stream_uniform(key, var) < 0.5 else 0
+        for var in range(num_variables)
+    ]
+
+
+#: per-colour boundary-state exchange: ``(sweep, color, my_updates) ->
+#: other shards' updates`` (see :mod:`repro.infer.parallel`)
+ExchangeFn = Callable[[int, int, Dict[int, int]], Dict[int, int]]
 
 
 @dataclass
@@ -42,6 +96,7 @@ class GibbsSampler:
 
     def __init__(self, graph: FactorGraph, seed: int = 0) -> None:
         self.graph = graph
+        self.seed = seed
         self.rng = random.Random(seed)
         self._touching = graph.factors_touching()
         self._colors = self._color()
@@ -123,6 +178,77 @@ class GibbsSampler:
         marginals = {
             self.graph.external_id(var): true_counts[var] / kept
             for var in range(n)
+        }
+        depth = sum(
+            max(1, len(color_class)) for color_class in self._colors
+        )
+        return GibbsResult(
+            marginals=marginals,
+            num_sweeps=num_sweeps,
+            num_colors=self.num_colors,
+            parallel_depth=depth,
+        )
+
+    def run_stream(
+        self,
+        num_sweeps: int = 500,
+        burn_in: Optional[int] = None,
+        owned: Optional[Sequence[int]] = None,
+        exchange: Optional[ExchangeFn] = None,
+    ) -> GibbsResult:
+        """Shardable chromatic sweep with counter-based RNG.
+
+        Each draw is a pure function of ``(seed, sweep, color, var)``
+        (see :func:`stream_uniform`), so partitioning the variables over
+        ``owned`` sets across processes — with boundary states merged
+        back through ``exchange`` at the end of every colour — produces
+        marginals bit-identical to a single-process run over all
+        variables.
+
+        ``owned`` restricts which (dense) variable indices this caller
+        samples and reports; ``None`` means all of them.  ``exchange``
+        is called once per (sweep, colour) — even when this shard owns
+        no variable of that colour — with the updates just made, and
+        must return the other shards' updates for the same colour.
+        """
+        n = self.graph.num_variables
+        if burn_in is None:
+            burn_in = max(1, num_sweeps // 4) if num_sweeps > 1 else 0
+        owned_set = set(range(n)) if owned is None else set(owned)
+        owned_sorted = sorted(owned_set)
+        # per-colour slices of the owned set, precomputed once
+        owned_by_color = [
+            [var for var in color_class if var in owned_set]
+            for color_class in self._colors
+        ]
+        state = stream_state(self.seed, n)
+        true_counts = {var: 0 for var in owned_sorted}
+        kept = 0
+        for sweep in range(num_sweeps):
+            for color, color_class in enumerate(self._colors):
+                key = stream_key(self.seed, sweep, color)
+                updates: Dict[int, int] = {}
+                # same-colour variables are conditionally independent,
+                # so in-place updates cannot leak into each other's
+                # conditionals within this loop
+                for var in owned_by_color[color]:
+                    p_true = self._conditional_true_probability(var, state)
+                    value = 1 if stream_uniform(key, var) < p_true else 0
+                    state[var] = value
+                    updates[var] = value
+                if exchange is not None:
+                    for var, value in exchange(sweep, color, updates).items():
+                        state[var] = value
+            if sweep >= burn_in:
+                kept += 1
+                for var in owned_sorted:
+                    true_counts[var] += state[var]
+        if kept == 0:
+            kept = 1  # degenerate configuration: report last state
+            true_counts = {var: state[var] for var in owned_sorted}
+        marginals = {
+            self.graph.external_id(var): true_counts[var] / kept
+            for var in owned_sorted
         }
         depth = sum(
             max(1, len(color_class)) for color_class in self._colors

@@ -34,7 +34,9 @@ class MAPResult:
         return sorted(fid for fid, value in self.assignment.items() if value)
 
 
-def _local_delta(graph: FactorGraph, touching, state: List[int], var: int) -> float:
+def _local_delta(
+    graph: FactorGraph, touching: Sequence[List[int]], state: List[int], var: int
+) -> float:
     """log score(x_var=1) - log score(x_var=0) given the rest of state.
 
     Restores ``state[var]`` before returning.

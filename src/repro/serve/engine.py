@@ -136,7 +136,7 @@ class ServiceConfig:
             )
         overrides = {}
         if self.num_sweeps is not None:
-            overrides["num_sweeps"] = self.num_sweeps
+            overrides["sweeps"] = self.num_sweeps
         if self.seed is not None:
             overrides["seed"] = self.seed
         if overrides:
@@ -146,7 +146,7 @@ class ServiceConfig:
                 DeprecationWarning,
                 stacklevel=3,
             )
-        resolved = self.inference or InferenceConfig(num_sweeps=200, seed=0)
+        resolved = self.inference or InferenceConfig(sweeps=200, seed=0)
         if overrides:
             resolved = replace(resolved, **overrides)
         self.inference = resolved
@@ -499,7 +499,7 @@ class KBService:
         """Recompute + store marginals under the write lock."""
         inference = self.config.inference
         if num_sweeps is not None:
-            inference = replace(inference, num_sweeps=num_sweeps)
+            inference = replace(inference, sweeps=num_sweeps)
         if self.delta is not None:
             # the delta path keeps TProb fresh; an explicit materialize
             # re-primes the baseline under the requested config
@@ -534,6 +534,7 @@ class KBService:
             "uptime_seconds": time.time() - self.started_at,
             "backend": self.probkb.backend.name,
             "executor": self.probkb.backend.executor_info(),
+            "inference": self.probkb.inference_info(self.config.inference),
             "cache": self.cache.stats(),
         }
         if self.delta is not None and self.pipeline is not None:

@@ -65,9 +65,56 @@ class TestInferenceConfig:
         with pytest.raises(ValueError):
             InferenceConfig(method="oracle")
 
+    def test_unknown_engine_lists_registered(self):
+        with pytest.raises(ValueError, match="registered: .*gibbs"):
+            InferenceConfig(engine="oracle")
+
     def test_defaults(self):
         config = InferenceConfig()
         assert (config.method, config.num_sweeps, config.seed) == ("gibbs", 500, 0)
+        assert (config.engine, config.sweeps) == ("gibbs", 500)
+        assert config.num_workers == 0
+        assert config.worker_timeout == 60.0
+        assert config.shard_threshold == 512
+
+    def test_legacy_kwargs_warn_once_each(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = InferenceConfig(method="bp", num_sweeps=64)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+        assert (config.engine, config.sweeps) == ("bp", 64)
+
+    def test_modern_kwargs_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = InferenceConfig(engine="bp", sweeps=64, num_workers=2)
+        # legacy property reads stay silent too
+        assert (config.method, config.num_sweeps) == ("bp", 64)
+
+    def test_frozen_and_replaceable(self):
+        config = InferenceConfig(sweeps=100, num_workers=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.sweeps = 7
+        bumped = dataclasses.replace(config, sweeps=200)
+        assert (bumped.sweeps, bumped.num_workers) == (200, 2)
+        assert len({config, InferenceConfig(sweeps=100, num_workers=2)}) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sweeps": 0},
+            {"num_workers": -1},
+            {"shard_threshold": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            InferenceConfig(**kwargs)
 
 
 class TestGroundingConfig:

@@ -89,12 +89,12 @@ class TestInferShims:
 def test_service_config_sweeps_warns():
     with pytest.warns(DeprecationWarning, match="InferenceConfig"):
         config = ServiceConfig(num_sweeps=64, seed=3)
-    assert config.inference == InferenceConfig(num_sweeps=64, seed=3)
+    assert config.inference == InferenceConfig(sweeps=64, seed=3)
     # legacy attributes stay readable
     assert (config.num_sweeps, config.seed) == (64, 3)
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
-        modern = ServiceConfig(inference=InferenceConfig(num_sweeps=64))
+        modern = ServiceConfig(inference=InferenceConfig(sweeps=64))
     assert modern.inference.num_sweeps == 64
 
 

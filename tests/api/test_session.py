@@ -31,7 +31,7 @@ def test_new_api_paths_never_warn():
             paper_kb(),
             backend=config,
             grounding=GroundingConfig(max_iterations=5),
-            inference=InferenceConfig(num_sweeps=50, seed=1),
+            inference=InferenceConfig(sweeps=50, seed=1),
         ) as session:
             session.ground()
             session.apply_constraints()

@@ -150,6 +150,9 @@ class TestMaterializeAndStats:
         assert stats["queue_depth"] == 0
         assert stats["backend"] == "probkb"
         assert stats["cache"]["generation"] == service.generation
+        assert stats["executor"]["mode"] == "single-node"
+        assert stats["inference"]["engine"] == "gibbs"
+        assert stats["inference"]["num_workers"] == 0
 
     def test_infer_on_flush_scores_immediately(self):
         system = ProbKB(expandable_kb(), backend="single")
