@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-mpp bench bench-mpp bench-delta bench-infer lint
+.PHONY: test test-mpp bench bench-mpp bench-delta bench-infer lint lint-conc
 
 # Tier-1 suite: serial executors only (the `mpp` marker is excluded
 # via addopts in pyproject.toml).
@@ -37,7 +37,13 @@ bench-infer:
 # tool is skipped
 # with a notice when not installed, so `make lint` is safe in minimal
 # environments; CI installs both and runs them for real.
-lint:
+# Concurrency & determinism linter over the repo's own source
+# (RC001-008, see docs/devtools.md).  Pure stdlib: runs everywhere,
+# fails on ANY finding.
+lint-conc:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli devtools lint src/repro
+
+lint: lint-conc
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \

@@ -249,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="one JSON log line per request/flush/error on stderr "
         "(env PROBKB_SERVE_LOG_JSON)",
     )
+
+    devtools_cmd = commands.add_parser(
+        "devtools", help="developer tooling aimed at repro's own source"
+    )
+    devtools_sub = devtools_cmd.add_subparsers(dest="devtools_command", required=True)
+    lint_cmd = devtools_sub.add_parser(
+        "lint",
+        help="concurrency & determinism lint (RC001-RC008); "
+        "exit 0 clean, 1 findings, 2 usage error",
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="+", help="files or directories to lint (.py)"
+    )
+    lint_cmd.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     return parser
 
 
@@ -613,6 +630,10 @@ def cmd_serve(args) -> int:
                 if args.snapshot:
                     save_snapshot(service.probkb, args.snapshot)
                     logger.log("snapshot", path=args.snapshot)
+            except Exception as error:  # pragma: no cover - defensive
+                # _drain runs on the signal thread: an uncaught error
+                # here would vanish and leave the server half-stopped
+                logger.log("drain_error", error=repr(error))
             finally:
                 drained.set()
                 server.shutdown()
@@ -643,6 +664,23 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_devtools(args) -> int:
+    # imported lazily: the lint framework is developer tooling and
+    # should cost nothing on the serving/inference paths
+    from .devtools import LintUsageError, lint_paths
+
+    try:
+        report = lint_paths(args.paths)
+    except LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 1 if report.findings else 0
+
+
 _HANDLERS = {
     "generate": cmd_generate,
     "stats": cmd_stats,
@@ -653,6 +691,7 @@ _HANDLERS = {
     "infer": cmd_infer,
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
+    "devtools": cmd_devtools,
 }
 
 

@@ -238,11 +238,11 @@ class DeltaExpander:
         self, facts: Sequence["Fact"], max_iterations: Optional[int] = None
     ) -> DeltaResult:
         """Ground + infer + commit in one call (the non-pipelined path)."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # lint: disable=RC003 (timing metadata, not sampling)
         pending = self.ground(facts, max_iterations)
-        grounded = time.perf_counter()
+        grounded = time.perf_counter()  # lint: disable=RC003 (timing metadata, not sampling)
         refreshed = self.infer(pending)
-        inferred = time.perf_counter()
+        inferred = time.perf_counter()  # lint: disable=RC003 (timing metadata, not sampling)
         self.commit(pending, refreshed)
         return DeltaResult(
             added_evidence=pending.grounding.added_evidence,
@@ -256,7 +256,7 @@ class DeltaExpander:
             converged=pending.grounding.converged,
             ground_seconds=grounded - started,
             infer_seconds=inferred - grounded,
-            commit_seconds=time.perf_counter() - inferred,
+            commit_seconds=time.perf_counter() - inferred,  # lint: disable=RC003 (timing metadata, not sampling)
         )
 
     # -- TProb maintenance -------------------------------------------------------

@@ -1,0 +1,137 @@
+"""Typed lint findings: the concurrency linter's output vocabulary.
+
+Mirror of :mod:`repro.analyze.findings`, but aimed at repro's *own*
+source instead of KB programs: every defect class the concurrency &
+determinism linter detects has a stable ``RC``-prefixed code with a
+fixed default severity, so the CI gate, suppression comments, and
+humans reading a report all key on the same identifiers.  The registry
+below is the single source of truth; ``docs/devtools.md`` renders it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+#: code -> (default severity, one-line title).  Codes are append-only:
+#: once published a code never changes meaning or disappears.
+RC_CODES: Dict[str, Tuple[str, str]] = {
+    "RC001": (ERROR, "field declared '# guarded by: <lock>' mutated outside "
+                     "a 'with <lock>:' block"),
+    "RC002": (ERROR, "lock-order inversion: cycle in the static "
+                     "lock-acquisition graph"),
+    "RC003": (ERROR, "nondeterminism inside an inference/grounding kernel "
+                     "(time.*, unseeded random, id())"),
+    "RC004": (WARNING, "blocking .get()/.join() without a timeout inside a "
+                       "thread loop"),
+    "RC005": (ERROR, "thread target has no Exception handler: an uncaught "
+                     "error kills the thread silently"),
+    "RC006": (WARNING, "wall-clock time.time() used in duration arithmetic "
+                       "(use time.monotonic())"),
+    "RC007": (ERROR, "unknown code in a '# lint: disable=' comment"),
+    "RC008": (WARNING, "unused suppression: '# lint: disable=' matched no "
+                       "finding"),
+}
+
+#: suppression-hygiene codes are never themselves suppressible — a
+#: disable comment silencing the disable checker would be circular
+UNSUPPRESSIBLE = frozenset({"RC007", "RC008"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One defect at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    severity: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in RC_CODES:
+            raise ValueError(f"unknown finding code {self.code!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", RC_CODES[self.code][0])
+        elif self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def title(self) -> str:
+        return RC_CODES[self.code][1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.severity} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one :func:`repro.devtools.lint_paths` run found."""
+
+    findings: Tuple[LintFinding, ...] = ()
+    files_scanned: int = 0
+
+    def __iter__(self) -> Iterator[LintFinding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def _with_severity(self, severity: str) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return self._with_severity(ERROR)
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return self._with_severity(WARNING)
+
+    def by_code(self, code: str) -> List[LintFinding]:
+        return [f for f in self.findings if f.code == code]
+
+    @property
+    def codes(self) -> List[str]:
+        return sorted({f.code for f in self.findings})
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings "
+            f"across {self.files_scanned} files"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "files_scanned": self.files_scanned,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+class LintUsageError(ValueError):
+    """A lint invocation that cannot run (bad path, unreadable file)."""

@@ -1,0 +1,282 @@
+"""Runtime lock sanitizer: the dynamic half of the concurrency checks.
+
+The static linter (:mod:`repro.devtools.lint`) proves what it can see
+lexically; this module validates the rest at test time.  When
+``PROBKB_SANITIZE=1`` is set, :func:`make_lock` hands out
+:class:`SanitizedLock` objects instead of plain ``threading.Lock``.
+Every *blocking* acquire is checked against a process-global
+lock-order graph before it can block:
+
+* acquiring B while holding A records the edge ``A -> B``; a later
+  acquire of A while holding B (any path ``B -> ... -> A``) raises
+  :class:`LockOrderInversion` *before* deadlocking, with both
+  acquisition stacks' lock names in the message;
+* re-acquiring a non-reentrant lock already held by the current thread
+  raises immediately instead of self-deadlocking;
+* :meth:`LockSanitizer.assert_held` lets guarded code (and tests)
+  assert the ``# guarded by:`` contract dynamically, raising
+  :class:`GuardedByViolation` when the declared lock is not held.
+
+Non-blocking probe acquires (``acquire(False)``) skip the order checks:
+``threading.Condition`` probes its lock that way in ``_is_owned`` and a
+failed probe is not an ordering event.  With the environment variable
+unset, :func:`make_lock` returns a plain ``threading.Lock`` and this
+module costs one ``os.environ`` read per lock construction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "enabled",
+    "make_lock",
+    "shadow_token",
+    "get_sanitizer",
+    "LockSanitizer",
+    "SanitizedLock",
+    "LockOrderInversion",
+    "GuardedByViolation",
+]
+
+_ENV_FLAG = "PROBKB_SANITIZE"
+
+
+def enabled() -> bool:
+    """True when the sanitizer is switched on via ``PROBKB_SANITIZE``."""
+    return os.environ.get(_ENV_FLAG, "").strip() not in ("", "0", "false", "no")
+
+
+class LockOrderInversion(RuntimeError):
+    """Two locks were acquired in opposite orders on different paths."""
+
+
+class GuardedByViolation(RuntimeError):
+    """A ``# guarded by:`` contract was broken at runtime."""
+
+
+class _HeldStacks(threading.local):
+    """Per-thread stack of currently-held sanitized lock ids."""
+
+    def __init__(self) -> None:
+        self.stack: List[int] = []
+
+
+class LockSanitizer:
+    """Process-global acquisition-order graph and per-thread held stacks.
+
+    Nodes are ``id()`` of the participating lock objects; strong
+    references are retained so an id is never recycled onto a different
+    lock while the graph remembers it.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        #: edge source id -> successor ids  # guarded by: self._mutex
+        self._edges: Dict[int, Set[int]] = {}
+        #: lock id -> display name  # guarded by: self._mutex
+        self._names: Dict[int, str] = {}
+        #: lock id -> the lock itself (pins ids)  # guarded by: self._mutex
+        self._refs: Dict[int, Any] = {}
+        self._held = _HeldStacks()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all recorded edges (test isolation helper)."""
+        with self._mutex:
+            self._edges.clear()
+            self._names.clear()
+            self._refs.clear()
+        self._held.stack = []
+
+    def _register(self, obj: Any, name: str) -> int:
+        node = id(obj)
+        self._names.setdefault(node, name)
+        self._refs.setdefault(node, obj)
+        return node
+
+    # holds: self._mutex
+    def _reachable(self, start: int, goal: int) -> bool:
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for successor in self._edges.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+    def _describe(self, node: int) -> str:
+        return self._names.get(node, f"<lock {node:#x}>")
+
+    # -- the checks ----------------------------------------------------------
+
+    def check_acquire(self, obj: Any, name: str) -> None:
+        """Validate acquiring ``obj`` now; raise rather than deadlock."""
+        node = id(obj)
+        held = self._held.stack
+        if node in held:
+            raise LockOrderInversion(
+                f"re-acquiring non-reentrant lock {name!r} already held by "
+                f"this thread (held: {self._held_names()}) — this would "
+                "self-deadlock"
+            )
+        if not held:
+            with self._mutex:
+                self._register(obj, name)
+            return
+        with self._mutex:
+            self._register(obj, name)
+            for holder in held:
+                if self._reachable(node, holder):
+                    raise LockOrderInversion(
+                        f"lock-order inversion: acquiring {name!r} while "
+                        f"holding {self._describe(holder)!r}, but the "
+                        f"recorded order is {name!r} before "
+                        f"{self._describe(holder)!r} (held here: "
+                        f"{self._held_names()})"
+                    )
+            for holder in held:
+                self._edges.setdefault(holder, set()).add(node)
+
+    def note_acquired(self, obj: Any, name: str) -> None:
+        """Record a successful acquisition (no checks — see check_acquire)."""
+        with self._mutex:
+            self._register(obj, name)
+        self._held.stack.append(id(obj))
+
+    def note_released(self, obj: Any) -> None:
+        node = id(obj)
+        stack = self._held.stack
+        if node in stack:
+            # remove the innermost occurrence; out-of-order release of a
+            # non-innermost lock is legal for plain mutexes
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == node:
+                    del stack[index]
+                    break
+
+    def acquired(self, obj: Any, name: str) -> None:
+        """check_acquire + note_acquired in one step (shadow tokens)."""
+        self.check_acquire(obj, name)
+        self.note_acquired(obj, name)
+
+    # -- introspection -------------------------------------------------------
+
+    def held(self, obj: Any) -> bool:
+        return id(obj) in self._held.stack
+
+    def _held_names(self) -> str:
+        names = [self._describe(node) for node in self._held.stack]
+        return "[" + ", ".join(names) + "]"
+
+    def assert_held(self, obj: Any, owner: str = "") -> None:
+        """Raise :class:`GuardedByViolation` unless this thread holds obj."""
+        if not self.held(obj):
+            name = getattr(obj, "name", None)
+            if not isinstance(name, str) or not name:
+                with self._mutex:
+                    name = self._describe(id(obj))
+            what = f" of {owner}" if owner else ""
+            raise GuardedByViolation(
+                f"guarded-by violation{what}: {name!r} is not held by the "
+                f"current thread (held: {self._held_names()})"
+            )
+
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """Snapshot of the recorded order graph, by lock name."""
+        with self._mutex:
+            return {
+                self._describe(source): tuple(
+                    sorted(self._describe(target) for target in targets)
+                )
+                for source, targets in sorted(self._edges.items())
+            }
+
+
+_SANITIZER = LockSanitizer()
+
+
+def get_sanitizer() -> LockSanitizer:
+    """The process-global sanitizer instance."""
+    return _SANITIZER
+
+
+class SanitizedLock:
+    """``threading.Lock`` work-alike that reports to the sanitizer.
+
+    Compatible with ``threading.Condition`` (which falls back to probing
+    ``acquire(False)`` when the lock type exposes no ``_is_owned``).
+    """
+
+    def __init__(self, name: str = "lock") -> None:
+        self._inner = threading.Lock()
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            _SANITIZER.check_acquire(self, self._name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _SANITIZER.note_acquired(self, self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        _SANITIZER.note_released(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<SanitizedLock {self._name!r} {state}>"
+
+
+def make_lock(name: str = "lock") -> Any:
+    """A mutex: sanitized when ``PROBKB_SANITIZE=1``, plain otherwise."""
+    if enabled():
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+class _ShadowToken:
+    """Stand-in node for a composite lock (e.g. RWLock) in the graph."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<shadow {self.name!r}>"
+
+
+def shadow_token(name: str) -> Optional[_ShadowToken]:
+    """Order-graph token for a composite lock, or None when disabled.
+
+    Callers note ``get_sanitizer().acquired(token, token.name)`` after
+    their internal bookkeeping lock is released and
+    ``note_released(token)`` before re-taking it, so the token never
+    creates a false edge against the internal lock.
+    """
+    if enabled():
+        return _ShadowToken(name)
+    return None

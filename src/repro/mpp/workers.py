@@ -972,7 +972,8 @@ def _worker_main(
     state = _WorkerState(worker_id, segments, nseg, seg_worker, exchange_queues)
     while True:
         try:
-            seq, command = command_queue.get()
+            # the master owns this process's lifetime (shutdown command)
+            seq, command = command_queue.get()  # lint: disable=RC004
         except (EOFError, OSError, KeyboardInterrupt):
             return
         if command[0] == "shutdown":

@@ -32,7 +32,6 @@ Eviction is pluggable (``policy=``):
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from typing import (
@@ -45,6 +44,8 @@ from typing import (
     Optional,
     Tuple,
 )
+
+from ..devtools.sanitizer import make_lock
 
 EVICTION_POLICIES = ("lru", "lfu", "ttl")
 
@@ -96,15 +97,15 @@ class QueryCache:
         self.policy = policy
         self.ttl = ttl
         self._clock = clock
-        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
-        self._generation = 0
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.expirations = 0
+        self._lock = make_lock("QueryCache._lock")
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()  # guarded by: self._lock
+        self._generation = 0  # guarded by: self._lock
+        self.hits = 0  # guarded by: self._lock
+        self.misses = 0  # guarded by: self._lock
+        self.evictions = 0  # guarded by: self._lock
+        self.expirations = 0  # guarded by: self._lock
         #: entries evicted by predicate-scoped invalidation
-        self.invalidations = 0
+        self.invalidations = 0  # guarded by: self._lock
 
     @property
     def generation(self) -> int:
@@ -228,6 +229,7 @@ class QueryCache:
             self._entries[key] = _Entry(generation, value, now, predicates)
             self._entries.move_to_end(key)
 
+    # holds: self._lock
     def _sweep_expired(self, now: float) -> None:
         expired = [
             key for key, entry in self._entries.items() if self._expired(entry, now)
@@ -236,6 +238,7 @@ class QueryCache:
             del self._entries[key]
             self.expirations += 1
 
+    # holds: self._lock
     def _evict_one(self) -> None:
         if self.policy == "lfu":
             # O(capacity) scan; capacities here are hundreds, not millions.

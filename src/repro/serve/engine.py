@@ -24,6 +24,7 @@ from ..core.config import InferenceConfig
 from ..core.model import Fact
 from ..core.probkb import ProbKB
 from ..delta import DeltaExpander, PendingDelta
+from ..devtools.sanitizer import get_sanitizer, make_lock, shadow_token
 from .cache import EVICTION_POLICIES, QueryCache
 from .ingest import EvidenceQueue, IngestConfig, IngestWorker
 from .logging import NULL_LOGGER, JsonLogger
@@ -41,27 +42,39 @@ class RWLock:
     starve, so arriving readers queue behind a waiting writer.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, name: str = "RWLock") -> None:
+        self._lock = make_lock(f"{name}._lock")
         self._readers_ok = threading.Condition(self._lock)
         self._writers_ok = threading.Condition(self._lock)
-        self._active_readers = 0
-        self._waiting_writers = 0
-        self._writer_active = False
+        self._active_readers = 0  # guarded by: self._lock
+        self._waiting_writers = 0  # guarded by: self._lock
+        self._writer_active = False  # guarded by: self._lock
+        # in the sanitizer's order graph the whole RWLock is one node;
+        # the token is never noted while _lock is held, so the internal
+        # bookkeeping lock cannot form a false edge against it
+        self._shadow = shadow_token(name)
 
     def acquire_read(self) -> None:
+        if self._shadow is not None:
+            get_sanitizer().check_acquire(self._shadow, self._shadow.name)
         with self._lock:
             while self._writer_active or self._waiting_writers:
                 self._readers_ok.wait()
             self._active_readers += 1
+        if self._shadow is not None:
+            get_sanitizer().note_acquired(self._shadow, self._shadow.name)
 
     def release_read(self) -> None:
+        if self._shadow is not None:
+            get_sanitizer().note_released(self._shadow)
         with self._lock:
             self._active_readers -= 1
             if self._active_readers == 0:
                 self._writers_ok.notify()
 
     def acquire_write(self) -> None:
+        if self._shadow is not None:
+            get_sanitizer().check_acquire(self._shadow, self._shadow.name)
         with self._lock:
             self._waiting_writers += 1
             try:
@@ -70,8 +83,12 @@ class RWLock:
             finally:
                 self._waiting_writers -= 1
             self._writer_active = True
+        if self._shadow is not None:
+            get_sanitizer().note_acquired(self._shadow, self._shadow.name)
 
     def release_write(self) -> None:
+        if self._shadow is not None:
+            get_sanitizer().note_released(self._shadow)
         with self._lock:
             self._writer_active = False
             if self._waiting_writers:
@@ -176,22 +193,32 @@ class DeltaPipeline:
     own re-sample is queued behind N's and overwrites any stale splice.
     """
 
-    def __init__(self, finish: Callable[[PendingDelta], None]) -> None:
+    def __init__(
+        self,
+        finish: Callable[[PendingDelta], None],
+        logger: Optional[JsonLogger] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
         self._finish = finish
+        self._logger = logger if logger is not None else NULL_LOGGER
+        self._on_error = on_error
         self._queue: "queue_module.Queue[Optional[PendingDelta]]" = (
             queue_module.Queue()
         )
-        self._thread = threading.Thread(
-            target=self._run, name="probkb-delta-infer", daemon=True
-        )
-        self._started = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("DeltaPipeline._lock")
+        self._thread: Optional[threading.Thread] = None  # guarded by: self._lock
+        # written only by the consumer thread, read anywhere (stats)
+        self.errors = 0
 
     def submit(self, pending: PendingDelta) -> None:
         with self._lock:
-            if not self._started:
+            if self._thread is None or not self._thread.is_alive():
+                # first submit, or the pipeline was stopped: a finished
+                # Thread cannot be restarted, so hand work to a fresh one
+                self._thread = threading.Thread(
+                    target=self._run, name="probkb-delta-infer", daemon=True
+                )
                 self._thread.start()
-                self._started = True
         self._queue.put(pending)
 
     def drain(self) -> None:
@@ -199,12 +226,15 @@ class DeltaPipeline:
         self._queue.join()
 
     def stop(self) -> None:
+        # the lock is held across put+join so a concurrent submit cannot
+        # spin up a second consumer while the sentinel is in flight;
+        # _run never takes this lock, so the join cannot deadlock
         with self._lock:
-            started = self._started
-            self._started = False
-        if started:
-            self._queue.put(None)
-            self._thread.join()
+            thread = self._thread
+            self._thread = None
+            if thread is not None and thread.is_alive():
+                self._queue.put(None)
+                thread.join()
 
     @property
     def depth(self) -> int:
@@ -213,11 +243,24 @@ class DeltaPipeline:
 
     def _run(self) -> None:
         while True:
-            item = self._queue.get()
+            # sentinel wakeup: stop() enqueues None behind pending work
+            item = self._queue.get()  # lint: disable=RC004
             try:
                 if item is None:
                     return
-                self._finish(item)
+                try:
+                    self._finish(item)
+                except Exception as error:
+                    # the consumer must outlive any one bad delta:
+                    # swallowing here keeps the thread draining so later
+                    # submits are not enqueued forever (see RC005)
+                    self.errors += 1
+                    self._logger.log("delta_error", error=repr(error))
+                    if self._on_error is not None:
+                        try:
+                            self._on_error(error)
+                        except Exception:  # pragma: no cover - defensive
+                            pass
             finally:
                 self._queue.task_done()
 
@@ -234,7 +277,7 @@ class KBService:
         self.probkb = probkb
         self.config = config or ServiceConfig()
         self.logger = logger if logger is not None else NULL_LOGGER
-        self.lock = RWLock()
+        self.lock = RWLock(name="KBService.lock")
         self.cache = QueryCache(
             self.config.cache_size,
             policy=self.config.cache_policy,
@@ -253,8 +296,15 @@ class KBService:
         self.pipeline: Optional[DeltaPipeline] = None
         if self.config.expansion == "delta":
             self.delta = DeltaExpander(probkb, inference=self.config.inference)
-            self.pipeline = DeltaPipeline(self._finish_delta)
+            self.pipeline = DeltaPipeline(
+                self._finish_delta,
+                logger=self.logger,
+                on_error=self._on_delta_error,
+            )
+        # wall-clock birth time stays externally visible; elapsed time is
+        # measured on the monotonic clock, immune to NTP steps (RC006)
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._running = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -465,35 +515,38 @@ class KBService:
         components lock-free, then splice under the write lock."""
         assert self.delta is not None
         started = time.perf_counter()
-        try:
-            refreshed = self.delta.infer(pending)
-            inferred = time.perf_counter()
-            with self.lock.write_locked():
-                self.delta.commit(pending, refreshed)
-                generation = self.probkb.generation
-                if pending.full_rebuild:
-                    self.cache.bump(generation)
-                else:
-                    self.cache.invalidate_predicates(
-                        pending.touched_relations, generation
-                    )
-            committed = time.perf_counter()
-            self.metrics.record_delta_refresh(
-                resampled_variables=pending.resampled_variables,
-                infer_seconds=inferred - started,
-                commit_seconds=committed - inferred,
-            )
-            self.logger.log(
-                "delta_refresh",
-                resampled_variables=pending.resampled_variables,
-                touched_components=pending.touched_components,
-                generation=generation,
-                infer_ms=round((inferred - started) * 1000, 3),
-                commit_ms=round((committed - inferred) * 1000, 3),
-            )
-        except Exception as error:  # pragma: no cover - defensive
-            self.delta.invalidate()
-            self.logger.log("delta_error", error=repr(error))
+        refreshed = self.delta.infer(pending)
+        inferred = time.perf_counter()
+        with self.lock.write_locked():
+            self.delta.commit(pending, refreshed)
+            generation = self.probkb.generation
+            if pending.full_rebuild:
+                self.cache.bump(generation)
+            else:
+                self.cache.invalidate_predicates(
+                    pending.touched_relations, generation
+                )
+        committed = time.perf_counter()
+        self.metrics.record_delta_refresh(
+            resampled_variables=pending.resampled_variables,
+            infer_seconds=inferred - started,
+            commit_seconds=committed - inferred,
+        )
+        self.logger.log(
+            "delta_refresh",
+            resampled_variables=pending.resampled_variables,
+            touched_components=pending.touched_components,
+            generation=generation,
+            infer_ms=round((inferred - started) * 1000, 3),
+            commit_ms=round((committed - inferred) * 1000, 3),
+        )
+
+    def _on_delta_error(self, error: BaseException) -> None:
+        """Pipeline error hook: a failed stage B/C leaves the expander's
+        component index unreliable — re-prime on the next flush."""
+        assert self.delta is not None
+        self.delta.invalidate()
+        self.metrics.record_delta_error()
 
     def materialize(self, num_sweeps: Optional[int] = None) -> int:
         """Recompute + store marginals under the write lock."""
@@ -531,7 +584,7 @@ class KBService:
             "ingest_flushes": self.worker.flushes,
             "ingest_retries": self.worker.retries,
             "dead_letter": self.worker.dead_letter_stats(),
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
             "backend": self.probkb.backend.name,
             "executor": self.probkb.backend.executor_info(),
             "inference": self.probkb.inference_info(self.config.inference),
@@ -543,6 +596,7 @@ class KBService:
                 "components": self.delta.index.component_count(),
                 "scored_facts": len(self.delta.marginals),
                 "pending_inference": self.pipeline.depth,
+                "errors": self.pipeline.errors,
             }
         if self.worker.last_error is not None:
             report["last_ingest_error"] = repr(self.worker.last_error)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import Fact
+from ..devtools.sanitizer import make_lock
 from .logging import NULL_LOGGER, JsonLogger
 
 
@@ -81,8 +82,8 @@ class EvidenceQueue:
 
     def __init__(self, config: IngestConfig) -> None:
         self.config = config
-        self._items: List[Tuple[float, Fact]] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("EvidenceQueue._lock")
+        self._items: List[Tuple[float, Fact]] = []  # guarded by: self._lock
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
 
@@ -188,17 +189,17 @@ class IngestWorker:
         self.apply = apply
         self.on_drop = on_drop
         self.logger = logger if logger is not None else NULL_LOGGER
-        self.flushes = 0
-        self.retries = 0
+        self._flush_lock = make_lock("IngestWorker._flush_lock")
+        self._dead_letter_lock = make_lock("IngestWorker._dead_letter_lock")
+        self.flushes = 0  # guarded by: self._flush_lock
+        self.retries = 0  # guarded by: self._flush_lock
         self.last_error: Optional[BaseException] = None
-        self.dead_letter: List[Fact] = []
-        self.dead_letter_batches = 0
-        self.dead_letter_evicted = 0
-        self._dead_letter_lock = threading.Lock()
+        self.dead_letter: List[Fact] = []  # guarded by: self._dead_letter_lock
+        self.dead_letter_batches = 0  # guarded by: self._dead_letter_lock
+        self.dead_letter_evicted = 0  # guarded by: self._dead_letter_lock
         self._stop = threading.Event()
         self._idle = threading.Event()
         self._idle.set()
-        self._flush_lock = threading.Lock()
         self._thread = threading.Thread(
             target=self._run, name="probkb-ingest", daemon=True
         )
@@ -217,7 +218,18 @@ class IngestWorker:
 
     def _run(self) -> None:
         while self.queue.wait_ready(self._stop):
-            self._flush_once(self.queue.config.flush_size)
+            try:
+                self._flush_once(self.queue.config.flush_size)
+            except Exception as error:
+                # _apply_with_retry already catches apply failures; this
+                # guards the drain/coalesce machinery itself so the only
+                # ingest worker can never die silently mid-service (RC005)
+                self.last_error = error
+                self.logger.log(
+                    "ingest_worker_error",
+                    error=repr(error),
+                    queue_depth=self.queue.depth,
+                )
         # shutdown: leave leftovers for stop(drain=True)
 
     def _flush_once(self, max_items: Optional[int]) -> int:
@@ -232,6 +244,7 @@ class IngestWorker:
                 self._idle.set()
             return len(batch)
 
+    # holds: self._flush_lock
     def _apply_with_retry(self, batch: List[Fact]) -> None:
         """Apply a drained batch; retry once, then dead-letter it.
 

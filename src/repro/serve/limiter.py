@@ -16,10 +16,11 @@ the client's favour).
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Hashable, Tuple
+
+from ..devtools.sanitizer import make_lock
 
 
 class _Bucket:
@@ -50,8 +51,8 @@ class RateLimiter:
         self.burst = float(burst)
         self.max_clients = max_clients
         self._clock = clock
-        self._buckets: "OrderedDict[Hashable, _Bucket]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("RateLimiter._lock")
+        self._buckets: "OrderedDict[Hashable, _Bucket]" = OrderedDict()  # guarded by: self._lock
 
     def check(self, key: Hashable) -> Tuple[bool, float]:
         """Admit or reject one request from ``key``.

@@ -7,8 +7,9 @@ plain dict snapshot (what ``GET /stats`` returns).
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional
+
+from ..devtools.sanitizer import make_lock
 
 
 class LatencyRing:
@@ -23,10 +24,10 @@ class LatencyRing:
         if capacity < 1:
             raise ValueError(f"ring capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._samples: List[float] = []
-        self._next = 0
-        self._count = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("LatencyRing._lock")
+        self._samples: List[float] = []  # guarded by: self._lock
+        self._next = 0  # guarded by: self._lock
+        self._count = 0  # guarded by: self._lock
 
     def observe(self, seconds: float) -> None:
         with self._lock:
@@ -63,25 +64,26 @@ class ServiceMetrics:
     """Counters for the serving layer, safe for concurrent updates."""
 
     def __init__(self, latency_window: int = 1024) -> None:
-        self._lock = threading.Lock()
-        self.queries = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.ingested_facts = 0
-        self.ingest_batches = 0
-        self.snapshots_saved = 0
-        self.auth_failures = 0
-        self.rate_limited = 0
-        self.request_timeouts = 0
-        self.oversize_rejected = 0
-        self.dead_letter_facts = 0
-        self.dead_letter_retries = 0
-        self.delta_flushes = 0
-        self.delta_facts = 0
-        self.delta_factors = 0
-        self.delta_touched_components = 0
-        self.delta_resampled_variables = 0
-        self.delta_full_rebuilds = 0
+        self._lock = make_lock("ServiceMetrics._lock")
+        self.queries = 0  # guarded by: self._lock
+        self.cache_hits = 0  # guarded by: self._lock
+        self.cache_misses = 0  # guarded by: self._lock
+        self.ingested_facts = 0  # guarded by: self._lock
+        self.ingest_batches = 0  # guarded by: self._lock
+        self.snapshots_saved = 0  # guarded by: self._lock
+        self.auth_failures = 0  # guarded by: self._lock
+        self.rate_limited = 0  # guarded by: self._lock
+        self.request_timeouts = 0  # guarded by: self._lock
+        self.oversize_rejected = 0  # guarded by: self._lock
+        self.dead_letter_facts = 0  # guarded by: self._lock
+        self.dead_letter_retries = 0  # guarded by: self._lock
+        self.delta_flushes = 0  # guarded by: self._lock
+        self.delta_facts = 0  # guarded by: self._lock
+        self.delta_factors = 0  # guarded by: self._lock
+        self.delta_touched_components = 0  # guarded by: self._lock
+        self.delta_resampled_variables = 0  # guarded by: self._lock
+        self.delta_full_rebuilds = 0  # guarded by: self._lock
+        self.delta_errors = 0  # guarded by: self._lock
         self.query_latency = LatencyRing(latency_window)
         self.delta_ground_latency = LatencyRing(latency_window)
         self.delta_infer_latency = LatencyRing(latency_window)
@@ -158,6 +160,11 @@ class ServiceMetrics:
         self.delta_infer_latency.observe(infer_seconds)
         self.delta_commit_latency.observe(commit_seconds)
 
+    def record_delta_error(self) -> None:
+        """A delta refresh died on the pipeline thread (and was logged)."""
+        with self._lock:
+            self.delta_errors += 1
+
     @property
     def cache_hit_rate(self) -> float:
         with self._lock:
@@ -188,6 +195,7 @@ class ServiceMetrics:
                 "touched_components": self.delta_touched_components,
                 "resampled_variables": self.delta_resampled_variables,
                 "full_rebuilds": self.delta_full_rebuilds,
+                "errors": self.delta_errors,
             }
         total = hits + misses
         counters["cache_hit_rate"] = hits / total if total else 0.0

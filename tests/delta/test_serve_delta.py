@@ -185,3 +185,33 @@ class TestDeadLetterRetry:
     def test_retry_with_empty_dead_letter_is_a_noop(self, service):
         assert service.retry_dead_letter() == (0, 0)
         assert service.stats()["dead_letter_retries"] == 0
+
+
+class TestDeltaErrorRecovery:
+    def test_failed_inference_is_logged_counted_and_survivable(self, service):
+        real_infer = service.delta.infer
+        calls = []
+
+        def exploding(pending):
+            calls.append(pending)
+            raise RuntimeError("inference backend offline")
+
+        service.delta.infer = exploding
+        service.ingest(BATCH, flush=True)
+        service.pipeline.drain()
+        assert len(calls) == 1
+
+        stats = service.stats()
+        assert stats["delta_state"]["errors"] == 1
+        assert stats["delta"]["errors"] == 1
+        assert not service.delta.primed  # invalidated for re-prime
+
+        # the pipeline thread survived: the next flush re-primes and
+        # scores the batch end to end
+        service.delta.infer = real_infer
+        more = [Fact("born_in", "Grace Paley", "Writer", "New York City", "City", 0.93)]
+        service.ingest(more, flush=True)
+        service.pipeline.drain()
+        result = service.query(subject="Grace Paley", min_probability=0.01)
+        assert result.facts
+        assert service.stats()["delta_state"]["errors"] == 1  # no new errors

@@ -1,0 +1,35 @@
+"""Clean fixture: the conventions, followed; zero findings expected."""
+
+import threading
+import time
+
+
+class Tidy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []  # guarded by: self._lock
+        self.started = time.monotonic()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.stop = threading.Event()
+
+    def add(self, item):
+        with self._lock:
+            self.items.append(item)
+
+    # holds: self._lock
+    def _compact(self):
+        self.items.sort()
+
+    def uptime(self):
+        return time.monotonic() - self.started
+
+    def _run(self):
+        while not self.stop.is_set():
+            try:
+                self._tick()
+            except Exception:
+                continue
+
+    def _tick(self):
+        with self._lock:
+            self._compact()

@@ -1,0 +1,21 @@
+"""RC003 fixture: nondeterminism inside a (pretend) inference kernel.
+
+Lives under a ``fixtures/infer/`` directory on purpose: the rule is
+path-scoped to inference/grounding kernels.
+"""
+
+import random
+import time
+
+
+def sweep(variables):
+    rng = random.Random()  # unseeded: RC003
+    jitter = random.random()  # module-level stream: RC003
+    start = time.time()  # wall clock in a kernel: RC003
+    order = sorted(variables, key=id)  # id-keyed order: RC003
+    return rng, jitter, start, order
+
+
+def seeded_ok(variables, seed):
+    rng = random.Random(seed)  # explicitly seeded: allowed
+    return [rng.random() for _ in variables]

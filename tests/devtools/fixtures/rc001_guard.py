@@ -1,0 +1,25 @@
+"""RC001 fixture: guarded field mutated outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded by: self._lock
+        self.log = []  # guarded by: self._lock
+
+    def bump_locked(self):
+        with self._lock:
+            self.value += 1
+            self.log.append(self.value)
+
+    # holds: self._lock
+    def _record(self):
+        self.log.append(self.value)
+
+    def bump_racy(self):
+        self.value += 1  # line 22: RC001
+
+    def clear_racy(self):
+        self.log.clear()  # line 25: RC001

@@ -1,0 +1,22 @@
+"""RC002 fixture: two call paths take the same locks in opposite order."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self.debit_lock = threading.Lock()
+        self.credit_lock = threading.Lock()
+
+    def forward(self):
+        with self.debit_lock:
+            with self.credit_lock:
+                pass
+
+    def backward(self):
+        with self.credit_lock:
+            self._locked_debit()
+
+    def _locked_debit(self):
+        with self.debit_lock:
+            pass

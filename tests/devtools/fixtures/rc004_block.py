@@ -1,0 +1,28 @@
+"""RC004 fixture: unbounded blocking calls inside a consumer loop."""
+
+import queue
+
+
+class Consumer:
+    def __init__(self):
+        self.inbox = queue.Queue()
+        self.done = False
+
+    def run(self):
+        try:
+            while not self.done:
+                item = self.inbox.get()  # no timeout: RC004
+                item()
+        except Exception:
+            self.done = True
+
+    def run_bounded(self):
+        try:
+            while not self.done:
+                try:
+                    item = self.inbox.get(timeout=0.5)  # fine
+                except queue.Empty:
+                    continue
+                item()
+        except Exception:
+            self.done = True

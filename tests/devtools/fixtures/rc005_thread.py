@@ -1,0 +1,27 @@
+"""RC005 fixture: a thread target with no exception handler."""
+
+import threading
+
+
+class Worker:
+    def start(self):
+        thread = threading.Thread(target=self._run)  # RC005
+        thread.start()
+        return thread
+
+    def start_guarded(self):
+        thread = threading.Thread(target=self._run_guarded)  # fine
+        thread.start()
+        return thread
+
+    def _run(self):
+        self._work()
+
+    def _run_guarded(self):
+        try:
+            self._work()
+        except Exception:
+            pass
+
+    def _work(self):
+        raise RuntimeError("boom")

@@ -1,0 +1,19 @@
+"""RC006 fixture: wall-clock arithmetic where monotonic time belongs."""
+
+import time
+
+
+def elapsed_racy(started):
+    return time.time() - started  # RC006
+
+
+def deadline_racy(deadline):
+    return time.time() > deadline  # RC006
+
+
+def timestamp_ok():
+    return time.time()  # plain timestamp: fine
+
+
+def elapsed_ok(started):
+    return time.monotonic() - started  # fine

@@ -1,0 +1,5 @@
+"""RC007 fixture: a suppression naming a code that does not exist."""
+
+
+def f():
+    return 1  # lint: disable=RC999

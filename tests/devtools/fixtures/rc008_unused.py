@@ -1,0 +1,5 @@
+"""RC008 fixture: a valid suppression that silences nothing."""
+
+
+def f():
+    return 1  # lint: disable=RC006

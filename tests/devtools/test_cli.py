@@ -1,0 +1,54 @@
+"""``repro devtools lint``: text/JSON output and documented exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_file_exits_zero(capsys):
+    code = main(["devtools", "lint", str(FIXTURES / "clean.py")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 errors, 0 warnings across 1 files" in out
+
+
+def test_findings_exit_one_with_locations(capsys):
+    fixture = FIXTURES / "rc006_clock.py"
+    code = main(["devtools", "lint", str(fixture)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert f"{fixture}:" in out
+    assert "RC006" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    code = main(["devtools", "lint", "--json", str(FIXTURES / "rc001_guard.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert {f["code"] for f in payload["findings"]} == {"RC001"}
+    assert all(f["severity"] == "error" for f in payload["findings"])
+
+
+def test_bad_path_exits_two(capsys):
+    code = main(["devtools", "lint", str(FIXTURES / "missing.py")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_multiple_paths_merge_into_one_report(capsys):
+    code = main(
+        [
+            "devtools",
+            "lint",
+            str(FIXTURES / "rc007_unknown.py"),
+            str(FIXTURES / "rc008_unused.py"),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RC007" in out and "RC008" in out
+    assert "across 2 files" in out

@@ -1,0 +1,65 @@
+"""The RC-code registry and report plumbing."""
+
+import json
+
+import pytest
+
+from repro.devtools import (
+    ERROR,
+    RC_CODES,
+    SEVERITIES,
+    UNSUPPRESSIBLE,
+    WARNING,
+    LintFinding,
+    LintReport,
+)
+
+
+def test_registry_is_complete_and_well_formed():
+    assert set(RC_CODES) == {f"RC00{i}" for i in range(1, 9)}
+    for code, (severity, title) in RC_CODES.items():
+        assert severity in SEVERITIES
+        assert title
+    assert UNSUPPRESSIBLE == {"RC007", "RC008"}
+
+
+def test_finding_defaults_severity_from_registry():
+    finding = LintFinding(code="RC001", message="m", path="p.py", line=3)
+    assert finding.severity == ERROR
+    warning = LintFinding(code="RC004", message="m", path="p.py", line=3)
+    assert warning.severity == WARNING
+    assert finding.title == RC_CODES["RC001"][1]
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        LintFinding(code="RC999", message="m", path="p.py", line=1)
+    with pytest.raises(ValueError):
+        LintFinding(code="RC001", message="m", path="p.py", line=1, severity="fatal")
+
+
+def test_report_partitions_and_serializes():
+    findings = (
+        LintFinding(code="RC001", message="a", path="x.py", line=1),
+        LintFinding(code="RC006", message="b", path="x.py", line=2),
+    )
+    report = LintReport(findings=findings, files_scanned=1)
+    assert len(report) == 2
+    assert [f.code for f in report.errors] == ["RC001"]
+    assert [f.code for f in report.warnings] == ["RC006"]
+    assert report.by_code("RC006")[0].message == "b"
+    assert report.codes == ["RC001", "RC006"]
+    assert "1 errors, 1 warnings across 1 files" == report.summary()
+
+    payload = json.loads(report.to_json())
+    assert payload["errors"] == 1 and payload["warnings"] == 1
+    assert payload["findings"][0] == {
+        "code": "RC001",
+        "severity": "error",
+        "path": "x.py",
+        "line": 1,
+        "message": "a",
+    }
+    rendered = report.render().splitlines()
+    assert rendered[0] == "x.py:1: RC001 error a"
+    assert rendered[-1] == report.summary()

@@ -1,0 +1,180 @@
+"""The runtime lock sanitizer: the dynamic half of RC001/RC002."""
+
+import threading
+
+import pytest
+
+from repro.devtools import (
+    GuardedByViolation,
+    LockOrderInversion,
+    SanitizedLock,
+    enabled,
+    get_sanitizer,
+    make_lock,
+)
+from repro.serve.engine import RWLock
+
+
+@pytest.fixture
+def sanitize(monkeypatch):
+    monkeypatch.setenv("PROBKB_SANITIZE", "1")
+    sanitizer = get_sanitizer()
+    sanitizer.reset()
+    yield sanitizer
+    sanitizer.reset()
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("PROBKB_SANITIZE", raising=False)
+    assert not enabled()
+    assert isinstance(make_lock("x"), type(threading.Lock()))
+
+
+def test_enabled_hands_out_sanitized_locks(sanitize):
+    lock = make_lock("x")
+    assert isinstance(lock, SanitizedLock)
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+
+
+def test_seeded_lock_order_inversion_raises(sanitize):
+    a = SanitizedLock("a")
+    b = SanitizedLock("b")
+    with a:
+        with b:
+            pass
+    # the reverse order on the same (or any) thread is the deadlock
+    # recipe: the sanitizer raises instead of letting a real
+    # interleaving block forever
+    with b:
+        with pytest.raises(LockOrderInversion) as excinfo:
+            a.acquire()
+    assert "a" in str(excinfo.value) and "b" in str(excinfo.value)
+
+
+def test_transitive_inversion_detected(sanitize):
+    a, b, c = SanitizedLock("a"), SanitizedLock("b"), SanitizedLock("c")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with pytest.raises(LockOrderInversion):
+            a.acquire()
+
+
+def test_consistent_order_never_raises(sanitize):
+    a = SanitizedLock("a")
+    b = SanitizedLock("b")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+
+
+def test_reacquire_raises_instead_of_self_deadlock(sanitize):
+    lock = SanitizedLock("outer")
+    with lock:
+        with pytest.raises(LockOrderInversion, match="re-acquiring"):
+            lock.acquire()
+
+
+def test_guarded_by_violation(sanitize):
+    lock = SanitizedLock("QueryCache._lock")
+
+    class Cache:
+        def __init__(self):
+            self.entries = {}
+
+        def evict(self):
+            # the '# guarded by:' contract, asserted dynamically
+            sanitize.assert_held(lock, owner="Cache.entries")
+            self.entries.clear()
+
+    cache = Cache()
+    with pytest.raises(GuardedByViolation) as excinfo:
+        cache.evict()
+    assert "QueryCache._lock" in str(excinfo.value)
+    with lock:
+        cache.evict()  # held: no violation
+
+
+def test_nonblocking_probe_skips_order_checks(sanitize):
+    a = SanitizedLock("a")
+    b = SanitizedLock("b")
+    with a:
+        with b:
+            pass
+    with b:
+        # a probe must not raise (Condition._is_owned probes this way)
+        assert a.acquire(blocking=False)
+        a.release()
+
+
+def test_condition_compatibility(sanitize):
+    lock = make_lock("cond")
+    ready = threading.Condition(lock)
+    flag = []
+
+    def waiter():
+        with ready:
+            while not flag:
+                ready.wait(1.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    with ready:
+        flag.append(True)
+        ready.notify_all()
+    thread.join(5.0)
+    assert not thread.is_alive()
+
+
+def test_cross_thread_inversion_detected(sanitize):
+    a = SanitizedLock("a")
+    b = SanitizedLock("b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    thread = threading.Thread(target=forward)
+    thread.start()
+    thread.join(5.0)
+    # the edge recorded by the other thread trips this one
+    with b:
+        with pytest.raises(LockOrderInversion):
+            a.acquire()
+
+
+def test_rwlock_shadow_participates_in_ordering(sanitize):
+    rw = RWLock(name="KBService.lock")
+    inner = SanitizedLock("QueryCache._lock")
+    # the service order: RWLock first, then the cache lock
+    with rw.read_locked():
+        with inner:
+            pass
+    with rw.write_locked():
+        with inner:
+            pass
+    # the inverted order must raise before it can deadlock
+    with inner:
+        with pytest.raises(LockOrderInversion):
+            rw.acquire_write()
+    # and the RWLock's internal bookkeeping lock never forms a false
+    # edge against its own shadow token
+    with rw.write_locked():
+        pass
+
+
+def test_edges_snapshot_names_locks(sanitize):
+    a = SanitizedLock("alpha")
+    b = SanitizedLock("beta")
+    with a:
+        with b:
+            pass
+    assert sanitize.edges() == {"alpha": ("beta",)}

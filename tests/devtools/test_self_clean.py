@@ -1,0 +1,18 @@
+"""The acceptance gate: repro's own source lints clean.
+
+This is the same check ``make lint-conc`` / CI runs; keeping it as a
+test means a concurrency-convention regression fails the tier-1 suite,
+not just the lint lane.
+"""
+
+from pathlib import Path
+
+from repro.devtools import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_repro_source_is_lint_clean():
+    report = lint_paths([SRC])
+    assert report.files_scanned > 50
+    assert report.findings == (), "\n" + report.render()

@@ -1,0 +1,86 @@
+"""Out-of-order task-epoch buffering in ``_WorkerState.task_mail``.
+
+In-process tests (plain ``queue.Queue`` inboxes, no worker processes),
+so this module is tier-1: the buffering logic is pure bookkeeping and
+must hold regardless of the transport underneath.
+
+Scenario under test: a task runs many barriers per command, so a fast
+peer's piece for barrier N+1 can land in the inbox while this worker
+still waits on barrier N.  Tuple epochs must be buffered and drained at
+their own barrier; integer (motion) epochs are stale leftovers and are
+dropped.
+"""
+
+import queue
+
+from repro.mpp.workers import _WorkerState
+
+
+def make_state(num_workers=2):
+    inboxes = [queue.Queue() for _ in range(num_workers)]
+    state = _WorkerState(
+        worker_id=0,
+        segments=[0],
+        nseg=num_workers,
+        seg_worker=tuple(range(num_workers)),
+        exchange_queues=inboxes,
+    )
+    return state, inboxes
+
+
+def test_future_epoch_buffered_stale_motion_dropped():
+    state, _ = make_state()
+    current = (7, 0, 0)  # (base, sweep, color)
+    future = (7, 1, 0)
+    state.inbox.put((future, 1, 0, "future-piece"))  # fast peer, next barrier
+    state.inbox.put((3, 1, 0, "stale-motion-rows"))  # int epoch: dropped
+    state.inbox.put((current, 1, 0, "current-piece"))
+
+    got = state.collect_from_workers(current, [1])
+    assert got == {1: "current-piece"}
+    assert state.task_mail == {future: {1: "future-piece"}}
+    assert state.inbox.empty()  # the stale motion piece was not buffered
+
+
+def test_buffered_piece_drained_at_its_own_barrier():
+    state, _ = make_state()
+    current = (7, 0, 0)
+    future = (7, 1, 0)
+    state.inbox.put((future, 1, 0, "future-piece"))
+    state.inbox.put((current, 1, 0, "current-piece"))
+    state.collect_from_workers(current, [1])
+
+    # the inbox is now empty: the future barrier must be satisfied
+    # entirely from task_mail, without touching the (empty) queue
+    got = state.collect_from_workers(future, [1])
+    assert got == {1: "future-piece"}
+    assert state.task_mail == {}
+
+
+def test_interleaved_stale_and_future_across_barriers():
+    state, _ = make_state(num_workers=3)
+    barrier_a = (2, 0, 1)
+    barrier_b = (2, 1, 1)
+    # worker 2 is a full barrier ahead; worker 1 is on time; plus noise
+    state.inbox.put((barrier_b, 2, 0, "b-from-2"))
+    state.inbox.put((11, 1, 0, "stale-int"))
+    state.inbox.put((barrier_a, 1, 0, "a-from-1"))
+    state.inbox.put((barrier_a, 2, 0, "a-from-2"))
+
+    assert state.collect_from_workers(barrier_a, [1, 2]) == {
+        1: "a-from-1",
+        2: "a-from-2",
+    }
+    # barrier B: one piece pre-buffered, the other arrives late
+    state.inbox.put((barrier_b, 1, 0, "b-from-1"))
+    assert state.collect_from_workers(barrier_b, [1, 2]) == {
+        1: "b-from-1",
+        2: "b-from-2",
+    }
+    assert state.task_mail == {}
+
+
+def test_send_to_worker_wire_shape_matches_motions():
+    state, inboxes = make_state()
+    state.send_to_worker((1, 2, 3), 1, {"payload": True})
+    assert inboxes[1].get_nowait() == ((1, 2, 3), 0, 1, {"payload": True})

@@ -1,0 +1,122 @@
+"""DeltaPipeline lifecycle: the RC005 motivating regressions.
+
+Two historical bugs, kept as permanent tests:
+
+* an exception escaping ``_finish`` killed the ``probkb-delta-infer``
+  thread silently, after which every submit enqueued forever;
+* ``stop()`` reset the started flag, so the next submit called
+  ``start()`` on a finished thread and raised an opaque RuntimeError.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.engine import DeltaPipeline
+
+
+class RecordingLogger:
+    def __init__(self):
+        self.events = []
+
+    def log(self, event, **fields):
+        self.events.append((event, fields))
+
+
+def test_finish_exception_does_not_kill_the_consumer():
+    processed = []
+    hook_errors = []
+    logger = RecordingLogger()
+
+    def finish(item):
+        if item == "bad":
+            raise RuntimeError("splice failed")
+        processed.append(item)
+
+    pipeline = DeltaPipeline(finish, logger=logger, on_error=hook_errors.append)
+    pipeline.submit("bad")
+    pipeline.submit("good")
+    pipeline.drain()  # would hang forever if the thread died on "bad"
+    try:
+        assert processed == ["good"]
+        assert pipeline.errors == 1
+        events = [name for name, _ in logger.events]
+        assert events == ["delta_error"]
+        assert "splice failed" in logger.events[0][1]["error"]
+        assert len(hook_errors) == 1
+        assert isinstance(hook_errors[0], RuntimeError)
+    finally:
+        pipeline.stop()
+
+
+def test_error_hook_failure_is_contained():
+    def finish(item):
+        raise RuntimeError("boom")
+
+    def bad_hook(error):
+        raise ValueError("hook is broken too")
+
+    pipeline = DeltaPipeline(finish, on_error=bad_hook)
+    pipeline.submit("x")
+    pipeline.submit("y")
+    pipeline.drain()
+    try:
+        assert pipeline.errors == 2  # still consuming after the hook blew up
+    finally:
+        pipeline.stop()
+
+
+def test_submit_after_stop_restarts_the_consumer():
+    processed = []
+    pipeline = DeltaPipeline(processed.append)
+    pipeline.submit("first")
+    pipeline.drain()
+    pipeline.stop()
+    # the old bug: this raised "threads can only be started once"
+    pipeline.submit("second")
+    pipeline.drain()
+    try:
+        assert processed == ["first", "second"]
+    finally:
+        pipeline.stop()
+
+
+def test_stop_is_idempotent_and_safe_before_any_submit():
+    pipeline = DeltaPipeline(lambda item: None)
+    pipeline.stop()
+    pipeline.stop()
+    pipeline.submit("x")
+    pipeline.drain()
+    pipeline.stop()
+    pipeline.stop()
+    assert pipeline.depth == 0
+
+
+def test_depth_counts_unfinished_work():
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def finish(item):
+        entered.set()
+        assert gate.wait(5.0)
+
+    pipeline = DeltaPipeline(finish)
+    pipeline.submit("a")
+    assert entered.wait(5.0)
+    pipeline.submit("b")
+    assert pipeline.depth >= 1  # "b" still queued behind the blocked "a"
+    gate.set()
+    pipeline.drain()
+    pipeline.stop()
+    assert pipeline.depth == 0
+
+
+@pytest.mark.parametrize("cycles", [1, 3])
+def test_restart_cycles_never_leak_items(cycles):
+    processed = []
+    pipeline = DeltaPipeline(processed.append)
+    for cycle in range(cycles):
+        pipeline.submit(cycle)
+        pipeline.drain()
+        pipeline.stop()
+    assert processed == list(range(cycles))
