@@ -52,6 +52,11 @@ from .plans import (
 from .rules import check_dead_rules, check_duplicates, live_relations
 from .safety import check_rule_shape, check_safety
 from .typecheck import SchemaIndex, check_types
+from .verify import (
+    check_plan_soundness,
+    grounding_schemas,
+    verify_partition_plans,
+)
 
 __all__ = [
     "AnalysisError",
@@ -73,6 +78,7 @@ __all__ = [
     "check_dead_rules",
     "check_dependencies",
     "check_duplicates",
+    "check_plan_soundness",
     "check_plans",
     "check_rule_shape",
     "check_safety",
@@ -80,9 +86,11 @@ __all__ = [
     "dependency_edges",
     "estimate_plans",
     "fixpoint_depth_bound",
+    "grounding_schemas",
     "grounding_size_bound",
     "kb_statistics",
     "live_relations",
     "partition_plans",
     "strongly_connected_components",
+    "verify_partition_plans",
 ]

@@ -17,6 +17,7 @@ from .plans import PlanEnvironment, check_plans
 from .rules import check_dead_rules, check_duplicates
 from .safety import check_safety
 from .typecheck import SchemaIndex, check_types
+from .verify import check_plan_soundness
 
 
 def analyze(
@@ -28,9 +29,10 @@ def analyze(
 
     Passes: safety/shape (PKB001-005, 007, 015), type-checking
     (PKB006), duplicates (PKB008), dead rules (PKB009), constraint
-    consistency (PKB010-012), dependency analysis (PKB013-014), and
-    static plan analysis (PKB101-105) for ``environment`` (defaulting
-    to the paper's 8-segment MPP cluster with matviews).
+    consistency (PKB010-012), dependency analysis (PKB013-014), static
+    plan analysis (PKB101-105), and plan-IR verification (PKB201-212)
+    for ``environment`` (defaulting to the paper's 8-segment MPP
+    cluster with matviews).
     """
     index = SchemaIndex(kb)
     findings: List[Finding] = []
@@ -40,6 +42,7 @@ def analyze(
     findings.extend(check_dead_rules(kb))
     findings.extend(check_constraints(kb, index))
     findings.extend(check_plans(kb, environment, include_infos=include_infos))
+    findings.extend(check_plan_soundness(kb, environment))
     if include_infos:
         findings.extend(check_dependencies(kb, index))
     findings.sort(

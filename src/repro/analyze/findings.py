@@ -49,6 +49,22 @@ CODES: Dict[str, Tuple[str, str]] = {
     "PKB105": (INFO, "static plan cost summary"),
 }
 
+# PKB2xx: plan-IR verification (PlanCheck).  The code tables live next
+# to the verifiers — PKB201-208 (logical plans) in
+# ``repro.relational.verify`` and PKB209-212 (MPP physical plans) in
+# ``repro.mpp.verify`` — and are folded in here so AnalysisReport,
+# the analysis gate, and docs/plan-ir.md all share one registry.
+
+
+def _plancheck_codes() -> Dict[str, Tuple[str, str]]:
+    from ..mpp.verify import PHYSICAL_CODES
+    from ..relational.verify import LOGICAL_CODES
+
+    return {**LOGICAL_CODES, **PHYSICAL_CODES}
+
+
+CODES.update(_plancheck_codes())
+
 
 @dataclass(frozen=True)
 class Finding:

@@ -56,6 +56,7 @@ from .infer.registry import (
     register_engine,
     registered_engines,
 )
+from .relational.verify import VerificationReport
 
 __all__ = [
     "ANALYSIS_MODES",
@@ -70,6 +71,7 @@ __all__ = [
     "InferenceResult",
     "IterationStats",
     "MPPConfig",
+    "VerificationReport",
     "build_backend",
     "build_engine",
     "register_engine",
@@ -237,6 +239,16 @@ class ExpansionSession:
         plan trees with predicted rows, motions, and modelled seconds for
         this session's backend, computed purely from statistics."""
         return self.probkb.explain()
+
+    def verify_plans(self) -> List[VerificationReport]:
+        """PlanCheck over every grounding query of this session's KB:
+        logical-plan soundness (PKB201-208) plus, on a multi-segment
+        cluster, the static physical plans' distribution soundness
+        (PKB209-212).  Pure — nothing executes.  Complements the
+        runtime ``PROBKB_VERIFY_PLANS`` /
+        ``BackendConfig(verify_plans=True)`` gate, which checks the
+        plans actually executed (see ``docs/plan-ir.md``)."""
+        return self.probkb.verify_plans()
 
     def infer(self, config: Optional[InferenceConfig] = None) -> InferenceResult:
         """Marginal inference with the session's (or the given) config."""

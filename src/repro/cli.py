@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument(
         "--json", action="store_true", help="emit the full plan report as JSON"
     )
+    explain_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the plan verifier (PKB201-212) over every plan; "
+        "exit nonzero on error findings",
+    )
     _add_environment_arguments(explain_cmd)
 
     sql_cmd = commands.add_parser(
@@ -256,7 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     devtools_sub = devtools_cmd.add_subparsers(dest="devtools_command", required=True)
     lint_cmd = devtools_sub.add_parser(
         "lint",
-        help="concurrency & determinism lint (RC001-RC008); "
+        help="concurrency & determinism lint (RC001-RC009); "
         "exit 0 clean, 1 findings, 2 usage error",
     )
     lint_cmd.add_argument(
@@ -411,17 +417,26 @@ def cmd_analyze(args) -> int:
 
 def cmd_explain(args) -> int:
     """Static EXPLAIN: estimated plan trees for every grounding query."""
-    from .analyze import estimate_plans
+    import json
+
+    from .analyze import estimate_plans, verify_partition_plans
 
     kb = _load_for_analysis(args.kb)
     if kb is None:
         return 2
-    report = estimate_plans(kb, _plan_environment(args))
+    environment = _plan_environment(args)
+    report = estimate_plans(kb, environment)
+    reports = verify_partition_plans(kb, environment) if args.verify else []
     if args.json:
-        print(report.to_json(indent=2))
+        payload = report.to_dict()
+        if args.verify:
+            payload["verified"] = [r.to_dict() for r in reports]
+        print(json.dumps(payload, indent=2))
     else:
         print(report.render())
-    return 0
+        for verification in reports:
+            print(verification.render())
+    return 1 if any(not r.ok for r in reports) else 0
 
 
 def cmd_sql(args) -> int:

@@ -122,9 +122,11 @@ class Backend:
 class SingleNodeBackend(Backend):
     """ProbKB on a single-node RDBMS (the PostgreSQL role)."""
 
-    def __init__(self, name: str = "probkb") -> None:
+    def __init__(
+        self, name: str = "probkb", verify_plans: Optional[bool] = None
+    ) -> None:
         self.name = name
-        self.db = Database(name)
+        self.db = Database(name, verify_plans=verify_plans)
 
     def create_table(
         self, table_schema: TableSchema, dist_keys: Optional[Sequence[str]] = None
@@ -183,6 +185,7 @@ class MPPBackend(Backend):
         num_workers: int = 0,
         worker_timeout: float = 60.0,
         plan: str = "adaptive",
+        verify_plans: Optional[bool] = None,
     ) -> None:
         self.name = name
         self.nseg = nseg
@@ -194,6 +197,7 @@ class MPPBackend(Backend):
             num_workers=num_workers,
             worker_timeout=worker_timeout,
             plan_mode=plan,
+            verify_plans=verify_plans,
         )
         self._views_created = False
 

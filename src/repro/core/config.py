@@ -86,6 +86,9 @@ class BackendConfig:
     kind: str = "single"
     mpp: MPPConfig = field(default_factory=MPPConfig)
     name: Optional[str] = None
+    #: debug gate: statically verify every distinct plan once before it
+    #: executes (False still honors the PROBKB_VERIFY_PLANS env var)
+    verify_plans: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in BACKEND_KINDS:
@@ -227,8 +230,11 @@ def build_backend(spec: BackendSpec = BackendConfig()) -> Backend:
         raise TypeError(
             f"expected BackendConfig, Backend, or 'single'/'mpp'; got {spec!r}"
         )
+    # verify_plans=False means "not forced here": pass None so the
+    # PROBKB_VERIFY_PLANS env var still switches the gate on
+    verify = spec.verify_plans or None
     if spec.kind == "single":
-        return SingleNodeBackend(name=spec.name or "probkb")
+        return SingleNodeBackend(name=spec.name or "probkb", verify_plans=verify)
     mpp = spec.mpp
     return MPPBackend(
         nseg=mpp.num_segments,
@@ -237,4 +243,5 @@ def build_backend(spec: BackendSpec = BackendConfig()) -> Backend:
         num_workers=mpp.num_workers,
         worker_timeout=mpp.worker_timeout,
         plan=mpp.plan,
+        verify_plans=verify,
     )

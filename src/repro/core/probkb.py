@@ -53,6 +53,7 @@ from .sqlgen import (
 
 if TYPE_CHECKING:
     from ..analyze import AnalysisReport, StaticPlanReport
+    from ..relational.verify import VerificationReport
 
 #: Distinguishes "caller did not pass this" from any real value, so the
 #: deprecation shims only fire on explicit use of a legacy keyword.
@@ -362,6 +363,17 @@ class ProbKB:
         from ..analyze import PlanEnvironment, estimate_plans
 
         return estimate_plans(
+            self.kb, PlanEnvironment.from_backend(self.backend)
+        )
+
+    def verify_plans(self) -> List["VerificationReport"]:
+        """Run the plan verifier (PKB201-212) over every grounding query
+        for this backend's environment: the logical plans plus, on a
+        multi-segment cluster, the statically planned physical plans.
+        Pure — nothing executes, no table changes."""
+        from ..analyze import PlanEnvironment, verify_partition_plans
+
+        return verify_partition_plans(
             self.kb, PlanEnvironment.from_backend(self.backend)
         )
 

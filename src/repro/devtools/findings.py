@@ -37,6 +37,9 @@ RC_CODES: Dict[str, Tuple[str, str]] = {
     "RC007": (ERROR, "unknown code in a '# lint: disable=' comment"),
     "RC008": (WARNING, "unused suppression: '# lint: disable=' matched no "
                        "finding"),
+    "RC009": (ERROR, "direct PhysicalNode construction outside the MPP "
+                     "planners (plans must come from a planner so the "
+                     "verifier sees them)"),
 }
 
 #: suppression-hygiene codes are never themselves suppressible — a

@@ -59,6 +59,15 @@ __all__ = ["lint_paths", "lint_source", "KERNEL_PATTERNS"]
 #: files where RC003 forbids wall clocks, unseeded RNGs, and id()
 KERNEL_PATTERNS: Tuple[str, ...] = ("/infer/", "/delta/", "mpp/rowops.py")
 
+#: the only files allowed to construct PhysicalNode directly (RC009):
+#: the adaptive executor and the static planner.  Everything else must
+#: obtain physical plans from a planner so the plan verifier
+#: (repro.mpp.verify) gets to see them.
+PHYSICAL_PLANNER_FILES: Tuple[str, ...] = (
+    "mpp/static_planner.py",
+    "mpp/cluster.py",
+)
+
 #: method calls that mutate their receiver in place (RC001)
 MUTATING_METHODS = frozenset(
     {
@@ -507,6 +516,7 @@ class _Walker:
         self._check_rc003(node)
         self._check_rc004(node)
         self._check_rc006_call_args(node)
+        self._check_rc009(node)
         self._record_thread_target(node)
         func = node.func
         # guarded-field mutation through a mutating method call
@@ -578,6 +588,20 @@ class _Walker:
                     "key=id inside a deterministic kernel — id-keyed "
                     "ordering varies across processes and runs",
                 )
+
+    def _check_rc009(self, node: ast.Call) -> None:
+        if _call_name(node.func) != "PhysicalNode":
+            return
+        posix = "/" + str(self.ctx.path).replace(os.sep, "/").lstrip("/")
+        if any(posix.endswith(allowed) for allowed in PHYSICAL_PLANNER_FILES):
+            return
+        self._emit(
+            "RC009",
+            node.lineno,
+            "PhysicalNode constructed outside the MPP planners "
+            f"({', '.join(PHYSICAL_PLANNER_FILES)}): physical plans must "
+            "come from a planner so the plan verifier sees them",
+        )
 
     def _check_rc004(self, node: ast.Call) -> None:
         if self._while_depth == 0 or not self._func_stack:
@@ -867,7 +891,7 @@ def _lint_contexts(contexts: List[_FileContext]) -> LintReport:
                         code="RC007",
                         message=(
                             f"unknown code {token_text!r} in suppression "
-                            "comment (known codes: RC001..RC008)"
+                            "comment (known codes: RC001..RC009)"
                         ),
                         path=ctx.path,
                         line=suppression.line,

@@ -41,6 +41,7 @@ on.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from ..relational.cost import CostClock
@@ -65,6 +66,7 @@ from ..relational.plan import (
 from ..relational.schema import TableSchema
 from ..relational.table import Table
 from ..relational.types import ExecutionError, Row, ensure
+from ..relational.verify import verify_plan, verify_plans_enabled
 from . import rowops
 from .distribution import (
     DistributionPolicy,
@@ -182,6 +184,7 @@ class MPPDatabase:
         num_workers: int = 0,
         worker_timeout: float = 60.0,
         plan_mode: str = "adaptive",
+        verify_plans: Optional[bool] = None,
     ) -> None:
         ensure(nseg >= 1, ExecutionError, "need at least one segment")
         ensure(
@@ -205,6 +208,10 @@ class MPPDatabase:
         #: mirror tables kept in sync with a source table's DML —
         #: how redistributed matviews stay fresh incrementally
         self._mirrors: Dict[str, List[str]] = {}
+        #: debug gate: statically verify every distinct plan once before
+        #: it executes (None defers to the PROBKB_VERIFY_PLANS env var)
+        self.verify_plans = verify_plans_enabled(verify_plans)
+        self._verified_plans: "weakref.WeakSet[PlanNode]" = weakref.WeakSet()
         self.pool = None
         self.num_workers = 0
         self.degraded_reason: Optional[str] = None
@@ -271,6 +278,46 @@ class MPPDatabase:
         shards (at worst the cost clocks double-count the aborted
         attempt's operators)."""
         static_choices = self._plan_statically(plan)
+        verify = self.verify_plans and plan not in self._verified_plans
+        if verify:
+            # pre-execution: the logical tree, and in static mode the
+            # statically planned physical tree (motions included)
+            verify_plan(plan, tables=self.tables, name="mpp logical plan") \
+                .raise_if_errors()
+            if self.plan_mode == "static" and self.last_static_plan is not None:
+                self._verify_physical(
+                    self.last_static_plan.root, "mpp static plan"
+                )
+        shards, node = self._execute_plan(plan, static_choices)
+        if verify:
+            # post-execution: the physical trace the adaptive executor
+            # actually recorded (motions chosen from real sizes)
+            self._verify_physical(node, "mpp physical plan")
+            self._verified_plans.add(plan)
+        return shards, node
+
+    def _verify_physical(self, root: PhysicalNode, name: str) -> None:
+        from .verify import verify_physical_plan
+
+        table_dists = {
+            table_name: self._policy_dist(table.policy)
+            for table_name, table in self.tables.items()
+        }
+        verify_physical_plan(
+            root, self.nseg, table_dists=table_dists, name=name
+        ).raise_if_errors()
+
+    @staticmethod
+    def _policy_dist(policy: DistributionPolicy) -> DistDesc:
+        if isinstance(policy, ReplicatedDistribution):
+            return DistDesc.replicated()
+        if policy.key_columns is not None:
+            return DistDesc.hash_on(policy.key_columns)
+        return DistDesc.arbitrary()
+
+    def _execute_plan(
+        self, plan: PlanNode, static_choices: Optional[Dict[int, str]]
+    ) -> Tuple[Shards, PhysicalNode]:
         if self.pool is not None:
             from .workers import PooledOps, WorkerCrashError
 
@@ -595,6 +642,7 @@ class MPPDatabase:
             rows = shards.gathered()
             self.master_clock.rows_shipped += len(rows)
             gather = PhysicalNode("Gather Motion", rows=len(rows))
+            gather.dist = DistDesc.arbitrary()
             gather.children.append(node)
             self.last_plan = gather
             return Result(shards.columns, rows)
@@ -916,6 +964,7 @@ class _MPPExecutor:
             clock.seconds - b for clock, b in zip(self.clocks, before)
         )
         node.rows = shards.total_rows
+        node.dist = shards.dist
         return shards
 
     # -- dispatch ----------------------------------------------------------------
@@ -957,7 +1006,9 @@ class _MPPExecutor:
 
     def _exec_values(self, plan: Values) -> Tuple[Shards, PhysicalNode]:
         node = PhysicalNode("Values", rows=len(plan.rows))
-        return self.ops.values(list(plan.rows), plan.output_columns), node
+        shards = self.ops.values(list(plan.rows), plan.output_columns)
+        node.dist = shards.dist
+        return shards, node
 
     # -- unary nodes ----------------------------------------------------------
 

@@ -24,6 +24,10 @@ class PhysicalNode:
     seconds: float = 0.0
     #: output row count (total across segments)
     rows: int = 0
+    #: distribution of this operator's output, declared by the planner
+    #: that produced the node; None when the producer predates the
+    #: verifier (e.g. plans deserialized from old snapshots)
+    dist: Optional["DistDesc"] = None
 
     def describe(self) -> str:
         label = self.kind if not self.detail else f"{self.kind} {self.detail}"
@@ -52,6 +56,15 @@ class PhysicalNode:
         }
         if self.detail:
             payload["detail"] = self.detail
+        if self.dist is not None:
+            payload["dist"] = {
+                "kind": self.dist.kind,
+                "columns": (
+                    list(self.dist.columns)
+                    if self.dist.columns is not None
+                    else None
+                ),
+            }
         if self.children:
             payload["children"] = [c.to_dict() for c in self.children]
         return payload
@@ -59,12 +72,21 @@ class PhysicalNode:
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "PhysicalNode":
         children: Sequence[Mapping[str, Any]] = payload.get("children", ())
-        return PhysicalNode(
+        raw_dist = payload.get("dist")
+        dist: Optional["DistDesc"] = None
+        if raw_dist is not None:
+            columns = raw_dist.get("columns")
+            dist = DistDesc(
+                kind=str(raw_dist["kind"]),
+                columns=tuple(columns) if columns is not None else None,
+            )
+        return PhysicalNode(  # lint: disable=RC009 deserializer, not a planner
             kind=str(payload["kind"]),
             detail=str(payload.get("detail", "")),
             children=[PhysicalNode.from_dict(c) for c in children],
             seconds=float(payload.get("seconds", 0.0)),
             rows=int(payload.get("rows", 0)),
+            dist=dist,
         )
 
 

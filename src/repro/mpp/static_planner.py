@@ -361,6 +361,13 @@ class StaticPlanner:
     # -- dispatch ----------------------------------------------------------------
 
     def _est(self, plan: PlanNode) -> _Est:
+        est = self._dispatch(plan)
+        # declare the derived distribution on the physical node so the
+        # plan verifier (repro.mpp.verify) can cross-check it
+        est.node.dist = est.dist
+        return est
+
+    def _dispatch(self, plan: PlanNode) -> _Est:
         if isinstance(plan, Scan):
             return self._est_scan(plan)
         if isinstance(plan, Values):
@@ -707,6 +714,7 @@ class StaticPlanner:
             est.dist = DistDesc.hash_on(keys)
             return est
         node = PhysicalNode("Redistribute Motion", f"on ({', '.join(keys)})")
+        node.dist = DistDesc.hash_on(keys)
         node.children.append(est.node)
         off_segment = est.rows * (self.nseg - 1) / self.nseg
         node.seconds = off_segment / self.nseg * ROW_SHIP_S
@@ -736,6 +744,7 @@ class StaticPlanner:
             est.dist = DistDesc.replicated()
             return est
         node = PhysicalNode("Broadcast Motion")
+        node.dist = DistDesc.replicated()
         node.children.append(est.node)
         per_segment = est.rows * (self.nseg - 1) / self.nseg
         node.seconds = per_segment * ROW_BROADCAST_S
@@ -764,6 +773,7 @@ class StaticPlanner:
             est.dist = DistDesc.arbitrary()
             return est
         node = PhysicalNode("Gather Motion", "to seg0")
+        node.dist = DistDesc.arbitrary()
         node.children.append(est.node)
         off_segment = est.rows * (self.nseg - 1) / self.nseg
         node.seconds = off_segment * ROW_SHIP_S

@@ -12,7 +12,8 @@ operations ProbKB's grounding and quality-control algorithms need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .cost import CostClock
 from .executor import Executor, Result
@@ -20,16 +21,36 @@ from .plan import PlanNode
 from .schema import TableSchema
 from .table import Table
 from .types import ExecutionError, Row, ensure
+from .verify import verify_plan, verify_plans_enabled
 
 
 class Database:
     """An in-memory single-node relational database."""
 
-    def __init__(self, name: str = "db") -> None:
+    def __init__(
+        self, name: str = "db", verify_plans: Optional[bool] = None
+    ) -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
         self.clock = CostClock()
         self._matview_defs: Dict[str, PlanNode] = {}
+        #: debug gate: statically verify every distinct plan once before
+        #: it executes (None defers to the PROBKB_VERIFY_PLANS env var)
+        self.verify_plans = verify_plans_enabled(verify_plans)
+        self._verified_plans: "weakref.WeakSet[PlanNode]" = weakref.WeakSet()
+
+    def _maybe_verify(self, plan: PlanNode) -> None:
+        """Verify a plan once before its first execution (debug gate).
+
+        The verifier is pure (it never binds scans or touches the
+        clock), so results are bit-identical with the gate on or off;
+        error-severity findings raise ``PlanVerificationError``,
+        warnings are ignored at runtime."""
+        if not self.verify_plans or plan in self._verified_plans:
+            return
+        verify_plan(plan, tables=self.tables, name="logical plan") \
+            .raise_if_errors()
+        self._verified_plans.add(plan)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -57,6 +78,7 @@ class Database:
 
     def query(self, plan: PlanNode) -> Result:
         """Execute a read-only plan; charges one statement of overhead."""
+        self._maybe_verify(plan)
         self.clock.charge_query()
         return Executor(self.tables, self.clock).run(plan)
 
@@ -87,6 +109,7 @@ class Database:
 
     def insert_from(self, table_name: str, plan: PlanNode) -> int:
         """INSERT INTO table SELECT ... — one statement."""
+        self._maybe_verify(plan)
         self.clock.charge_query()
         result = Executor(self.tables, self.clock).run(plan)
         table = self.table(table_name)
@@ -115,6 +138,7 @@ class Database:
         merges new facts into TΠ without round-tripping them through
         the client.
         """
+        self._maybe_verify(plan)
         self.clock.charge_query()
         result = Executor(self.tables, self.clock).run(plan)
         table = self.table(table_name)
@@ -134,6 +158,7 @@ class Database:
         key_plan: PlanNode,
     ) -> int:
         """DELETE FROM table WHERE (cols) IN (SELECT ... ) — one statement."""
+        self._maybe_verify(key_plan)
         self.clock.charge_query()
         result = Executor(self.tables, self.clock).run(key_plan)
         keys: Set[Row] = set(result.rows)
@@ -163,6 +188,7 @@ class Database:
     def refresh_matview(self, name: str) -> int:
         plan = self._matview_defs.get(name)
         ensure(plan is not None, ExecutionError, f"{name!r} is not a matview")
+        self._maybe_verify(plan)  # type: ignore[arg-type]
         self.clock.charge_query()
         result = Executor(self.tables, self.clock).run(plan)  # type: ignore[arg-type]
         table = self.table(name)

@@ -78,11 +78,12 @@ class Values(PlanNode):
         ensure(len(columns) > 0, PlanError, "Values needs columns")
         self._columns = list(columns)
         self.rows = [tuple(row) for row in rows]
-        for row in self.rows:
+        for index, row in enumerate(self.rows):
             ensure(
                 len(row) == len(self._columns),
                 PlanError,
-                "Values row arity mismatch",
+                f"Values: row {index} has {len(row)} values for "
+                f"{len(self._columns)} columns [{', '.join(self._columns)}]",
             )
 
     @property
@@ -150,7 +151,13 @@ class HashJoin(PlanNode):
         right_keys: Sequence[str],
         residual: Optional[Expr] = None,
     ) -> None:
-        ensure(len(left_keys) == len(right_keys), PlanError, "join key arity mismatch")
+        ensure(
+            len(left_keys) == len(right_keys),
+            PlanError,
+            f"Hash Join: {len(left_keys)} left keys "
+            f"[{', '.join(left_keys)}] vs {len(right_keys)} right keys "
+            f"[{', '.join(right_keys)}]",
+        )
         ensure(len(left_keys) > 0, PlanError, "hash join needs at least one key")
         self.left = left
         self.right = right
@@ -191,7 +198,13 @@ class AntiJoin(PlanNode):
         left_keys: Sequence[str],
         right_keys: Sequence[str],
     ) -> None:
-        ensure(len(left_keys) == len(right_keys), PlanError, "anti-join key arity mismatch")
+        ensure(
+            len(left_keys) == len(right_keys),
+            PlanError,
+            f"Hash Anti Join: {len(left_keys)} left keys "
+            f"[{', '.join(left_keys)}] vs {len(right_keys)} right keys "
+            f"[{', '.join(right_keys)}]",
+        )
         ensure(len(left_keys) > 0, PlanError, "anti-join needs at least one key")
         self.left = left
         self.right = right
@@ -279,12 +292,15 @@ class UnionAll(PlanNode):
 
     def __init__(self, children: Sequence[PlanNode]) -> None:
         ensure(len(children) >= 1, PlanError, "union needs children")
-        arity = len(children[0].output_columns)
-        for child in children[1:]:
+        expected = children[0].output_columns
+        for index, child in enumerate(children[1:], start=1):
+            actual = child.output_columns
             ensure(
-                len(child.output_columns) == arity,
+                len(actual) == len(expected),
                 PlanError,
-                "union children arity mismatch",
+                f"UnionAll: child {index} has {len(actual)} columns "
+                f"[{', '.join(actual)}], expected {len(expected)} "
+                f"[{', '.join(expected)}]",
             )
         self._children = list(children)
 

@@ -370,11 +370,15 @@ class KBService:
 
     def explain(self) -> dict:
         """Static plan report for the current KB (a read: nothing
-        executes, no table changes — safe under concurrent ingest)."""
+        executes, no table changes — safe under concurrent ingest).
+        The ``verified`` block carries the plan verifier's PKB201-212
+        reports for every plan in the payload."""
         with self.lock.read_locked():
             report = self.probkb.explain()
+            verified = self.probkb.verify_plans()
             generation = self.probkb.generation
         payload = report.to_dict()
+        payload["verified"] = [r.to_dict() for r in verified]
         payload["generation"] = generation
         return payload
 

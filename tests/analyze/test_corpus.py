@@ -252,7 +252,8 @@ def test_pkb015_bad_weight():
 def test_every_code_is_registered_and_renderable():
     rule_codes = {f"PKB{i:03d}" for i in range(1, 16)}
     plan_codes = {f"PKB{i}" for i in range(101, 106)}
-    assert set(CODES) == rule_codes | plan_codes
+    plancheck_codes = {f"PKB{i}" for i in range(201, 213)}
+    assert set(CODES) == rule_codes | plan_codes | plancheck_codes
     for code, (severity, title) in CODES.items():
         finding = Finding(code=code, message="x")
         assert finding.severity == severity

@@ -1,0 +1,8 @@
+"""RC009 fixture: hand-built physical plans bypass the plan verifier."""
+
+from repro.mpp.plannodes import PhysicalNode
+
+
+def handcraft_plan():
+    scan = PhysicalNode("Seq Scan", "on TP")
+    return PhysicalNode("Gather Motion", "to seg0", children=[scan])

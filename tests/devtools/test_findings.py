@@ -16,7 +16,7 @@ from repro.devtools import (
 
 
 def test_registry_is_complete_and_well_formed():
-    assert set(RC_CODES) == {f"RC00{i}" for i in range(1, 9)}
+    assert set(RC_CODES) == {f"RC00{i}" for i in range(1, 10)}
     for code, (severity, title) in RC_CODES.items():
         assert severity in SEVERITIES
         assert title

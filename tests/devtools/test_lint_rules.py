@@ -17,6 +17,7 @@ RULE_FIXTURES = [
     ("RC006", FIXTURES / "rc006_clock.py", 2),
     ("RC007", FIXTURES / "rc007_unknown.py", 1),
     ("RC008", FIXTURES / "rc008_unused.py", 1),
+    ("RC009", FIXTURES / "rc009_plannode.py", 2),
 ]
 
 
@@ -41,7 +42,27 @@ def test_clean_fixture_has_no_findings():
 
 def test_directory_scan_covers_the_whole_corpus():
     report = lint_paths([FIXTURES])
-    assert set(report.codes) == {f"RC00{i}" for i in range(1, 9)}
+    assert set(report.codes) == {f"RC00{i}" for i in range(1, 10)}
+
+
+def test_rc009_is_silent_inside_the_planners(tmp_path):
+    planner_dir = tmp_path / "mpp"
+    planner_dir.mkdir()
+    source = (
+        "from repro.mpp.plannodes import PhysicalNode\n"
+        "\n"
+        "def plan():\n"
+        "    return PhysicalNode('Seq Scan', 'on TP')\n"
+    )
+    for allowed in ("static_planner.py", "cluster.py"):
+        path = planner_dir / allowed
+        path.write_text(source)
+        assert lint_paths([path]).findings == ()
+    elsewhere = planner_dir / "workers.py"
+    elsewhere.write_text(source)
+    (finding,) = lint_paths([elsewhere]).findings
+    assert finding.code == "RC009"
+    assert "planner" in finding.message
 
 
 def test_rc001_names_the_lock_and_line():
