@@ -1,12 +1,18 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test test-mpp bench bench-mpp bench-delta bench-infer lint lint-conc
+.PHONY: test test-no-numpy test-mpp bench bench-mpp bench-delta bench-infer \
+	bench-columnar lint lint-conc
 
 # Tier-1 suite: serial executors only (the `mpp` marker is excluded
 # via addopts in pyproject.toml).
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Tier-1 again with numpy fast paths forced off: the columnar engine's
+# pure-Python fallback must stay bit-identical (the no-numpy CI lane).
+test-no-numpy:
+	PROBKB_NO_NUMPY=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Multi-process tests: spawn real worker processes (the MPP executor
 # plus the color-parallel inference driver in tests/infer).
@@ -31,6 +37,11 @@ bench-mpp:
 # bit-identity gate runs everywhere, the speedup target needs >=2 cores.
 bench-infer:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_inference_engines.py -m mpp -q
+
+# Columnar executor vs row engine on grounding-shaped operators
+# (>=2x with numpy; engines checked bit-identical before timing).
+bench-columnar:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/bench_columnar.py -q
 
 # Static checks: ruff (style/imports) + mypy (strict on repro.analyze,
 # repro.core, repro.quality, repro.serve — see pyproject.toml).  Each

@@ -1,0 +1,147 @@
+"""Wall-clock of the columnar executor vs the row engine.
+
+Times the grounding-shaped operators (hash join on int keys, anti-join,
+distinct, group-by) on synthetic int-keyed tables — the plan shapes
+Algorithm 1 actually spends its time in — plus one end-to-end grounding
+run.  Both engines are checked bit-identical on every measured query
+before timing is trusted.
+
+With numpy available the columnar engine must clear a >=2x speedup on
+the grounding-operator mix; without numpy (``PROBKB_NO_NUMPY=1``) the
+pure-Python columnar fallback is only asserted to stay within 3x of the
+row engine (it exists for correctness, not speed).
+
+Run with ``make bench-columnar``; the report is checked in at
+``benchmarks/results/columnar.txt``.
+"""
+
+import random
+import time
+
+from repro.bench import format_table, scaled, write_result
+from repro.core import ProbKB, SingleNodeBackend
+from repro.datasets.paper_example import paper_kb
+from repro.relational import (
+    Aggregate,
+    Database,
+    Distinct,
+    HashJoin,
+    Project,
+    Scan,
+    col,
+    numpy_enabled,
+    schema,
+)
+from repro.relational.plan import AntiJoin
+
+N_LEFT = scaled(30000)
+N_RIGHT = scaled(6000)
+REPEATS = 3
+SPEEDUP_TARGET = 2.0
+
+
+def make_db(engine, rows_l, rows_r):
+    db = Database("bench", executor=engine)
+    db.create_table(schema("L", "k:int", "g:int", "v:int"))
+    db.create_table(schema("R", "k:int", "g:int", "v:int"))
+    db.bulkload("L", rows_l)
+    db.bulkload("R", rows_r)
+    return db
+
+
+def operator_plans():
+    return {
+        "hash_join": lambda: Project(
+            HashJoin(Scan("L", "l"), Scan("R", "r"), ["l.k"], ["r.k"]),
+            [(col("l.v"), "lv"), (col("r.v"), "rv")],
+        ),
+        "anti_join": lambda: AntiJoin(
+            Scan("L", "l"), Scan("R", "r"), ["l.k"], ["r.k"]
+        ),
+        "distinct": lambda: Distinct(
+            Project(Scan("L", "l"), [(col("l.g"), "g"), (col("l.k"), "k")])
+        ),
+        "group_by": lambda: Aggregate(
+            Scan("L", "l"),
+            group_by=["l.g"],
+            aggregates=[("count", None, "n"), ("sum", "l.v", "total")],
+        ),
+    }
+
+
+def time_plan(db, factory):
+    best = float("inf")
+    rows = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = db.query(factory())
+        best = min(best, time.perf_counter() - started)
+        rows = result.rows
+    return best, rows
+
+
+def test_columnar_operator_speedup():
+    rng = random.Random(7)
+    rows_l = [
+        (rng.randint(0, N_RIGHT), rng.randint(0, 40), rng.randint(0, 10**6))
+        for _ in range(N_LEFT)
+    ]
+    rows_r = [
+        (rng.randint(0, N_RIGHT), rng.randint(0, 40), rng.randint(0, 10**6))
+        for _ in range(N_RIGHT)
+    ]
+    rows_db = make_db("rows", rows_l, rows_r)
+    col_db = make_db("columnar", rows_l, rows_r)
+
+    lines = []
+    total_rows_s = 0.0
+    total_col_s = 0.0
+    for name, factory in operator_plans().items():
+        rows_s, expected = time_plan(rows_db, factory)
+        col_s, actual = time_plan(col_db, factory)
+        assert actual == expected, f"{name}: engines disagree"
+        total_rows_s += rows_s
+        total_col_s += col_s
+        lines.append(
+            (name, len(expected), f"{rows_s * 1e3:.1f}", f"{col_s * 1e3:.1f}",
+             f"{rows_s / col_s:.2f}x")
+        )
+    speedup = total_rows_s / total_col_s
+    lines.append(
+        ("TOTAL", "", f"{total_rows_s * 1e3:.1f}", f"{total_col_s * 1e3:.1f}",
+         f"{speedup:.2f}x")
+    )
+
+    # end-to-end: grounding the paper KB on both engines, same tables
+    ground = {}
+    for engine in ("rows", "columnar"):
+        backend = SingleNodeBackend(executor=engine)
+        started = time.perf_counter()
+        ProbKB(paper_kb(), backend=backend).ground()
+        wall = time.perf_counter() - started
+        ground[engine] = (wall, backend.db.table("TP").rows)
+    assert ground["rows"][1] == ground["columnar"][1]
+
+    numpy_on = numpy_enabled()
+    report = format_table(
+        ["operator", "out rows", "rows ms", "columnar ms", "speedup"],
+        lines,
+        title=(
+            "Columnar executor vs row engine "
+            f"(|L|={N_LEFT}, |R|={N_RIGHT}, numpy={'on' if numpy_on else 'off'})"
+        ),
+    )
+    report += (
+        f"\n\ngrounding paper KB end-to-end: rows {ground['rows'][0] * 1e3:.1f} ms, "
+        f"columnar {ground['columnar'][0] * 1e3:.1f} ms"
+        "\n(engines verified bit-identical on every measured query)"
+    )
+    write_result("columnar", report)
+
+    if numpy_on:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"columnar speedup {speedup:.2f}x below {SPEEDUP_TARGET}x target"
+        )
+    else:
+        # pure-Python fallback: correctness lane, must not be pathological
+        assert speedup >= 1 / 3, f"no-numpy columnar {speedup:.2f}x is pathological"

@@ -94,6 +94,9 @@ class Backend:
             "segments": 1,
             "workers": 0,
             "degraded": False,
+            "engine": getattr(
+                getattr(self, "db", None), "executor_name", "columnar"
+            ),
         }
 
     def close(self) -> None:
@@ -123,10 +126,13 @@ class SingleNodeBackend(Backend):
     """ProbKB on a single-node RDBMS (the PostgreSQL role)."""
 
     def __init__(
-        self, name: str = "probkb", verify_plans: Optional[bool] = None
+        self,
+        name: str = "probkb",
+        verify_plans: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.name = name
-        self.db = Database(name, verify_plans=verify_plans)
+        self.db = Database(name, verify_plans=verify_plans, executor=executor)
 
     def create_table(
         self, table_schema: TableSchema, dist_keys: Optional[Sequence[str]] = None
@@ -186,6 +192,7 @@ class MPPBackend(Backend):
         worker_timeout: float = 60.0,
         plan: str = "adaptive",
         verify_plans: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.name = name
         self.nseg = nseg
@@ -198,6 +205,7 @@ class MPPBackend(Backend):
             worker_timeout=worker_timeout,
             plan_mode=plan,
             verify_plans=verify_plans,
+            executor=executor,
         )
         self._views_created = False
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
 from ..mpp import PLAN_MODES
+from ..relational.columnar import EXECUTOR_ENGINES
 from .backends import Backend, MPPBackend, SingleNodeBackend
 
 #: Distinguishes "caller did not pass this" from any real value, so the
@@ -89,11 +90,19 @@ class BackendConfig:
     #: debug gate: statically verify every distinct plan once before it
     #: executes (False still honors the PROBKB_VERIFY_PLANS env var)
     verify_plans: bool = False
+    #: relational engine: "columnar" or "rows"; None defers to the
+    #: PROBKB_EXECUTOR env var, then the columnar default
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in BACKEND_KINDS:
             raise ValueError(
                 f"unknown backend kind {self.kind!r} (use one of {BACKEND_KINDS})"
+            )
+        if self.executor is not None and self.executor not in EXECUTOR_ENGINES:
+            raise ValueError(
+                f"unknown executor {self.executor!r} "
+                f"(use one of {EXECUTOR_ENGINES})"
             )
 
 
@@ -234,7 +243,11 @@ def build_backend(spec: BackendSpec = BackendConfig()) -> Backend:
     # PROBKB_VERIFY_PLANS env var still switches the gate on
     verify = spec.verify_plans or None
     if spec.kind == "single":
-        return SingleNodeBackend(name=spec.name or "probkb", verify_plans=verify)
+        return SingleNodeBackend(
+            name=spec.name or "probkb",
+            verify_plans=verify,
+            executor=spec.executor,
+        )
     mpp = spec.mpp
     return MPPBackend(
         nseg=mpp.num_segments,
@@ -244,4 +257,5 @@ def build_backend(spec: BackendSpec = BackendConfig()) -> Backend:
         worker_timeout=mpp.worker_timeout,
         plan=mpp.plan,
         verify_plans=verify,
+        executor=spec.executor,
     )

@@ -44,6 +44,7 @@ from __future__ import annotations
 import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, TypeVar
 
+from ..relational.columnar import resolve_executor
 from ..relational.cost import CostClock
 from ..relational.executor import Result
 from ..relational.expr import Expr, resolve_column
@@ -185,6 +186,7 @@ class MPPDatabase:
         worker_timeout: float = 60.0,
         plan_mode: str = "adaptive",
         verify_plans: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> None:
         ensure(nseg >= 1, ExecutionError, "need at least one segment")
         ensure(
@@ -195,6 +197,9 @@ class MPPDatabase:
         self.name = name
         self.nseg = nseg
         self.plan_mode = plan_mode
+        #: relational engine used for segment row operators ("columnar"
+        #: or "rows"); worker processes resolve PROBKB_EXECUTOR themselves
+        self.executor_engine = resolve_executor(executor)
         #: the static planner's verdict on the most recent statement
         #: (``plan_mode="static"`` only)
         self.last_static_plan: Optional[StaticPlan] = None
@@ -238,6 +243,7 @@ class MPPDatabase:
             "workers": self.pool.num_workers if self.pool is not None else 0,
             "degraded": self.degraded,
             "plan": self.plan_mode,
+            "engine": self.executor_engine,
         }
 
     def close(self) -> None:
@@ -727,6 +733,7 @@ class _SerialOps:
         self.cluster = cluster
         self.nseg = cluster.nseg
         self.clocks = cluster.segment_clocks
+        self.engine = cluster.executor_engine
 
     def scan(self, table: MPPTable, columns: List[str], dist: DistDesc) -> Shards:
         parts = [
@@ -792,7 +799,8 @@ class _SerialOps:
             )
             parts.append(
                 rowops.hash_join_rows(
-                    left_part, right_part, lpos, rpos, bound, self.clocks[seg]
+                    left_part, right_part, lpos, rpos, bound,
+                    self.clocks[seg], engine=self.engine,
                 )
             )
         return Shards(out_columns, parts, out_dist)
@@ -820,14 +828,15 @@ class _SerialOps:
             )
             parts.append(
                 rowops.anti_join_rows(
-                    left_part, right_part, lpos, rpos, self.clocks[seg]
+                    left_part, right_part, lpos, rpos,
+                    self.clocks[seg], engine=self.engine,
                 )
             )
         return Shards(left.columns, parts, out_dist)
 
     def distinct(self, child: Shards) -> Shards:
         parts = [
-            rowops.distinct_rows(part, self.clocks[seg])
+            rowops.distinct_rows(part, self.clocks[seg], engine=self.engine)
             for seg, part in enumerate(child.parts)
         ]
         return Shards(child.columns, parts, child.dist)
@@ -867,6 +876,10 @@ class _SerialOps:
             else:
                 for seg, part in enumerate(shards.parts):
                     parts[seg].extend(part)
+        # concatenation emits every row once, mirroring the single-node
+        # executor's UnionAll charge
+        for seg, part in enumerate(parts):
+            self.clocks[seg].rows_output += len(part)
         return Shards(out_columns, parts, dist)
 
     def redistribute(
@@ -905,7 +918,9 @@ class _SerialOps:
         return Shards(shards.columns, parts, DistDesc.arbitrary())
 
     def sort(self, child: Shards, positions: Sequence[Tuple[int, bool]]) -> Shards:
-        ordered = rowops.sort_rows(child.parts[0], positions, self.clocks[0])
+        ordered = rowops.sort_rows(
+            child.parts[0], positions, self.clocks[0], engine=self.engine
+        )
         parts: List[List[Row]] = [[] for _ in range(self.nseg)]
         parts[0] = ordered
         return Shards(child.columns, parts, DistDesc.arbitrary())
@@ -1279,6 +1294,12 @@ class _MPPExecutor:
         return shards, node
 
     def _exec_limit(self, plan: Limit) -> Tuple[Shards, PhysicalNode]:
+        if plan.limit < 0:
+            # same guard as the single-node executors: a negative limit
+            # would silently slice rows off the end
+            raise ExecutionError(
+                f"Limit must be non-negative, got {plan.limit}"
+            )
         child, child_node = self._exec(plan.child)
         child, child_node = self._gather_to_first(child, child_node)
         node = PhysicalNode("Limit", str(plan.limit))

@@ -7,6 +7,15 @@ runs the same functions inside worker processes, one call per owned
 segment.  Sharing the loops is what makes the two execution modes
 bit-identical — same output rows in the same order, same
 :class:`~repro.relational.cost.CostClock` charges.
+
+Each operator dispatches on the relational engine selection
+(:func:`repro.relational.columnar.resolve_executor`): under the
+default ``"columnar"`` engine the hot loops run as vectorized kernels
+from :mod:`repro.relational.columnar`; ``"rows"`` keeps the original
+row loops.  The two paths emit identical rows in identical order and
+charge identical clocks, so segment execution is engine-independent —
+the explicit ``engine=`` argument is threaded down by the serial
+driver, while worker processes resolve from ``PROBKB_EXECUTOR``.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..relational import columnar
+from ..relational.columnar import resolve_executor
 from ..relational.cost import CostClock
 from ..relational.executor import _aggregate
 from ..relational.types import Row
@@ -22,13 +33,24 @@ from .distribution import stable_hash
 Predicate = Optional[Callable[[Row], bool]]
 
 
-def scan_rows(stored_rows: Sequence[Row], clock: CostClock) -> List[Row]:
+def _columnar(engine: Optional[str]) -> bool:
+    return resolve_executor(engine) == "columnar"
+
+
+def scan_rows(
+    stored_rows: Sequence[Row],
+    clock: CostClock,
+    engine: Optional[str] = None,
+) -> List[Row]:
     clock.rows_scanned += len(stored_rows)
     return list(stored_rows)
 
 
 def filter_rows(
-    rows: Sequence[Row], predicate: Callable[[Row], bool], clock: CostClock
+    rows: Sequence[Row],
+    predicate: Callable[[Row], bool],
+    clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
     kept = [row for row in rows if predicate(row)]
     clock.rows_probed += len(rows)
@@ -40,6 +62,7 @@ def project_rows(
     rows: Sequence[Row],
     evaluators: Sequence[Callable[[Row], object]],
     clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
     projected = [tuple(fn(row) for fn in evaluators) for row in rows]
     clock.rows_output += len(projected)
@@ -53,9 +76,14 @@ def hash_join_rows(
     rpos: List[int],
     residual: Predicate,
     clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
     """Hash join two row lists; NULL keys never match, the residual
     predicate filters after the join."""
+    if _columnar(engine):
+        return columnar.join_rows(
+            left_rows, right_rows, lpos, rpos, residual, clock
+        )
     build_left = len(left_rows) <= len(right_rows)
     if build_left:
         build_rows, probe_rows = left_rows, right_rows
@@ -94,7 +122,12 @@ def anti_join_rows(
     lpos: Sequence[int],
     rpos: Sequence[int],
     clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
+    if _columnar(engine):
+        return columnar.anti_join_rows(
+            left_rows, right_rows, lpos, rpos, clock
+        )
     existing = {tuple(row[pos] for pos in rpos) for row in right_rows}
     clock.rows_built += len(right_rows)
     kept = [
@@ -107,7 +140,13 @@ def anti_join_rows(
     return kept
 
 
-def distinct_rows(rows: Sequence[Row], clock: CostClock) -> List[Row]:
+def distinct_rows(
+    rows: Sequence[Row],
+    clock: CostClock,
+    engine: Optional[str] = None,
+) -> List[Row]:
+    if _columnar(engine):
+        return columnar.distinct_rows(rows, clock)
     seen: Set[Row] = set()
     deduped = []
     for row in rows:
@@ -127,6 +166,7 @@ def aggregate_rows(
     having: Predicate,
     global_agg: bool,
     clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
     groups: Dict[Tuple, List[Row]] = defaultdict(list)
     for row in rows:
@@ -151,16 +191,20 @@ def sort_rows(
     rows: Sequence[Row],
     positions: Sequence[Tuple[int, bool]],
     clock: CostClock,
+    engine: Optional[str] = None,
 ) -> List[Row]:
-    """Stable multi-key sort (NULLs first ascending, matching the
-    single-node executor)."""
+    """Stable multi-key sort, NULLS FIRST in both directions (matching
+    the single-node executor and the sqlite bridge)."""
+    if _columnar(engine):
+        return columnar.sort_rows(rows, positions, clock)
     ordered = list(rows)
     for pos, descending in reversed(list(positions)):
         ordered.sort(
-            key=lambda row: (row[pos] is not None, row[pos]),
+            key=columnar.null_first_sort_key(pos, descending),
             reverse=descending,
         )
     clock.rows_probed += len(ordered)
+    clock.rows_output += len(ordered)
     return ordered
 
 

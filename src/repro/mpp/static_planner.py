@@ -900,6 +900,8 @@ class StaticPlanner:
             ndv[name] = min(total, max(rows, 1.0))
         node = PhysicalNode("Append")
         node.children.extend(child.node for child in children)
+        # the executor charges rows_output for every concatenated row
+        node.seconds = rows * ROW_OUTPUT_S / self._parallelism(dist)
         node.rows = int(round(rows))
         tables: frozenset = frozenset()
         for child in children:
@@ -920,7 +922,8 @@ class StaticPlanner:
         child = self._gather(child)
         node = PhysicalNode("Sort", plan.describe().replace("Sort: ", ""))
         node.children.append(child.node)
-        node.seconds = child.rows * ROW_PROBE_S
+        # sort runs on segment 0 and charges both probe and output
+        node.seconds = child.rows * (ROW_PROBE_S + ROW_OUTPUT_S)
         node.rows = int(round(child.rows))
         return _Est(
             columns=child.columns,

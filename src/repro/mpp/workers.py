@@ -752,6 +752,7 @@ class _WorkerState:
     def _cmd_union(
         self, handle: int, sources: Sequence[Tuple[int, bool]]
     ) -> dict:
+        deltas = self._fresh_clocks()
         frame: Dict[int, List[Row]] = {seg: [] for seg in self.segments}
         for source, replicated in sources:
             if replicated:
@@ -760,7 +761,10 @@ class _WorkerState:
             else:
                 for seg in self.segments:
                     frame[seg].extend(self.frames[source][seg])
-        return self._store(handle, frame)
+        # match the serial driver: union charges rows_output per segment
+        for seg in self.segments:
+            deltas[seg].rows_output += len(frame[seg])
+        return self._store(handle, frame, deltas)
 
     # -- motions -------------------------------------------------------------
 

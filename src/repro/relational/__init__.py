@@ -9,9 +9,16 @@ Public surface::
     )
 """
 
+from .columnar import (
+    EXECUTOR_ENGINES,
+    ColumnBatch,
+    numpy_enabled,
+    resolve_executor,
+)
+from .columnar_exec import ColumnarExecutor, make_executor
 from .cost import CostClock
 from .database import Database
-from .executor import Result
+from .executor import Executor, Result
 from .expr import (
     And,
     Col,
@@ -29,6 +36,7 @@ from .expr import (
 )
 from .plan import (
     Aggregate,
+    AntiJoin,
     Distinct,
     Filter,
     HashJoin,
@@ -36,6 +44,7 @@ from .plan import (
     PlanNode,
     Project,
     Scan,
+    Sort,
     UnionAll,
     Values,
 )
@@ -59,14 +68,19 @@ from .types import (
 __all__ = [
     "And",
     "Aggregate",
+    "AntiJoin",
     "Col",
     "Column",
+    "ColumnBatch",
+    "ColumnarExecutor",
     "Compare",
     "Const",
     "CostClock",
     "Database",
     "Distinct",
+    "EXECUTOR_ENGINES",
     "ExecutionError",
+    "Executor",
     "Expr",
     "FLOAT",
     "Filter",
@@ -84,6 +98,7 @@ __all__ = [
     "Row",
     "Scan",
     "SchemaError",
+    "Sort",
     "SqlParseError",
     "SqliteMirror",
     "TEXT",
@@ -97,7 +112,10 @@ __all__ = [
     "const",
     "eq",
     "eq_const",
+    "make_executor",
+    "numpy_enabled",
     "parse_sql",
+    "resolve_executor",
     "schema",
     "to_sql",
 ]

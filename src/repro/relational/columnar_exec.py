@@ -1,0 +1,245 @@
+"""Columnar plan executor: the vectorized twin of :class:`Executor`.
+
+Evaluates the same logical plan trees as the row engine, but carries
+:class:`~repro.relational.columnar.ColumnBatch` values between
+operators and dispatches the hot loops to the kernels in
+:mod:`repro.relational.columnar`.  Results are bit-identical to the
+row engine — same rows, same order — and every operator charges the
+:class:`~repro.relational.cost.CostClock` the exact counters the row
+engine charges for the same plan, so ``repro explain`` cost summaries
+and the modelled benchmark timings are engine-independent.
+
+:func:`make_executor` is the selection point used by
+:class:`~repro.relational.database.Database` and the backends:
+``"columnar"`` (default) or ``"rows"``, resolved from an explicit
+config, the ``PROBKB_EXECUTOR`` env var, or the default.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from .columnar import (
+    ColumnBatch,
+    aggregate_column,
+    anti_join_indices,
+    distinct_indices,
+    filter_batch_indices,
+    gather_column,
+    join_indices,
+    predicate_mask,
+    resolve_executor,
+    sort_indices,
+)
+from .cost import CostClock
+from .executor import Executor, Result
+from .expr import Col, Const, Expr, resolve_column
+from .plan import (
+    Aggregate,
+    AntiJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+    Values,
+)
+from .types import ExecutionError, Row, Value
+
+
+class ColumnarExecutor(Executor):
+    """Evaluates logical plans over columnar batches."""
+
+    engine_name = "columnar"
+
+    def run(self, plan: PlanNode) -> Result:
+        self.bind(plan)
+        batch = self._eval_batch(plan)
+        return Result(batch.columns, batch.to_rows())
+
+    def _eval(self, plan: PlanNode) -> Tuple[List[str], List[Row]]:
+        batch = self._eval_batch(plan)
+        return batch.columns, batch.to_rows()
+
+    # -- evaluation --------------------------------------------------------
+
+    def _eval_batch(self, plan: PlanNode) -> ColumnBatch:
+        if isinstance(plan, Scan):
+            return self._batch_scan(plan)
+        if isinstance(plan, Values):
+            return ColumnBatch.from_rows(plan.output_columns, plan.rows)
+        if isinstance(plan, Filter):
+            return self._batch_filter(plan)
+        if isinstance(plan, Project):
+            return self._batch_project(plan)
+        if isinstance(plan, HashJoin):
+            return self._batch_join(plan)
+        if isinstance(plan, AntiJoin):
+            return self._batch_anti_join(plan)
+        if isinstance(plan, Distinct):
+            return self._batch_distinct(plan)
+        if isinstance(plan, Aggregate):
+            return self._batch_aggregate(plan)
+        if isinstance(plan, UnionAll):
+            return self._batch_union(plan)
+        if isinstance(plan, Sort):
+            return self._batch_sort(plan)
+        if isinstance(plan, Limit):
+            if plan.limit < 0:
+                raise ExecutionError(
+                    f"Limit must be non-negative, got {plan.limit}"
+                )
+            child = self._eval_batch(plan.child)
+            return child.head(plan.limit)
+        raise ExecutionError(f"unsupported plan node {type(plan).__name__}")
+
+    def _batch_scan(self, plan: Scan) -> ColumnBatch:
+        table = self._tables[plan.table_name]
+        self._clock.rows_scanned += len(table)
+        return table.column_batch().rename(plan.output_columns)
+
+    def _batch_filter(self, plan: Filter) -> ColumnBatch:
+        child = self._eval_batch(plan.child)
+        bound = plan.predicate.bind(child.columns)
+        kept_idx = filter_batch_indices(plan.predicate, bound, child)
+        kept = child.gather(kept_idx)
+        self._clock.rows_probed += child.nrows
+        self._clock.rows_output += kept.nrows
+        return kept
+
+    def _batch_project(self, plan: Project) -> ColumnBatch:
+        child = self._eval_batch(plan.child)
+        cols: List[List[Value]] = []
+        rows: Optional[List[Row]] = None  # lazily zipped for opaque exprs
+        for expr, _name in plan.outputs:
+            if isinstance(expr, Col):
+                pos = resolve_column(expr.name, child.columns)
+                cols.append(child.cols[pos])  # shared, never mutated
+            elif isinstance(expr, Const):
+                cols.append([expr.value] * child.nrows)
+            else:
+                if rows is None:
+                    rows = child.to_rows()
+                evaluate = expr.bind(child.columns)
+                cols.append([evaluate(row) for row in rows])
+        self._clock.rows_output += child.nrows
+        return ColumnBatch(plan.output_columns, cols, child.nrows)
+
+    def _batch_join(self, plan: HashJoin) -> ColumnBatch:
+        left = self._eval_batch(plan.left)
+        right = self._eval_batch(plan.right)
+        out_columns = left.columns + right.columns
+        lpos = [resolve_column(k, left.columns) for k in plan.left_keys]
+        rpos = [resolve_column(k, right.columns) for k in plan.right_keys]
+        lidx, ridx, built, probed = join_indices(left, right, lpos, rpos)
+        out_cols = [gather_column(col, lidx) for col in left.cols]
+        out_cols += [gather_column(col, ridx) for col in right.cols]
+        out = ColumnBatch(out_columns, out_cols)
+        self._clock.rows_built += built
+        self._clock.rows_probed += probed
+        self._clock.rows_output += out.nrows
+        if plan.residual is not None:
+            out = self._apply_predicate(plan.residual, out)
+        return out
+
+    def _batch_anti_join(self, plan: AntiJoin) -> ColumnBatch:
+        left = self._eval_batch(plan.left)
+        right = self._eval_batch(plan.right)
+        lpos = [resolve_column(k, left.columns) for k in plan.left_keys]
+        rpos = [resolve_column(k, right.columns) for k in plan.right_keys]
+        kept_idx = anti_join_indices(left, right, lpos, rpos)
+        kept = left.gather(kept_idx)
+        self._clock.rows_built += right.nrows
+        self._clock.rows_probed += left.nrows
+        self._clock.rows_output += kept.nrows
+        return kept
+
+    def _batch_distinct(self, plan: Distinct) -> ColumnBatch:
+        child = self._eval_batch(plan.child)
+        deduped = child.gather(distinct_indices(child))
+        self._clock.rows_probed += child.nrows
+        self._clock.rows_output += deduped.nrows
+        return deduped
+
+    def _batch_aggregate(self, plan: Aggregate) -> ColumnBatch:
+        from .columnar import group_indices
+
+        child = self._eval_batch(plan.child)
+        group_pos = [resolve_column(c, child.columns) for c in plan.group_by]
+        agg_cols: List[Optional[List[Value]]] = [
+            child.cols[resolve_column(c, child.columns)] if c is not None else None
+            for _, c, _ in plan.aggregates
+        ]
+        groups = group_indices(child, group_pos)
+        width = len(plan.group_by) + len(plan.aggregates)
+        out_cols: List[List[Value]] = [[] for _ in range(width)]
+        for key, indices in groups.items():
+            for pos, value in enumerate(key):
+                out_cols[pos].append(value)
+            for offset, ((func, _, _), col) in enumerate(
+                zip(plan.aggregates, agg_cols)
+            ):
+                out_cols[len(key) + offset].append(
+                    aggregate_column(func, col, indices)
+                )
+        out = ColumnBatch(plan.output_columns, out_cols, len(groups))
+        self._clock.rows_probed += child.nrows
+        self._clock.rows_output += out.nrows
+        if plan.having is not None:
+            out = self._apply_predicate(plan.having, out)
+        return out
+
+    def _batch_union(self, plan: UnionAll) -> ColumnBatch:
+        children = [self._eval_batch(child) for child in plan.children]
+        out_columns = plan.output_columns
+        width = len(out_columns)
+        out_cols: List[List[Value]] = [[] for _ in range(width)]
+        total = 0
+        for child in children:
+            for pos in range(width):
+                out_cols[pos].extend(child.cols[pos])
+            total += child.nrows
+        self._clock.rows_output += total
+        return ColumnBatch(out_columns, out_cols, total)
+
+    def _batch_sort(self, plan: Sort) -> ColumnBatch:
+        child = self._eval_batch(plan.child)
+        keys = [
+            (resolve_column(name, child.columns), descending)
+            for name, descending in plan.keys
+        ]
+        ordered = child.gather(sort_indices(child, keys))
+        self._clock.rows_probed += ordered.nrows
+        self._clock.rows_output += ordered.nrows
+        return ordered
+
+    # -- helpers -----------------------------------------------------------
+
+    def _apply_predicate(self, expr: Expr, batch: ColumnBatch) -> ColumnBatch:
+        """Filter without clock charges (residual/having semantics)."""
+        mask = predicate_mask(expr, batch)
+        if mask is not None:
+            from .columnar import get_numpy
+
+            np = get_numpy()
+            return batch.gather(np.nonzero(mask)[0])
+        bound = expr.bind(batch.columns)
+        kept = [i for i, row in enumerate(zip(*batch.cols)) if bound(row)]
+        return batch.gather(kept)
+
+
+#: engine name -> executor class
+_ENGINES = {"rows": Executor, "columnar": ColumnarExecutor}
+
+
+def make_executor(
+    tables: Mapping[str, object],
+    clock: CostClock,
+    engine: Optional[str] = None,
+) -> Executor:
+    """Build the selected executor (override > ``PROBKB_EXECUTOR`` > columnar)."""
+    return _ENGINES[resolve_executor(engine)](tables, clock)

@@ -15,6 +15,8 @@ from __future__ import annotations
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .columnar import resolve_executor
+from .columnar_exec import make_executor
 from .cost import CostClock
 from .executor import Executor, Result
 from .plan import PlanNode
@@ -28,11 +30,17 @@ class Database:
     """An in-memory single-node relational database."""
 
     def __init__(
-        self, name: str = "db", verify_plans: Optional[bool] = None
+        self,
+        name: str = "db",
+        verify_plans: Optional[bool] = None,
+        executor: Optional[str] = None,
     ) -> None:
         self.name = name
         self.tables: Dict[str, Table] = {}
         self.clock = CostClock()
+        #: which plan-execution engine runs queries ("columnar"|"rows");
+        #: None defers to the PROBKB_EXECUTOR env var, default columnar
+        self.executor_name = resolve_executor(executor)
         self._matview_defs: Dict[str, PlanNode] = {}
         #: debug gate: statically verify every distinct plan once before
         #: it executes (None defers to the PROBKB_VERIFY_PLANS env var)
@@ -51,6 +59,9 @@ class Database:
         verify_plan(plan, tables=self.tables, name="logical plan") \
             .raise_if_errors()
         self._verified_plans.add(plan)
+
+    def _executor(self) -> Executor:
+        return make_executor(self.tables, self.clock, self.executor_name)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -80,7 +91,7 @@ class Database:
         """Execute a read-only plan; charges one statement of overhead."""
         self._maybe_verify(plan)
         self.clock.charge_query()
-        return Executor(self.tables, self.clock).run(plan)
+        return self._executor().run(plan)
 
     def execute_sql(self, sql: str) -> Result:
         """Parse and execute a SELECT statement (the dialect to_sql emits)."""
@@ -111,7 +122,7 @@ class Database:
         """INSERT INTO table SELECT ... — one statement."""
         self._maybe_verify(plan)
         self.clock.charge_query()
-        result = Executor(self.tables, self.clock).run(plan)
+        result = self._executor().run(plan)
         table = self.table(table_name)
         ensure(
             len(result.columns) == len(table.schema),
@@ -140,7 +151,7 @@ class Database:
         """
         self._maybe_verify(plan)
         self.clock.charge_query()
-        result = Executor(self.tables, self.clock).run(plan)
+        result = self._executor().run(plan)
         table = self.table(table_name)
         padding: Row = (None,) * pad_nulls
         rows = [
@@ -160,7 +171,7 @@ class Database:
         """DELETE FROM table WHERE (cols) IN (SELECT ... ) — one statement."""
         self._maybe_verify(key_plan)
         self.clock.charge_query()
-        result = Executor(self.tables, self.clock).run(key_plan)
+        result = self._executor().run(key_plan)
         keys: Set[Row] = set(result.rows)
         table = self.table(table_name)
         removed = table.delete_in(column_names, keys)
@@ -190,7 +201,7 @@ class Database:
         ensure(plan is not None, ExecutionError, f"{name!r} is not a matview")
         self._maybe_verify(plan)  # type: ignore[arg-type]
         self.clock.charge_query()
-        result = Executor(self.tables, self.clock).run(plan)  # type: ignore[arg-type]
+        result = self._executor().run(plan)  # type: ignore[arg-type]
         table = self.table(name)
         table.truncate()
         inserted = table.insert(result.rows, validate=False)

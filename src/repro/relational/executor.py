@@ -63,7 +63,15 @@ def _null_safe_key(row: Row) -> Tuple:
 
 
 class Executor:
-    """Evaluates logical plans against a table catalog."""
+    """Evaluates logical plans against a table catalog (row-at-a-time).
+
+    The vectorized twin lives in
+    :mod:`repro.relational.columnar_exec`; both produce bit-identical
+    results and clock charges, and :func:`~repro.relational.columnar_exec.make_executor`
+    selects between them.
+    """
+
+    engine_name = "rows"
 
     def __init__(self, tables: Mapping[str, object], clock: CostClock) -> None:
         # ``tables``: mapping name -> Table; kept duck-typed so the MPP
@@ -111,6 +119,11 @@ class Executor:
         if isinstance(plan, Sort):
             return self._eval_sort(plan)
         if isinstance(plan, Limit):
+            if plan.limit < 0:
+                # a negative limit would silently slice from the end
+                raise ExecutionError(
+                    f"Limit must be non-negative, got {plan.limit}"
+                )
             columns, rows = self._eval(plan.child)
             return columns, rows[: plan.limit]
         raise ExecutionError(f"unsupported plan node {type(plan).__name__}")
@@ -248,14 +261,22 @@ class Executor:
             (resolve_column(name, columns), descending)
             for name, descending in plan.keys
         ]
-        # stable multi-key sort: apply keys right-to-left
+        # stable multi-key sort: apply keys right-to-left.  NULLs sort
+        # first in BOTH directions (the descending key flips the NULL
+        # test so the reverse pass cannot push NULLs to the end).
         ordered = list(rows)
         for pos, descending in reversed(positions):
-            ordered.sort(
-                key=lambda row: (row[pos] is not None, row[pos]),
-                reverse=descending,
-            )
+            if descending:
+                ordered.sort(
+                    key=lambda row: (row[pos] is None, row[pos]),
+                    reverse=True,
+                )
+            else:
+                ordered.sort(
+                    key=lambda row: (row[pos] is not None, row[pos]),
+                )
         self._clock.rows_probed += len(ordered)
+        self._clock.rows_output += len(ordered)
         return columns, ordered
 
     def _eval_union(self, plan: UnionAll) -> Tuple[List[str], List[Row]]:
@@ -264,6 +285,7 @@ class Executor:
         for child in plan.children:
             _, rows = self._eval(child)
             out_rows.extend(rows)
+        self._clock.rows_output += len(out_rows)
         return out_columns, out_rows
 
 

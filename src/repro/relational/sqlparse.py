@@ -57,7 +57,8 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AND",
     "OR", "NOT", "EXISTS", "IS", "NULL", "AS", "UNION", "ALL", "COUNT",
-    "MIN", "MAX", "SUM", "LIMIT", "ORDER", "ASC", "DESC",
+    "MIN", "MAX", "SUM", "LIMIT", "ORDER", "ASC", "DESC", "NULLS", "FIRST",
+    "LAST",
 }
 
 
@@ -170,6 +171,15 @@ class _Parser:
             descending = True
         else:
             self.accept_kw("ASC")
+        if self.accept_kw("NULLS"):
+            # the engine pins NULLS FIRST in both directions; accept the
+            # dialect we emit, reject orderings we cannot honour
+            if not self.accept_kw("FIRST"):
+                self.expect_kw("LAST")
+                raise SqlParseError(
+                    "NULLS LAST is not supported (the engine sorts "
+                    "NULLs first in both directions)"
+                )
         return (name, descending)
 
     def parse_select(self) -> "_SelectSpec":

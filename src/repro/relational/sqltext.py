@@ -45,8 +45,11 @@ def _render(plan: PlanNode) -> str:
     if isinstance(plan, Limit):
         return _render(plan.child) + f"\nLIMIT {plan.limit}"
     if isinstance(plan, Sort):
+        # NULLs sort first in both directions in our engine; sqlite's
+        # default for DESC is NULLS LAST, so pin it explicitly.
         keys = ", ".join(
-            f"{name} DESC" if desc else name for name, desc in plan.keys
+            f"{name} DESC NULLS FIRST" if desc else name
+            for name, desc in plan.keys
         )
         return _render(plan.child) + f"\nORDER BY {keys}"
     select = _Select()

@@ -10,10 +10,24 @@ re-deriving known facts across grounding iterations.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .schema import TableSchema
 from .types import ExecutionError, Row, Value, ensure
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columnar import ColumnBatch
 
 
 class Table:
@@ -29,6 +43,8 @@ class Table:
             self._key_set = set()
         # lazily built hash indexes: column positions -> key -> row ids
         self._indexes: Dict[Tuple[int, ...], Dict[Row, List[int]]] = {}
+        # lazily built columnar view of the rows (see column_batch)
+        self._batch: Optional["ColumnBatch"] = None
 
     # -- basic properties ------------------------------------------------
 
@@ -53,21 +69,24 @@ class Table:
 
         With a unique key, duplicate-keyed rows are dropped (first writer
         wins), including duplicates within ``rows`` itself.
+
+        The insert is atomic under validation failure: the whole batch
+        is validated before any row is stored, so a bad row midway
+        through ``rows`` leaves the table untouched.
         """
+        staged = [tuple(row) for row in rows]
+        if validate:
+            for row in staged:
+                self.schema.validate_row(row)
         inserted = 0
         append = self.rows.append
         if self._key_set is None:
-            for row in rows:
-                if validate:
-                    self.schema.validate_row(row)
-                append(tuple(row))
-                inserted += 1
+            for row in staged:
+                append(row)
+            inserted = len(staged)
         else:
             key_set = self._key_set
-            for row in rows:
-                if validate:
-                    self.schema.validate_row(row)
-                row = tuple(row)
+            for row in staged:
                 key = self._key_of(row)
                 if key in key_set:
                     continue
@@ -75,7 +94,7 @@ class Table:
                 append(row)
                 inserted += 1
         if inserted:
-            self._indexes.clear()
+            self._invalidate_derived()
         return inserted
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
@@ -85,7 +104,7 @@ class Table:
         if removed:
             self.rows = kept
             self._rebuild_key_set()
-            self._indexes.clear()
+            self._invalidate_derived()
         return removed
 
     def delete_in(self, column_names: Sequence[str], keys: Set[Row]) -> int:
@@ -103,7 +122,12 @@ class Table:
         self.rows = []
         if self._key_set is not None:
             self._key_set = set()
+        self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Drop caches derived from the rows (hash indexes, batch)."""
         self._indexes.clear()
+        self._batch = None
 
     def _rebuild_key_set(self) -> None:
         if self._key_positions is None:
@@ -140,6 +164,21 @@ class Table:
             index = dict(index)
             self._indexes[positions] = index
         return index
+
+    def column_batch(self) -> "ColumnBatch":
+        """The rows in columnar form, cached until the next mutation.
+
+        The batch (and its column lists) must be treated as immutable —
+        the columnar executor shares the lists between scans instead of
+        copying the table per statement.
+        """
+        if self._batch is None:
+            from .columnar import ColumnBatch
+
+            self._batch = ColumnBatch.from_rows(
+                self.schema.column_names, self.rows
+            )
+        return self._batch
 
     def project(self, column_names: Sequence[str]) -> List[Row]:
         positions = self.schema.positions(column_names)

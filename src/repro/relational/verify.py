@@ -69,7 +69,8 @@ LOGICAL_CODES: Dict[str, Tuple[str, str]] = {
                       "(arity error; column-name drift warns)"),
     "PKB207": (ERROR, "Aggregate group-key/output inconsistency"),
     "PKB208": (WARNING, "bag/set or ordering discipline violation "
-                        "(redundant Distinct, Limit without Sort)"),
+                        "(redundant Distinct, Limit without Sort, "
+                        "negative Limit — the last is an error)"),
 }
 
 _SEVERITIES = (ERROR, WARNING)
@@ -392,6 +393,19 @@ class _Checker:
 
     def _check_limit(self, node: Limit, path: str) -> _Scope:
         scope = self.check(node.child, f"{path}.0")
+        if node.limit < 0:
+            # Python slicing would quietly turn rows[:-n] into "drop the
+            # last n rows"; the executor rejects this, and so do we.
+            self.emit(
+                "PKB208",
+                path,
+                f"Limit {node.limit}: negative limits are rejected (a "
+                "negative Python slice would keep all but the last "
+                f"{-node.limit} rows instead of failing)",
+                severity=ERROR,
+                operator="Limit",
+                limit=node.limit,
+            )
         if not isinstance(node.child, Sort):
             self.emit(
                 "PKB208",

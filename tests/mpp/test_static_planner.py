@@ -35,6 +35,7 @@ from repro.relational import (
     Scan,
     col,
     eq_const,
+    resolve_executor,
     schema,
 )
 
@@ -237,4 +238,5 @@ class TestConfigSurface:
             "workers": 0,
             "degraded": False,
             "plan": "static",
+            "engine": resolve_executor(None),
         }

@@ -36,6 +36,7 @@ from repro.relational import (
     Scan,
     col,
     eq_const,
+    resolve_executor,
     schema,
 )
 
@@ -230,6 +231,7 @@ class TestCrashRecovery:
                 "workers": 0,
                 "degraded": True,
                 "plan": "adaptive",
+                "engine": resolve_executor(None),
             }
             # the degraded cluster still accepts DML and queries
             pooled.insert_rows("person", [(999, "late", 0)])

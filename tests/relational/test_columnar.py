@@ -1,0 +1,299 @@
+"""Unit tests for the columnar batch representation and kernels.
+
+Every kernel must behave identically with numpy fast paths enabled and
+with the pure-Python fallback (``PROBKB_NO_NUMPY=1``); the tests that
+matter run under both via the ``no_numpy`` fixture parameterization.
+"""
+
+import pytest
+
+from repro.relational.columnar import (
+    EXECUTOR_ENGINES,
+    ColumnBatch,
+    aggregate_column,
+    anti_join_indices,
+    distinct_indices,
+    get_numpy,
+    group_indices,
+    join_indices,
+    null_first_sort_key,
+    numpy_enabled,
+    predicate_mask,
+    resolve_executor,
+    sort_indices,
+)
+from repro.relational.cost import CostClock
+from repro.relational import columnar
+from repro.relational.expr import conj, eq_const
+
+
+@pytest.fixture(params=[False, True], ids=["numpy", "no-numpy"])
+def no_numpy(request, monkeypatch):
+    """Run the test twice: numpy fast paths on, then forced off."""
+    if request.param:
+        monkeypatch.setenv("PROBKB_NO_NUMPY", "1")
+    else:
+        monkeypatch.delenv("PROBKB_NO_NUMPY", raising=False)
+    return request.param
+
+
+class TestEngineSelection:
+    def test_default_is_columnar(self, monkeypatch):
+        monkeypatch.delenv("PROBKB_EXECUTOR", raising=False)
+        assert resolve_executor(None) == "columnar"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv("PROBKB_EXECUTOR", "rows")
+        assert resolve_executor(None) == "rows"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("PROBKB_EXECUTOR", "rows")
+        assert resolve_executor("columnar") == "columnar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor("vulcan")
+        assert set(EXECUTOR_ENGINES) == {"columnar", "rows"}
+
+    def test_no_numpy_gate(self, monkeypatch):
+        monkeypatch.setenv("PROBKB_NO_NUMPY", "1")
+        assert get_numpy() is None
+        assert not numpy_enabled()
+        monkeypatch.delenv("PROBKB_NO_NUMPY")
+        # numpy is baked into the test image; the fast path must be on
+        assert numpy_enabled()
+
+
+class TestColumnBatch:
+    def test_roundtrip(self):
+        rows = [(1, "a", None), (2, "b", 3.5)]
+        batch = ColumnBatch.from_rows(["x", "y", "z"], rows)
+        assert batch.nrows == 2
+        assert batch.to_rows() == rows
+        assert batch.columns == ["x", "y", "z"]
+
+    def test_gather_and_head(self):
+        rows = [(i, i * 10) for i in range(5)]
+        batch = ColumnBatch.from_rows(["a", "b"], rows)
+        assert batch.gather([3, 0]).to_rows() == [(3, 30), (0, 0)]
+        assert batch.head(2).to_rows() == rows[:2]
+        assert batch.head(0).to_rows() == []
+
+    def test_rename_shares_columns(self):
+        batch = ColumnBatch.from_rows(["a"], [(1,), (2,)])
+        renamed = batch.rename(["b"])
+        assert renamed.columns == ["b"]
+        assert renamed.cols[0] is batch.cols[0]
+
+    def test_int_array_rejects_floats_and_strings(self, no_numpy):
+        np = get_numpy()
+        ints = ColumnBatch.from_rows(["a"], [(1,), (2,)])
+        floats = ColumnBatch.from_rows(["a"], [(1.5,), (2.5,)])
+        strings = ColumnBatch.from_rows(["a"], [("x",), ("y",)])
+        nulls = ColumnBatch.from_rows(["a"], [(1,), (None,)])
+        if np is None:
+            assert ints.int_array(0) is None
+        else:
+            assert list(ints.int_array(0)) == [1, 2]
+        # these must never take the int fast path regardless of numpy
+        assert floats.int_array(0) is None
+        assert strings.int_array(0) is None
+        assert nulls.int_array(0) is None
+
+    def test_huge_ints_stay_exact(self, no_numpy):
+        # 2**63 overflows int64: conversion must bail out, not truncate
+        batch = ColumnBatch.from_rows(["a"], [(2 ** 63,), (1,)])
+        assert batch.int_array(0) is None
+        assert batch.to_rows() == [(2 ** 63,), (1,)]
+
+
+class TestJoinKernel:
+    def _join(self, left_rows, right_rows, lpos, rpos):
+        left = ColumnBatch.from_rows(
+            [f"l{i}" for i in range(len(left_rows[0]) if left_rows else 1)],
+            left_rows,
+        )
+        right = ColumnBatch.from_rows(
+            [f"r{i}" for i in range(len(right_rows[0]) if right_rows else 1)],
+            right_rows,
+        )
+        lidx, ridx, built, probed = join_indices(left, right, lpos, rpos)
+        rows = [
+            left_rows[li] + right_rows[ri]
+            for li, ri in zip([int(i) for i in lidx], [int(i) for i in ridx])
+        ]
+        return rows, built, probed
+
+    def test_matches_row_engine_order(self, no_numpy):
+        # build side = smaller (right here); output must be probe-major
+        # with build matches in original build order
+        left = [(1, "a"), (2, "b"), (1, "c"), (3, "d")]
+        right = [(1, "X"), (1, "Y")]
+        rows, built, probed = self._join(left, right, [0], [0])
+        assert rows == [
+            (1, "a", 1, "X"),
+            (1, "a", 1, "Y"),
+            (1, "c", 1, "X"),
+            (1, "c", 1, "Y"),
+        ]
+        assert (built, probed) == (2, 4)
+
+    def test_null_keys_never_match(self, no_numpy):
+        left = [(None, 1), (2, 2)]
+        right = [(None, 9), (2, 8)]
+        rows, _, _ = self._join(left, right, [0], [0])
+        assert rows == [(2, 2, 2, 8)]
+
+    def test_multi_column_keys(self, no_numpy):
+        left = [(1, 2, "a"), (1, 3, "b")]
+        right = [(1, 2, "X"), (9, 9, "Y")]
+        rows, _, _ = self._join(left, right, [0, 1], [0, 1])
+        assert rows == [(1, 2, "a", 1, 2, "X")]
+
+    def test_empty_sides(self, no_numpy):
+        assert self._join([], [(1, 2)], [0], [0])[0] == []
+        assert self._join([(1, 2)], [], [0], [0])[0] == []
+
+    def test_mixed_type_keys_fall_back(self, no_numpy):
+        # string keys can never use the int encoding
+        left = [("k1", 1), ("k2", 2)]
+        right = [("k1", 9)]
+        rows, _, _ = self._join(left, right, [0], [0])
+        assert rows == [("k1", 1, "k1", 9)]
+
+
+class TestAntiJoinKernel:
+    def _anti(self, left_rows, right_rows):
+        left = ColumnBatch.from_rows(["a", "b"], left_rows)
+        right = ColumnBatch.from_rows(["a", "b"], right_rows)
+        kept = anti_join_indices(left, right, [0], [0])
+        return [left_rows[int(i)] for i in kept]
+
+    def test_basic(self, no_numpy):
+        left = [(1, "a"), (2, "b"), (3, "c")]
+        right = [(2, "x")]
+        assert self._anti(left, right) == [(1, "a"), (3, "c")]
+
+    def test_null_left_key_is_kept_unless_null_on_right(self, no_numpy):
+        # matches the row engine: the right side's key set contains the
+        # NULL-bearing tuple, so a NULL left key is excluded only when a
+        # NULL right key exists
+        left = [(None, "a"), (1, "b")]
+        assert self._anti(left, [(1, "x")]) == [(None, "a")]
+        assert self._anti(left, [(None, "x")]) == [(1, "b")]
+
+    def test_empty_right_keeps_all(self, no_numpy):
+        left = [(1, "a")]
+        assert self._anti(left, []) == left
+
+
+class TestDistinctAndGroup:
+    def test_distinct_first_occurrence_order(self, no_numpy):
+        rows = [(2, "b"), (1, "a"), (2, "b"), (1, "z"), (1, "a")]
+        batch = ColumnBatch.from_rows(["a", "b"], rows)
+        kept = [rows[int(i)] for i in distinct_indices(batch)]
+        assert kept == [(2, "b"), (1, "a"), (1, "z")]
+
+    def test_distinct_with_nulls(self, no_numpy):
+        rows = [(None,), (1,), (None,)]
+        batch = ColumnBatch.from_rows(["a"], rows)
+        kept = [rows[int(i)] for i in distinct_indices(batch)]
+        assert kept == [(None,), (1,)]
+
+    def test_group_indices_first_occurrence(self):
+        rows = [(1, 10), (2, 20), (1, 30)]
+        batch = ColumnBatch.from_rows(["k", "v"], rows)
+        groups = group_indices(batch, [0])
+        assert list(groups) == [(1,), (2,)]
+        assert groups[(1,)] == [0, 2]
+
+    def test_global_group_over_empty_input(self):
+        batch = ColumnBatch.from_rows(["k"], [])
+        assert group_indices(batch, []) == {(): []}
+
+    def test_aggregate_column(self):
+        values = [3, None, 1, 3]
+        assert aggregate_column("count", values, [0, 1, 2, 3]) == 3
+        assert aggregate_column("count", None, [0, 1]) == 2
+        assert aggregate_column("min", values, [0, 2]) == 1
+        assert aggregate_column("max", values, [0, 2]) == 3
+        assert aggregate_column("sum", values, [0, 2, 3]) == 7
+        assert aggregate_column("count_distinct", values, [0, 1, 2, 3]) == 2
+        assert aggregate_column("min", values, [1]) is None
+
+
+class TestSortKernel:
+    def _sort(self, rows, keys):
+        width = len(rows[0]) if rows else 1
+        batch = ColumnBatch.from_rows([f"c{i}" for i in range(width)], rows)
+        return [rows[int(i)] for i in sort_indices(batch, keys)]
+
+    def test_nulls_first_both_directions(self, no_numpy):
+        rows = [(3,), (None,), (1,), (2,)]
+        assert self._sort(rows, [(0, False)]) == [(None,), (1,), (2,), (3,)]
+        assert self._sort(rows, [(0, True)]) == [(None,), (3,), (2,), (1,)]
+
+    def test_multi_key_stable(self, no_numpy):
+        rows = [(1, "b"), (2, "a"), (1, "a"), (2, "b")]
+        ordered = self._sort(rows, [(0, False), (1, True)])
+        assert ordered == [(1, "b"), (1, "a"), (2, "b"), (2, "a")]
+
+    def test_int64_min_does_not_overflow(self, no_numpy):
+        lo = -(2 ** 63)
+        rows = [(0,), (lo,), (5,)]
+        assert self._sort(rows, [(0, True)]) == [(5,), (0,), (lo,)]
+
+    def test_sort_key_helper(self):
+        asc = null_first_sort_key(0, False)
+        desc = null_first_sort_key(0, True)
+        assert asc((None,)) < asc((0,))
+        # reverse=True flips, so NULL must carry the *largest* key
+        assert desc((None,)) > desc((10 ** 9,))
+
+
+class TestPredicateMask:
+    def _mask(self, expr, rows, cols):
+        batch = ColumnBatch.from_rows(cols, rows)
+        return predicate_mask(expr, batch), batch
+
+    def test_compare_vectorizes_with_numpy(self):
+        rows = [(1,), (5,), (3,)]
+        mask, _ = self._mask(eq_const("a", 3), rows, ["a"])
+        if numpy_enabled():
+            assert [bool(b) for b in mask] == [False, False, True]
+        else:
+            assert mask is None
+
+    def test_conjunction(self):
+        if not numpy_enabled():
+            pytest.skip("vectorized masks need numpy")
+        rows = [(1, 1), (1, 2), (2, 1)]
+        expr = conj(eq_const("a", 1), eq_const("b", 1))
+        mask, _ = self._mask(expr, rows, ["a", "b"])
+        assert [bool(b) for b in mask] == [True, False, False]
+
+    def test_string_column_falls_back(self):
+        mask, _ = self._mask(eq_const("a", "x"), [("x",), ("y",)], ["a"])
+        assert mask is None
+
+
+class TestRowWrappers:
+    def test_join_rows_matches_rowops_loop(self, no_numpy):
+        left = [(1, "a"), (2, "b"), (1, "c")]
+        right = [(1, "X"), (3, "Y")]
+        c1, c2 = CostClock(), CostClock()
+        ours = columnar.join_rows(left, right, [0], [0], None, c1)
+        from repro.mpp import rowops
+
+        theirs = rowops.hash_join_rows(
+            list(left), list(right), [0], [0], None, c2, engine="rows"
+        )
+        assert ours == theirs
+        assert c1.snapshot() == c2.snapshot()
+
+    def test_sort_rows_charges_probe_and_output(self, no_numpy):
+        clock = CostClock()
+        ordered = columnar.sort_rows([(2,), (None,), (1,)], [(0, False)], clock)
+        assert ordered == [(None,), (1,), (2,)]
+        assert clock.rows_probed == 3
+        assert clock.rows_output == 3
